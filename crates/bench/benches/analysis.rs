@@ -1,0 +1,69 @@
+//! Analysis-pipeline benches: session grouping (including the Figure 5
+//! T-sweep), context construction, pattern classification, and the hourly
+//! time-series binning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ytcdn_bench::bench_scenario;
+use ytcdn_core::patterns::classify_sessions;
+use ytcdn_core::session::group_sessions;
+use ytcdn_core::timeseries::hourly_samples;
+use ytcdn_core::videos::nonpreferred_video_stats;
+use ytcdn_core::AnalysisContext;
+use ytcdn_tstat::DatasetName;
+
+fn bench_session_grouping(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let ds = scenario.run(DatasetName::Eu1Adsl);
+    let mut g = c.benchmark_group("analysis/group_sessions");
+    // The Figure 5 sensitivity sweep doubles as a performance sweep: larger
+    // T merges more flows but the cost is dominated by the bucketing pass.
+    for t_s in [1u64, 5, 10, 60, 300] {
+        g.bench_function(format!("T={t_s}s"), |b| {
+            b.iter(|| group_sessions(&ds, t_s * 1000))
+        });
+    }
+    g.finish();
+}
+
+fn bench_context_build(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let ds = scenario.run(DatasetName::UsCampus);
+    let mut g = c.benchmark_group("analysis/context");
+    g.sample_size(20);
+    g.bench_function("from_ground_truth", |b| {
+        b.iter(|| AnalysisContext::from_ground_truth(scenario.world(), &ds))
+    });
+    g.finish();
+}
+
+fn bench_pattern_classification(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let ds = scenario.run(DatasetName::Eu1Adsl);
+    let ctx = AnalysisContext::from_ground_truth(scenario.world(), &ds);
+    let sessions = group_sessions(&ds, 1000);
+    c.bench_function("analysis/classify_sessions", |b| {
+        b.iter(|| classify_sessions(&ctx, &ds, &sessions))
+    });
+}
+
+fn bench_timeseries_and_videos(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let ds = scenario.run(DatasetName::Eu2);
+    let ctx = AnalysisContext::from_ground_truth(scenario.world(), &ds);
+    c.bench_function("analysis/hourly_samples", |b| {
+        b.iter(|| hourly_samples(&ctx, &ds))
+    });
+    c.bench_function("analysis/per_video_stats", |b| {
+        b.iter(|| nonpreferred_video_stats(&ctx, &ds))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_session_grouping,
+    bench_context_build,
+    bench_pattern_classification,
+    bench_timeseries_and_videos
+);
+criterion_main!(benches);

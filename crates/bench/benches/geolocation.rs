@@ -1,0 +1,77 @@
+//! Geolocation benches: CBG calibration and localization cost, and the
+//! accuracy-vs-landmark-count ablation the paper's landmark choice implies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ytcdn_geoloc::Cbg;
+use ytcdn_geomodel::{CityDb, Continent};
+use ytcdn_netsim::{landmarks_with_counts, AccessKind, DelayModel, Endpoint};
+
+fn landmark_spec(n: usize) -> Vec<(Continent, usize)> {
+    // Shrink the paper's distribution proportionally.
+    let total = 215.0;
+    [
+        (Continent::NorthAmerica, 97.0),
+        (Continent::Europe, 82.0),
+        (Continent::Asia, 24.0),
+        (Continent::SouthAmerica, 8.0),
+        (Continent::Oceania, 3.0),
+        (Continent::Africa, 1.0),
+    ]
+    .into_iter()
+    .map(|(c, k)| (c, ((k / total * n as f64).round() as usize).max(1)))
+    .collect()
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cbg/calibrate");
+    g.sample_size(10);
+    for n in [25usize, 50, 100] {
+        let spec = landmark_spec(n);
+        g.bench_function(format!("landmarks={n}"), |b| {
+            b.iter(|| {
+                Cbg::calibrate(
+                    landmarks_with_counts(1, &spec),
+                    DelayModel::default(),
+                    3,
+                    7,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_localize(c: &mut Criterion) {
+    let db = CityDb::builtin();
+    let target = Endpoint::new(db.expect("Paris").coord, AccessKind::DataCenter);
+    let mut g = c.benchmark_group("cbg/localize");
+    g.sample_size(20);
+    // The landmark-count ablation: accuracy (reported via Criterion's
+    // throughput label abuse is avoided; accuracy goes to stdout once).
+    for n in [25usize, 50, 100, 215] {
+        let cbg = Cbg::calibrate(
+            landmarks_with_counts(1, &landmark_spec(n)),
+            DelayModel::default(),
+            3,
+            7,
+        );
+        let mut check_rng = StdRng::seed_from_u64(5);
+        let r = cbg.localize(&target, &mut check_rng);
+        println!(
+            "cbg/localize landmarks={n}: radius {:.0} km, error {:.0} km",
+            r.radius_km,
+            r.estimate.distance_km(target.coord)
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        g.bench_function(format!("landmarks={n}"), |b| {
+            b.iter(|| cbg.localize(&target, &mut rng))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_calibration, bench_localize);
+criterion_main!(benches);

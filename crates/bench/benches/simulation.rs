@@ -1,0 +1,64 @@
+//! Simulator throughput benches: world construction, per-dataset engines,
+//! DNS resolution, catalog sampling, and the delay model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ytcdn_bench::{bench_scenario, BENCH_SEED};
+use ytcdn_cdnsim::{diurnal_factor, ScenarioConfig, StandardScenario, VideoCatalog};
+use ytcdn_geomodel::CityDb;
+use ytcdn_netsim::{AccessKind, DelayModel, Endpoint};
+use ytcdn_tstat::DatasetName;
+
+fn bench_world_build(c: &mut Criterion) {
+    c.bench_function("scenario/build_world", |b| {
+        b.iter(|| StandardScenario::build(ScenarioConfig::with_scale(0.001, BENCH_SEED)))
+    });
+}
+
+fn bench_dataset_simulation(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let mut g = c.benchmark_group("scenario/simulate_week");
+    g.sample_size(10);
+    for name in [DatasetName::Eu1Ftth, DatasetName::Eu1Adsl, DatasetName::Eu2] {
+        g.bench_function(name.to_string(), |b| b.iter(|| scenario.run(name)));
+    }
+    g.finish();
+}
+
+fn bench_catalog_sampling(c: &mut Criterion) {
+    let catalog = VideoCatalog::standard();
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("catalog/sample", |b| {
+        b.iter(|| catalog.sample(86_400_000, &mut rng))
+    });
+}
+
+fn bench_delay_model(c: &mut Criterion) {
+    let db = CityDb::builtin();
+    let model = DelayModel::default();
+    let a = Endpoint::new(db.expect("Turin").coord, AccessKind::Adsl);
+    let bep = Endpoint::new(db.expect("Ashburn").coord, AccessKind::DataCenter);
+    c.bench_function("delay/floor_rtt", |b| b.iter(|| model.floor_rtt_ms(&a, &bep)));
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("delay/sample_rtt", |b| {
+        b.iter(|| model.sample_rtt_ms(&a, &bep, &mut rng))
+    });
+}
+
+fn bench_diurnal(c: &mut Criterion) {
+    c.bench_function("workload/diurnal_factor", |b| {
+        b.iter_batched(|| 13.37_f64, diurnal_factor, BatchSize::SmallInput)
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_world_build,
+    bench_dataset_simulation,
+    bench_catalog_sampling,
+    bench_delay_model,
+    bench_diurnal
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! One bench per paper table/figure: regenerating each experiment's rows
+//! end to end from an already-simulated world. The printed report of each
+//! experiment comes from the same code path as the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ytcdn_bench::bench_suite;
+use ytcdn_core::experiments::ALL_EXPERIMENTS;
+
+fn bench_every_experiment(c: &mut Criterion) {
+    let suite = bench_suite();
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    for id in ALL_EXPERIMENTS {
+        // CBG-heavy experiments are benched separately in geolocation.rs;
+        // regenerating them per-iteration here would dominate the run.
+        if matches!(*id, "table3" | "fig3") {
+            continue;
+        }
+        g.bench_function(*id, |b| {
+            b.iter(|| suite.run(id).expect("known id"));
+        });
+    }
+    g.finish();
+    // Run the two CBG experiments once so the bench still validates them.
+    for id in ["table3", "fig3"] {
+        let report = suite.run(id).expect("known id");
+        println!("{report}");
+    }
+}
+
+criterion_group!(benches, bench_every_experiment);
+criterion_main!(benches);

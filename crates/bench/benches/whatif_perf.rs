@@ -1,0 +1,61 @@
+//! Benches for the what-if machinery and the user-performance analysis —
+//! the paper's motivating "what-if" use case should itself be fast enough
+//! to sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ytcdn_bench::{bench_scenario, BENCH_SCALE, BENCH_SEED};
+use ytcdn_cdnsim::ScenarioConfig;
+use ytcdn_core::perf::perf_report;
+use ytcdn_core::session::group_sessions;
+use ytcdn_core::whatif;
+use ytcdn_core::AnalysisContext;
+use ytcdn_tstat::DatasetName;
+
+fn bench_whatif_evaluate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("whatif/evaluate");
+    g.sample_size(10);
+    let base = ScenarioConfig::with_scale(BENCH_SCALE, BENCH_SEED);
+    g.bench_function("eu1_adsl", |b| {
+        b.iter(|| whatif::evaluate("bench", base, DatasetName::Eu1Adsl))
+    });
+    g.finish();
+
+    // Print the headline counterfactual once so bench logs carry the
+    // qualitative result alongside the timing.
+    let (before, after) = whatif::fixed_us_peering(base);
+    println!(
+        "fixed_us_peering: preferred {} @ {:.0} km -> {} @ {:.0} km",
+        before.preferred_city,
+        before.preferred_distance_km,
+        after.preferred_city,
+        after.preferred_distance_km
+    );
+}
+
+fn bench_perf_report(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let ds = scenario.run(DatasetName::Eu1Adsl);
+    let ctx = AnalysisContext::from_ground_truth(scenario.world(), &ds);
+    let sessions = group_sessions(&ds, 1000);
+    c.bench_function("perf/report", |b| {
+        b.iter(|| perf_report(&ctx, &ds, &sessions))
+    });
+}
+
+fn bench_parallel_vs_sequential(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let mut g = c.benchmark_group("scenario/run_all");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| b.iter(|| scenario.run_all()));
+    g.bench_function("parallel", |b| b.iter(|| scenario.run_all_parallel()));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_whatif_evaluate,
+    bench_perf_report,
+    bench_parallel_vs_sequential
+);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```sh
+//! # everything, at the default 10% workload scale:
+//! cargo run --release -p ytcdn-bench --bin repro
+//! # one experiment:
+//! cargo run --release -p ytcdn-bench --bin repro -- --exp fig11
+//! # full paper scale with the full 215-landmark CBG (slow):
+//! cargo run --release -p ytcdn-bench --bin repro -- --scale 1.0 --full-landmarks
+//! ```
+
+use std::process::ExitCode;
+
+use ytcdn_cdnsim::ScenarioConfig;
+use ytcdn_core::experiments::{ExperimentSuite, SuiteConfig, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS};
+
+struct Args {
+    exp: Option<String>,
+    scale: f64,
+    seed: u64,
+    full_landmarks: bool,
+    csv_dir: Option<std::path::PathBuf>,
+    markdown: Option<std::path::PathBuf>,
+    plot: bool,
+    scorecard: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        exp: None,
+        scale: 0.1,
+        seed: 42,
+        full_landmarks: false,
+        csv_dir: None,
+        markdown: None,
+        plot: false,
+        scorecard: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--exp" => args.exp = Some(it.next().ok_or("--exp needs a value")?),
+            "--csv" => {
+                args.csv_dir = Some(std::path::PathBuf::from(
+                    it.next().ok_or("--csv needs a directory")?,
+                ))
+            }
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--full-landmarks" => args.full_landmarks = true,
+            "--plot" => args.plot = true,
+            "--scorecard" => args.scorecard = true,
+            "--markdown" => {
+                args.markdown = Some(std::path::PathBuf::from(
+                    it.next().ok_or("--markdown needs a file path")?,
+                ))
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: repro [--exp {}] [--scale S] [--seed N] [--full-landmarks] [--csv DIR] [--markdown FILE] [--plot] [--scorecard]",
+                    ALL_EXPERIMENTS.join("|")
+                ));
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if !(0.0..=1.0).contains(&args.scale) || args.scale <= 0.0 {
+        return Err(format!("--scale must be in (0, 1], got {}", args.scale));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(exp) = &args.exp {
+        if !ALL_EXPERIMENTS.contains(&exp.as_str())
+            && !EXTENSION_EXPERIMENTS.contains(&exp.as_str())
+        {
+            eprintln!(
+                "unknown experiment {exp:?}; known: {} and extensions {}",
+                ALL_EXPERIMENTS.join(", "),
+                EXTENSION_EXPERIMENTS.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!(
+        "building world and simulating 5 datasets (scale {}, seed {})…",
+        args.scale, args.seed
+    );
+    let suite = ExperimentSuite::new(SuiteConfig {
+        scenario: ScenarioConfig::with_scale(args.scale, args.seed),
+        full_landmarks: args.full_landmarks,
+    });
+
+    if args.scorecard {
+        let checks = ytcdn_core::scorecard::scorecard(&suite);
+        println!("{}", ytcdn_core::scorecard::render(&checks));
+        let failed = checks.iter().filter(|c| !c.pass()).count();
+        return if failed == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let ids: Vec<&str> = match &args.exp {
+        Some(e) => vec![e.as_str()],
+        None => ALL_EXPERIMENTS.to_vec(),
+    };
+    for id in ids {
+        let report = suite.run(id).expect("ids validated above");
+        println!("──── {id} {}", "─".repeat(60_usize.saturating_sub(id.len())));
+        println!("{report}");
+        if args.plot {
+            if let Some(series) = ytcdn_core::export::figure_series(&suite, id) {
+                println!("{}", ytcdn_core::export::ascii_chart(&series, 72, 16));
+            }
+        }
+    }
+
+    if let Some(path) = &args.markdown {
+        let md = ytcdn_core::report::markdown_report(&suite);
+        if let Err(e) = std::fs::write(path, md) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote markdown report to {}", path.display());
+    }
+
+    if let Some(dir) = &args.csv_dir {
+        match ytcdn_core::export::export_all(&suite, dir) {
+            Ok(paths) => eprintln!("wrote {} CSV files to {}", paths.len(), dir.display()),
+            Err(e) => {
+                eprintln!("CSV export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,39 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Benches and the `repro` binary all build worlds through these functions
+//! so scale and seeding stay consistent.
+
+use ytcdn_cdnsim::{ScenarioConfig, StandardScenario};
+use ytcdn_core::experiments::{ExperimentSuite, SuiteConfig};
+
+/// The scale Criterion benches run at: small enough for statistical
+/// iteration, large enough that every mechanism (misses, hot spots, DNS
+/// load balancing) fires.
+pub const BENCH_SCALE: f64 = 0.004;
+
+/// Deterministic bench seed.
+pub const BENCH_SEED: u64 = 0xBE9C;
+
+/// A scenario at bench scale.
+pub fn bench_scenario() -> StandardScenario {
+    StandardScenario::build(ScenarioConfig::with_scale(BENCH_SCALE, BENCH_SEED))
+}
+
+/// A full experiment suite at bench scale (simulates all five datasets).
+pub fn bench_suite() -> ExperimentSuite {
+    ExperimentSuite::new(SuiteConfig {
+        scenario: ScenarioConfig::with_scale(BENCH_SCALE, BENCH_SEED),
+        full_landmarks: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scenario_builds() {
+        let s = bench_scenario();
+        assert_eq!(s.world().vantages().len(), 5);
+    }
+}

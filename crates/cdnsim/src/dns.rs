@@ -1,0 +1,273 @@
+//! DNS-based server selection.
+//!
+//! The paper identifies DNS resolution as the first of the two mechanisms
+//! mapping users to data centers, with three distinct behaviours layered on
+//! the basic "return a server in the network's preferred data center":
+//!
+//! * **per-LDNS variation** (Section VII-B): different local DNS servers in
+//!   the *same* network can be handed different preferred data centers —
+//!   US-Campus's "Net-3" subnet accounts for ~50 % of that network's
+//!   non-preferred accesses while producing only 4 % of its flows;
+//! * **adaptive load balancing** (Section VII-A): when the preferred data
+//!   center cannot absorb the offered load — the EU2 in-ISP data center
+//!   during the daily peak — the authoritative DNS spills the excess to an
+//!   alternate, producing the ~30 % local-fraction plateau of Figure 11;
+//! * **background mapping noise**: a small fraction of resolutions go to an
+//!   alternate data center regardless of load, visible as the ~5 % of
+//!   single-flow sessions served by non-preferred data centers (Fig. 10a).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ytcdn_tstat::HOUR_MS;
+
+use crate::topology::DataCenterId;
+
+/// Identifier of a local DNS server within a vantage network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LdnsId(pub usize);
+
+/// The policy the authoritative DNS applies to queries from one LDNS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LdnsPolicy {
+    /// The data center this LDNS's queries normally resolve to.
+    pub preferred: DataCenterId,
+    /// Fallback data centers, best first (used by load balancing and noise).
+    pub alternates: Vec<DataCenterId>,
+    /// Baseline probability of resolving to an alternate regardless of load.
+    pub noise_prob: f64,
+    /// If set, maximum resolutions per hour the preferred data center
+    /// absorbs from this vantage network before spilling to the first
+    /// alternate (adaptive DNS-level load balancing).
+    pub hourly_capacity: Option<u64>,
+}
+
+/// What a DNS resolution decided and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsDecision {
+    /// The data center whose server the answer points at.
+    pub dc: DataCenterId,
+    /// Why this data center was chosen.
+    pub cause: DnsCause,
+}
+
+/// Cause attached to a [`DnsDecision`] (ground truth for validation; the
+/// analysis layer must *infer* these effects from traces alone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DnsCause {
+    /// The LDNS's preferred data center.
+    Preferred,
+    /// Spilled by adaptive load balancing.
+    LoadBalanced,
+    /// Background mapping noise.
+    Noise,
+}
+
+/// Stateful DNS resolver for one vantage network.
+///
+/// Tracks per-(data center, hour) resolution counts to implement adaptive
+/// load balancing.
+///
+/// # Examples
+///
+/// ```
+/// use ytcdn_cdnsim::dns::{DnsResolver, LdnsPolicy, LdnsId, DnsCause};
+/// use ytcdn_cdnsim::DataCenterId;
+/// use rand::SeedableRng;
+///
+/// let mut resolver = DnsResolver::new(vec![LdnsPolicy {
+///     preferred: DataCenterId(0),
+///     alternates: vec![DataCenterId(1)],
+///     noise_prob: 0.0,
+///     hourly_capacity: Some(2),
+/// }]);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// // Two resolutions fit, the third spills.
+/// assert_eq!(resolver.resolve(LdnsId(0), 0, &mut rng).dc, DataCenterId(0));
+/// assert_eq!(resolver.resolve(LdnsId(0), 0, &mut rng).dc, DataCenterId(0));
+/// let third = resolver.resolve(LdnsId(0), 0, &mut rng);
+/// assert_eq!(third.dc, DataCenterId(1));
+/// assert_eq!(third.cause, DnsCause::LoadBalanced);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DnsResolver {
+    policies: Vec<LdnsPolicy>,
+    hour_counts: HashMap<(DataCenterId, u64), u64>,
+}
+
+impl DnsResolver {
+    /// Creates a resolver from per-LDNS policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policies` is empty or any policy has no alternates while
+    /// specifying noise or capacity (nowhere to spill).
+    pub fn new(policies: Vec<LdnsPolicy>) -> Self {
+        assert!(!policies.is_empty(), "need at least one LDNS policy");
+        for p in &policies {
+            let needs_alt = p.noise_prob > 0.0 || p.hourly_capacity.is_some();
+            assert!(
+                !needs_alt || !p.alternates.is_empty(),
+                "policy with noise or capacity needs alternates"
+            );
+        }
+        Self {
+            policies,
+            hour_counts: HashMap::new(),
+        }
+    }
+
+    /// The policy table.
+    pub fn policies(&self) -> &[LdnsPolicy] {
+        &self.policies
+    }
+
+    /// Resolves a content-server name for a query arriving at `t_ms` via
+    /// LDNS `ldns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ldns` is out of range.
+    pub fn resolve<R: Rng + ?Sized>(&mut self, ldns: LdnsId, t_ms: u64, rng: &mut R) -> DnsDecision {
+        let policy = &self.policies[ldns.0];
+        // Background noise: pick a random alternate.
+        if policy.noise_prob > 0.0 && rng.gen_bool(policy.noise_prob) {
+            let dc = policy.alternates[rng.gen_range(0..policy.alternates.len())];
+            return DnsDecision {
+                dc,
+                cause: DnsCause::Noise,
+            };
+        }
+        // Adaptive load balancing on the preferred data center.
+        if let Some(cap) = policy.hourly_capacity {
+            let hour = t_ms / HOUR_MS;
+            let count = self
+                .hour_counts
+                .entry((policy.preferred, hour))
+                .or_insert(0);
+            if *count >= cap {
+                return DnsDecision {
+                    dc: policy.alternates[0],
+                    cause: DnsCause::LoadBalanced,
+                };
+            }
+            *count += 1;
+        }
+        DnsDecision {
+            dc: policy.preferred,
+            cause: DnsCause::Preferred,
+        }
+    }
+
+    /// Resolutions the preferred data center absorbed in a given hour
+    /// (diagnostic).
+    pub fn absorbed(&self, dc: DataCenterId, hour: u64) -> u64 {
+        self.hour_counts.get(&(dc, hour)).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn policy(noise: f64, cap: Option<u64>) -> LdnsPolicy {
+        LdnsPolicy {
+            preferred: DataCenterId(0),
+            alternates: vec![DataCenterId(1), DataCenterId(2)],
+            noise_prob: noise,
+            hourly_capacity: cap,
+        }
+    }
+
+    #[test]
+    fn no_noise_no_capacity_always_preferred() {
+        let mut r = DnsResolver::new(vec![policy(0.0, None)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        for t in (0..100).map(|i| i * 60_000) {
+            let d = r.resolve(LdnsId(0), t, &mut rng);
+            assert_eq!(d.dc, DataCenterId(0));
+            assert_eq!(d.cause, DnsCause::Preferred);
+        }
+    }
+
+    #[test]
+    fn noise_rate_approximated() {
+        let mut r = DnsResolver::new(vec![policy(0.1, None)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let noisy = (0..n)
+            .filter(|_| r.resolve(LdnsId(0), 0, &mut rng).cause == DnsCause::Noise)
+            .count();
+        let frac = noisy as f64 / n as f64;
+        assert!((0.08..0.12).contains(&frac), "got {frac}");
+    }
+
+    #[test]
+    fn capacity_resets_each_hour() {
+        let mut r = DnsResolver::new(vec![policy(0.0, Some(1))]);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(r.resolve(LdnsId(0), 0, &mut rng).dc, DataCenterId(0));
+        assert_eq!(r.resolve(LdnsId(0), 1, &mut rng).dc, DataCenterId(1));
+        // New hour, fresh budget.
+        assert_eq!(r.resolve(LdnsId(0), HOUR_MS, &mut rng).dc, DataCenterId(0));
+    }
+
+    #[test]
+    fn local_fraction_tracks_capacity_over_load() {
+        // Offered 1000/hour against capacity 300 → local fraction 30 %.
+        let mut r = DnsResolver::new(vec![policy(0.0, Some(300))]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let local = (0..1000u64)
+            .filter(|i| {
+                r.resolve(LdnsId(0), i * (HOUR_MS / 1000), &mut rng).dc == DataCenterId(0)
+            })
+            .count();
+        assert_eq!(local, 300);
+    }
+
+    #[test]
+    fn per_ldns_policies_differ() {
+        let net3 = LdnsPolicy {
+            preferred: DataCenterId(7),
+            alternates: vec![],
+            noise_prob: 0.0,
+            hourly_capacity: None,
+        };
+        let mut r = DnsResolver::new(vec![policy(0.0, None), net3]);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(r.resolve(LdnsId(0), 0, &mut rng).dc, DataCenterId(0));
+        assert_eq!(r.resolve(LdnsId(1), 0, &mut rng).dc, DataCenterId(7));
+    }
+
+    #[test]
+    fn absorbed_counter() {
+        let mut r = DnsResolver::new(vec![policy(0.0, Some(10))]);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            r.resolve(LdnsId(0), 0, &mut rng);
+        }
+        assert_eq!(r.absorbed(DataCenterId(0), 0), 5);
+        assert_eq!(r.absorbed(DataCenterId(0), 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one LDNS")]
+    fn empty_policies_rejected() {
+        let _ = DnsResolver::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs alternates")]
+    fn capacity_without_alternates_rejected() {
+        let _ = DnsResolver::new(vec![LdnsPolicy {
+            preferred: DataCenterId(0),
+            alternates: vec![],
+            noise_prob: 0.0,
+            hourly_capacity: Some(5),
+        }]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Content placement and pull-through replication.
+//!
+//! Section VII-C of the paper hypothesizes (and confirms with PlanetLab
+//! experiments) that "videos that are rarely accessed may be unavailable at
+//! the preferred data center, causing the user requests to be redirected to
+//! non-preferred data centers until the video is found", and that after the
+//! first access the video becomes available locally ("subsequent accesses
+//! are typically handled from the preferred data center").
+//!
+//! [`ContentStore`] models that: popular videos are replicated everywhere,
+//! the warm tail is present at each data center with some probability
+//! (demand before the trace week already pulled most of it), the cold tail
+//! (recent uploads) exists only at its origin data center, and every miss
+//! repairs itself by replicating the video into the missing data center.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use ytcdn_tstat::VideoId;
+
+use crate::topology::{DataCenterId, Topology};
+
+/// Parameters of the placement model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementConfig {
+    /// Videos with rank below this are replicated at every data center.
+    pub popular_below_rank: u64,
+    /// Videos with rank at or above this are "recent uploads": present only
+    /// at their origin until pulled.
+    pub fresh_above_rank: u64,
+    /// Probability that a warm-tail video (between the two thresholds) is
+    /// already present at a given data center when the trace starts.
+    pub warm_presence_prob: f64,
+    /// Seed for the deterministic presence draws.
+    pub seed: u64,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        Self {
+            popular_below_rank: 20_000,
+            fresh_above_rank: 850_000,
+            warm_presence_prob: 0.97,
+            seed: 0xCDC5_11AD,
+        }
+    }
+}
+
+/// Which data centers hold which videos, including replication performed
+/// during the simulated week.
+#[derive(Debug, Clone)]
+pub struct ContentStore {
+    config: PlacementConfig,
+    /// The analysis data centers (content is only tracked for those; legacy
+    /// pools serve whatever they serve).
+    dcs: Vec<DataCenterId>,
+    /// Videos pulled into a data center during the run.
+    replicated: HashSet<(DataCenterId, VideoId)>,
+    /// Videos with a pinned origin (uploaded via [`ContentStore::upload`]),
+    /// used by the controlled active experiment.
+    uploads: Vec<(VideoId, DataCenterId)>,
+}
+
+impl ContentStore {
+    /// Creates a store over the analysis data centers of `topology`.
+    pub fn new(config: PlacementConfig, topology: &Topology) -> Self {
+        let dcs = topology.analysis_dcs().map(|d| d.id).collect();
+        Self {
+            config,
+            dcs,
+            replicated: HashSet::new(),
+            uploads: Vec::new(),
+        }
+    }
+
+    /// The placement parameters.
+    pub fn config(&self) -> &PlacementConfig {
+        &self.config
+    }
+
+    /// Registers a brand-new upload stored only at `origin` (and at data
+    /// centers that later pull it). Mirrors the paper's test video upload.
+    pub fn upload(&mut self, video: VideoId, origin: DataCenterId) {
+        self.uploads.push((video, origin));
+    }
+
+    /// The origin data center of a video: the one replica every video is
+    /// guaranteed to have.
+    pub fn origin_of(&self, video: VideoId) -> DataCenterId {
+        if let Some(&(_, origin)) = self.uploads.iter().find(|(v, _)| *v == video) {
+            return origin;
+        }
+        let h = splitmix(video.index() ^ self.config.seed);
+        self.dcs[(h % self.dcs.len() as u64) as usize]
+    }
+
+    /// Whether `dc` currently holds `video`.
+    pub fn has(&self, dc: DataCenterId, video: VideoId) -> bool {
+        if self.replicated.contains(&(dc, video)) {
+            return true;
+        }
+        if let Some(&(_, origin)) = self.uploads.iter().find(|(v, _)| *v == video) {
+            return dc == origin;
+        }
+        let rank = video.index();
+        if rank < self.config.popular_below_rank {
+            return true;
+        }
+        if self.origin_of(video) == dc {
+            return true;
+        }
+        if rank >= self.config.fresh_above_rank {
+            return false;
+        }
+        // Warm tail: deterministic presence draw per (video, dc).
+        let h = splitmix(splitmix(video.index() ^ self.config.seed).wrapping_add(dc.0 as u64));
+        (h >> 11) as f64 / (1u64 << 53) as f64 <= self.config.warm_presence_prob
+    }
+
+    /// Pulls `video` into `dc` (pull-through replication after a miss).
+    /// Idempotent.
+    pub fn replicate(&mut self, dc: DataCenterId, video: VideoId) {
+        self.replicated.insert((dc, video));
+    }
+
+    /// Number of replications performed during the run.
+    pub fn replications(&self) -> usize {
+        self.replicated.len()
+    }
+
+    /// A deterministic "guess" data center distinct from `not` — where a
+    /// redirecting server *believes* the content is. The guess can be wrong,
+    /// which produces the paper's 3-flow redirect chains.
+    pub fn guess_holder(&self, video: VideoId, not: DataCenterId) -> DataCenterId {
+        let h = splitmix(video.index().wrapping_mul(0x5851_f42d_4c95_7f2d) ^ 0xABCD);
+        let mut idx = (h % self.dcs.len() as u64) as usize;
+        if self.dcs[idx] == not {
+            idx = (idx + 1) % self.dcs.len();
+        }
+        self.dcs[idx]
+    }
+
+    /// The analysis data centers this store tracks.
+    pub fn dcs(&self) -> &[DataCenterId] {
+        &self.dcs
+    }
+}
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn store() -> ContentStore {
+        ContentStore::new(PlacementConfig::default(), &Topology::standard())
+    }
+
+    #[test]
+    fn popular_videos_everywhere() {
+        let s = store();
+        let v = VideoId::from_index(5);
+        for &dc in s.dcs() {
+            assert!(s.has(dc, v));
+        }
+    }
+
+    #[test]
+    fn fresh_videos_only_at_origin() {
+        let s = store();
+        let v = VideoId::from_index(900_000);
+        let origin = s.origin_of(v);
+        for &dc in s.dcs() {
+            assert_eq!(s.has(dc, v), dc == origin, "{dc}");
+        }
+    }
+
+    #[test]
+    fn warm_tail_mostly_but_not_always_present() {
+        let s = store();
+        let mut present = 0usize;
+        let mut total = 0usize;
+        for i in 0..2_000u64 {
+            let v = VideoId::from_index(100_000 + i);
+            for &dc in s.dcs() {
+                total += 1;
+                if s.has(dc, v) {
+                    present += 1;
+                }
+            }
+        }
+        let frac = present as f64 / total as f64;
+        assert!((0.93..0.98).contains(&frac), "warm presence {frac}");
+    }
+
+    #[test]
+    fn origin_always_has_content() {
+        let s = store();
+        for i in [0u64, 50_000, 300_000, 700_000, 999_999] {
+            let v = VideoId::from_index(i);
+            assert!(s.has(s.origin_of(v), v), "rank {i}");
+        }
+    }
+
+    #[test]
+    fn replication_repairs_miss() {
+        let mut s = store();
+        let v = VideoId::from_index(950_000);
+        let origin = s.origin_of(v);
+        let other = s.dcs().iter().copied().find(|&d| d != origin).unwrap();
+        assert!(!s.has(other, v));
+        s.replicate(other, v);
+        assert!(s.has(other, v));
+        assert_eq!(s.replications(), 1);
+        // Idempotent.
+        s.replicate(other, v);
+        assert_eq!(s.replications(), 1);
+    }
+
+    #[test]
+    fn upload_pins_origin() {
+        let mut s = store();
+        let v = VideoId::from_index(u64::MAX - 7);
+        let origin = s.dcs()[3];
+        s.upload(v, origin);
+        assert_eq!(s.origin_of(v), origin);
+        for &dc in s.dcs() {
+            assert_eq!(s.has(dc, v), dc == origin);
+        }
+    }
+
+    #[test]
+    fn guess_holder_never_equals_excluded() {
+        let s = store();
+        for i in 0..500u64 {
+            let v = VideoId::from_index(i * 37);
+            for &dc in s.dcs().iter().take(5) {
+                assert_ne!(s.guess_holder(v, dc), dc);
+            }
+        }
+    }
+
+    #[test]
+    fn presence_is_deterministic() {
+        let a = store();
+        let b = store();
+        for i in (0..1_000u64).map(|i| i * 991) {
+            let v = VideoId::from_index(i);
+            for &dc in a.dcs() {
+                assert_eq!(a.has(dc, v), b.has(dc, v));
+            }
+        }
+    }
+
+    #[test]
+    fn origins_are_spread_across_dcs() {
+        let s = store();
+        let mut hit: HashSet<DataCenterId> = HashSet::new();
+        for i in 0..3_000u64 {
+            hit.insert(s.origin_of(VideoId::from_index(600_000 + i)));
+        }
+        assert!(hit.len() > 25, "origins hit only {} DCs", hit.len());
+    }
+}

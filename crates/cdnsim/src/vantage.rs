@@ -1,0 +1,424 @@
+//! The five monitored networks (vantage points) of the paper's Table I.
+//!
+//! Each vantage point is a PoP or campus edge where the Tstat probe sits:
+//! a location, an access technology, a home AS, internal subnets with their
+//! local DNS servers, and workload scale taken from Table I. The traffic
+//! mix knobs reproduce the session-composition statistics of Section VI
+//! (multi-flow session shares, legacy-AS traffic, redirection rates).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ytcdn_geomodel::{City, CityDb};
+use ytcdn_netsim::{AccessKind, Asn, Endpoint, Ipv4Block};
+use ytcdn_tstat::DatasetName;
+
+use crate::dns::LdnsId;
+
+/// An internal subnet of a monitored network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubnetConfig {
+    /// Display name ("Net-1" … "Net-5" for US-Campus, Figure 12).
+    pub name: &'static str,
+    /// Client address block.
+    pub block: Ipv4Block,
+    /// Number of client hosts.
+    pub clients: usize,
+    /// The local DNS server this subnet's hosts use.
+    pub ldns: LdnsId,
+    /// Share of the network's sessions originating here.
+    pub weight: f64,
+}
+
+/// Traffic-mix parameters of one vantage point (probabilities are per
+/// session unless noted).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMix {
+    /// One preliminary control exchange with the contacted server before
+    /// the video flow (format negotiation and similar).
+    pub p_ctrl1: f64,
+    /// Two preliminary control exchanges.
+    pub p_ctrl2: f64,
+    /// A later user-triggered re-request of the same video (pause, seek,
+    /// resolution change) seconds-to-minutes after the first flow ends.
+    pub p_follow: f64,
+    /// Session served by the legacy YouTube-EU pool (AS 43515).
+    pub p_legacy: f64,
+    /// Session served by a third-party-hosted cache.
+    pub p_third: f64,
+    /// Mean watched fraction multiplier for legacy-pool sessions (legacy
+    /// servers carry small flows in most datasets).
+    pub legacy_bytes_scale: f64,
+    /// Multiplier on watched fractions (calibrates per-dataset mean flow
+    /// size to Table I: the US campus's mean flow is ~2x the European
+    /// datasets').
+    pub watch_scale: f64,
+    /// Baseline DNS mapping noise for the main LDNS.
+    pub dns_noise: f64,
+    /// Hourly DNS capacity of the preferred data center at full scale
+    /// (`None` = effectively unbounded; `Some` models the EU2 in-ISP data
+    /// center).
+    pub dns_capacity_per_hour: Option<u64>,
+    /// Per-server hourly request capacity at full scale; arrivals beyond
+    /// this are redirected at the application layer.
+    pub server_capacity_per_hour: u64,
+}
+
+/// One monitored network.
+#[derive(Debug, Clone)]
+pub struct VantagePoint {
+    /// Which of the paper's datasets this produces.
+    pub dataset: DatasetName,
+    /// City the PoP / campus is in.
+    pub city: &'static City,
+    /// Dominant access technology of the hosted customers.
+    pub access: AccessKind,
+    /// The network's own AS.
+    pub home_as: Asn,
+    /// Internal subnets.
+    pub subnets: Vec<SubnetConfig>,
+    /// Expected sessions over the simulated week at scale 1.0.
+    pub sessions_per_week: u64,
+    /// Traffic-mix knobs.
+    pub mix: TrafficMix,
+    /// Extra RTT (ms) toward specific data-center cities: poor peering /
+    /// transit detours. This is what makes the US campus's preferred data
+    /// center *not* the geographically closest one (Figure 8).
+    pub peering_penalty_ms: HashMap<&'static str, f64>,
+    /// Pin the network's DNS-preferred data center to a specific city
+    /// instead of deriving it from RTT. Models the paper's February-2011
+    /// observation that US-Campus requests were suddenly "directed to a
+    /// data center with an RTT of more than 100 ms and not to the closest"
+    /// — the mapping is a Google policy, not a pure RTT optimization.
+    pub preferred_city_override: Option<&'static str>,
+}
+
+impl VantagePoint {
+    /// The vantage point as a network endpoint.
+    pub fn endpoint(&self) -> Endpoint {
+        Endpoint::new(self.city.coord, self.access)
+    }
+
+    /// The peering penalty toward a data-center city, in ms.
+    pub fn penalty_to(&self, dc_city: &str) -> f64 {
+        self.peering_penalty_ms.get(dc_city).copied().unwrap_or(0.0)
+    }
+
+    /// Total client hosts across subnets.
+    pub fn total_clients(&self) -> usize {
+        self.subnets.iter().map(|s| s.clients).sum()
+    }
+
+    /// Number of distinct LDNS servers configured.
+    pub fn num_ldns(&self) -> usize {
+        self.subnets.iter().map(|s| s.ldns.0).max().unwrap_or(0) + 1
+    }
+
+    /// Samples the subnet and client address of a session.
+    ///
+    /// Subnets are drawn by weight; within a subnet, client activity is
+    /// heavy-tailed (a minority of hosts produce most sessions, as in any
+    /// real edge network) while still touching every host eventually.
+    pub fn sample_client<R: Rng + ?Sized>(&self, rng: &mut R) -> (usize, std::net::Ipv4Addr) {
+        let total_w: f64 = self.subnets.iter().map(|s| s.weight).sum();
+        let mut pick = rng.gen_range(0.0..total_w);
+        let mut idx = self.subnets.len() - 1;
+        for (i, s) in self.subnets.iter().enumerate() {
+            if pick < s.weight {
+                idx = i;
+                break;
+            }
+            pick -= s.weight;
+        }
+        let subnet = &self.subnets[idx];
+        // Quadratic skew: low-index hosts are the heavy watchers.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let host = ((u * u) * subnet.clients as f64) as u64 % subnet.clients as u64;
+        let addr = subnet
+            .block
+            .addr(host)
+            .expect("subnet blocks are sized to their client count");
+        (idx, addr)
+    }
+
+    /// Builds the paper's five vantage points.
+    ///
+    /// Session totals are Table I flow counts divided by the mean
+    /// flows-per-session the mix produces (~1.4).
+    pub fn standard_five() -> Vec<VantagePoint> {
+        let db = CityDb::builtin();
+        let base_mix = TrafficMix {
+            p_ctrl1: 0.13,
+            p_ctrl2: 0.045,
+            p_follow: 0.06,
+            p_legacy: 0.045,
+            p_third: 0.004,
+            legacy_bytes_scale: 0.08,
+            watch_scale: 0.55,
+            dns_noise: 0.035,
+            dns_capacity_per_hour: None,
+            server_capacity_per_hour: 150,
+        };
+        vec![
+            VantagePoint {
+                dataset: DatasetName::UsCampus,
+                city: db.expect("West Lafayette"),
+                access: AccessKind::Campus,
+                home_as: Asn(17),
+                subnets: vec![
+                    SubnetConfig {
+                        name: "Net-1",
+                        block: "128.210.0.0/18".parse().expect("static CIDR"),
+                        clients: 8000,
+                        ldns: LdnsId(0),
+                        weight: 0.38,
+                    },
+                    SubnetConfig {
+                        name: "Net-2",
+                        block: "128.210.64.0/18".parse().expect("static CIDR"),
+                        clients: 5000,
+                        ldns: LdnsId(0),
+                        weight: 0.24,
+                    },
+                    SubnetConfig {
+                        name: "Net-3",
+                        block: "128.210.128.0/19".parse().expect("static CIDR"),
+                        clients: 900,
+                        ldns: LdnsId(1),
+                        weight: 0.04,
+                    },
+                    SubnetConfig {
+                        name: "Net-4",
+                        block: "128.210.160.0/19".parse().expect("static CIDR"),
+                        clients: 4000,
+                        ldns: LdnsId(0),
+                        weight: 0.20,
+                    },
+                    SubnetConfig {
+                        name: "Net-5",
+                        block: "128.210.192.0/18".parse().expect("static CIDR"),
+                        clients: 2543,
+                        ldns: LdnsId(0),
+                        weight: 0.14,
+                    },
+                ],
+                sessions_per_week: 663_000,
+                mix: TrafficMix {
+                    p_legacy: 0.030,
+                    watch_scale: 1.0,
+                    dns_noise: 0.006,
+                    ..base_mix
+                },
+                peering_penalty_ms: [
+                    ("Indianapolis", 30.0),
+                    ("Chicago", 30.0),
+                    ("Columbus", 30.0),
+                    ("Detroit", 30.0),
+                    ("St Louis", 30.0),
+                ]
+                .into_iter()
+                .collect(),
+                preferred_city_override: None,
+            },
+            VantagePoint {
+                dataset: DatasetName::Eu1Campus,
+                city: db.expect("Turin"),
+                access: AccessKind::Campus,
+                home_as: Asn(137),
+                subnets: vec![SubnetConfig {
+                    name: "Net-1",
+                    block: "130.192.0.0/17".parse().expect("static CIDR"),
+                    clients: 1113,
+                    ldns: LdnsId(0),
+                    weight: 1.0,
+                }],
+                sessions_per_week: 102_000,
+                mix: base_mix,
+                peering_penalty_ms: HashMap::new(),
+                preferred_city_override: None,
+            },
+            VantagePoint {
+                dataset: DatasetName::Eu1Adsl,
+                city: db.expect("Turin"),
+                access: AccessKind::Adsl,
+                home_as: Asn(3269),
+                subnets: vec![SubnetConfig {
+                    name: "Net-1",
+                    block: "151.38.0.0/17".parse().expect("static CIDR"),
+                    clients: 8348,
+                    ldns: LdnsId(0),
+                    weight: 1.0,
+                }],
+                sessions_per_week: 665_000,
+                mix: base_mix,
+                peering_penalty_ms: HashMap::new(),
+                preferred_city_override: None,
+            },
+            VantagePoint {
+                dataset: DatasetName::Eu1Ftth,
+                city: db.expect("Turin"),
+                access: AccessKind::Ftth,
+                home_as: Asn(3269),
+                subnets: vec![SubnetConfig {
+                    name: "Net-1",
+                    block: "151.39.0.0/18".parse().expect("static CIDR"),
+                    clients: 997,
+                    ldns: LdnsId(0),
+                    weight: 1.0,
+                }],
+                sessions_per_week: 70_000,
+                mix: base_mix,
+                peering_penalty_ms: HashMap::new(),
+                preferred_city_override: None,
+            },
+            VantagePoint {
+                dataset: DatasetName::Eu2,
+                city: db.expect("Madrid"),
+                access: AccessKind::Adsl,
+                home_as: crate::topology::EU2_HOME_AS,
+                subnets: vec![SubnetConfig {
+                    name: "Net-1",
+                    block: "62.40.0.0/17".parse().expect("static CIDR"),
+                    clients: 6552,
+                    ldns: LdnsId(0),
+                    weight: 1.0,
+                }],
+                sessions_per_week: 389_000,
+                mix: TrafficMix {
+                    p_legacy: 0.13,
+                    legacy_bytes_scale: 0.27,
+                    watch_scale: 0.68,
+                    dns_noise: 0.005,
+                    dns_capacity_per_hour: Some(1000),
+                    ..base_mix
+                },
+                peering_penalty_ms: HashMap::new(),
+                preferred_city_override: None,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn five_vantage_points_with_paper_names() {
+        let vps = VantagePoint::standard_five();
+        let names: Vec<_> = vps.iter().map(|v| v.dataset).collect();
+        assert_eq!(names, DatasetName::ALL.to_vec());
+    }
+
+    #[test]
+    fn client_counts_match_table1() {
+        let vps = VantagePoint::standard_five();
+        let counts: Vec<_> = vps.iter().map(|v| v.total_clients()).collect();
+        assert_eq!(counts, vec![20443, 1113, 8348, 997, 6552]);
+    }
+
+    #[test]
+    fn subnet_blocks_hold_their_clients() {
+        for vp in VantagePoint::standard_five() {
+            for s in &vp.subnets {
+                assert!(
+                    (s.clients as u64) <= s.block.len(),
+                    "{:?} {} clients in {}",
+                    vp.dataset,
+                    s.clients,
+                    s.block
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subnet_blocks_are_disjoint() {
+        for vp in VantagePoint::standard_five() {
+            for (i, a) in vp.subnets.iter().enumerate() {
+                for b in vp.subnets.iter().skip(i + 1) {
+                    assert!(
+                        !a.block.contains(b.block.network())
+                            && !b.block.contains(a.block.network()),
+                        "{:?}: {} overlaps {}",
+                        vp.dataset,
+                        a.block,
+                        b.block
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn us_campus_has_divergent_ldns() {
+        let vps = VantagePoint::standard_five();
+        let us = &vps[0];
+        assert_eq!(us.num_ldns(), 2);
+        let net3 = us.subnets.iter().find(|s| s.name == "Net-3").unwrap();
+        assert_eq!(net3.ldns, LdnsId(1));
+        assert!(net3.weight < 0.05, "Net-3 is a small subnet");
+    }
+
+    #[test]
+    fn eu2_models_capacity_limited_internal_dc() {
+        let vps = VantagePoint::standard_five();
+        let eu2 = vps.iter().find(|v| v.dataset == DatasetName::Eu2).unwrap();
+        assert!(eu2.mix.dns_capacity_per_hour.is_some());
+        assert_eq!(eu2.home_as, crate::topology::EU2_HOME_AS);
+        assert_eq!(eu2.city.name, crate::topology::EU2_INTERNAL_CITY);
+    }
+
+    #[test]
+    fn sampled_clients_stay_in_subnet_blocks() {
+        let vps = VantagePoint::standard_five();
+        let us = &vps[0];
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..2_000 {
+            let (idx, ip) = us.sample_client(&mut rng);
+            assert!(us.subnets[idx].block.contains(ip));
+        }
+    }
+
+    #[test]
+    fn client_sampling_respects_weights() {
+        let vps = VantagePoint::standard_five();
+        let us = &vps[0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let mut counts = vec![0usize; us.subnets.len()];
+        for _ in 0..n {
+            counts[us.sample_client(&mut rng).0] += 1;
+        }
+        let net3_frac = counts[2] as f64 / n as f64;
+        assert!((0.03..0.05).contains(&net3_frac), "Net-3 share {net3_frac}");
+    }
+
+    #[test]
+    fn client_sampling_touches_many_hosts() {
+        let vps = VantagePoint::standard_five();
+        let ftth = &vps[3];
+        let mut rng = StdRng::seed_from_u64(2);
+        let distinct: HashSet<_> = (0..20_000).map(|_| ftth.sample_client(&mut rng).1).collect();
+        assert!(
+            distinct.len() > ftth.total_clients() / 2,
+            "only {} of {} hosts seen",
+            distinct.len(),
+            ftth.total_clients()
+        );
+    }
+
+    #[test]
+    fn us_campus_penalizes_nearby_dcs() {
+        let vps = VantagePoint::standard_five();
+        let us = &vps[0];
+        assert!(us.penalty_to("Indianapolis") > 0.0);
+        assert!(us.penalty_to("Chicago") > 0.0);
+        assert_eq!(us.penalty_to("Ashburn"), 0.0);
+    }
+}

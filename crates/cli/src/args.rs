@@ -1,0 +1,426 @@
+//! Argument parsing for the `ytcdn` CLI (dependency-free).
+
+use std::fmt;
+use std::path::PathBuf;
+
+use ytcdn_tstat::DatasetName;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+ytcdn — the YouTube CDN reproduction toolkit
+
+USAGE:
+  ytcdn generate  [--dataset NAME] [--scale S] [--seed N] [--format jsonl|text] --out PATH
+                  (PATH is a file for one dataset, a directory for all five)
+  ytcdn analyze   --trace PATH [--scale S] [--seed N]
+  ytcdn geolocate --dataset NAME [--landmarks K] [--scale S] [--seed N]
+  ytcdn whatif    --scenario feb2011|fixed-peering|no-votd|eu2-capacity|popularity
+                  [--scale S] [--seed N]
+  ytcdn characterize --trace PATH
+  ytcdn world     [--scale S] [--seed N]
+  ytcdn anonymize --trace PATH --out PATH [--seed KEY]
+
+Datasets: US-Campus, EU1-Campus, EU1-ADSL, EU1-FTTH, EU2.
+Defaults: --scale 0.02, --seed 42, --landmarks 50.";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate one or all datasets as JSON-lines or Tstat text logs.
+    Generate {
+        /// One dataset, or `None` for all five.
+        dataset: Option<DatasetName>,
+        /// Workload scale.
+        scale: f64,
+        /// Scenario seed.
+        seed: u64,
+        /// Output file (single dataset) or directory (all).
+        out: PathBuf,
+        /// Output format.
+        format: TraceFormat,
+    },
+    /// Analyze a trace file.
+    Analyze {
+        /// The JSON-lines trace.
+        trace: PathBuf,
+        /// Scale the analysis world was built at.
+        scale: f64,
+        /// Seed the analysis world was built at.
+        seed: u64,
+    },
+    /// Geolocate a dataset's servers with CBG.
+    Geolocate {
+        /// The dataset to simulate and geolocate.
+        dataset: DatasetName,
+        /// Workload scale.
+        scale: f64,
+        /// Seed.
+        seed: u64,
+        /// Number of CBG landmarks.
+        landmarks: usize,
+    },
+    /// Evaluate a counterfactual.
+    WhatIf {
+        /// Scenario name.
+        scenario: String,
+        /// Workload scale.
+        scale: f64,
+        /// Seed.
+        seed: u64,
+    },
+    /// Workload characterization of a trace file.
+    Characterize {
+        /// The trace (JSONL or Tstat text).
+        trace: PathBuf,
+    },
+    /// Describe the simulated world from each vantage point.
+    World {
+        /// Workload scale (affects DNS capacities).
+        scale: f64,
+        /// Seed.
+        seed: u64,
+    },
+    /// Anonymize a trace's client addresses (prefix-preserving).
+    Anonymize {
+        /// Input trace.
+        trace: PathBuf,
+        /// Output path.
+        out: PathBuf,
+        /// Anonymization key.
+        seed: u64,
+    },
+}
+
+/// Trace serialization format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// JSON lines (`.jsonl`), the structured interchange form.
+    #[default]
+    Jsonl,
+    /// Tstat-style whitespace columns (`.log`).
+    Text,
+}
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// `--help` was requested.
+    Help,
+    /// No subcommand given.
+    MissingSubcommand,
+    /// Unknown subcommand.
+    UnknownSubcommand(String),
+    /// A flag is missing its value or a required flag is absent.
+    Missing(&'static str),
+    /// A value failed to parse.
+    Invalid(&'static str, String),
+    /// Unknown flag for this subcommand.
+    UnknownFlag(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Help => f.write_str("help requested"),
+            ParseError::MissingSubcommand => f.write_str("missing subcommand"),
+            ParseError::UnknownSubcommand(s) => write!(f, "unknown subcommand {s:?}"),
+            ParseError::Missing(what) => write!(f, "missing {what}"),
+            ParseError::Invalid(what, got) => write!(f, "invalid {what}: {got:?}"),
+            ParseError::UnknownFlag(s) => write!(f, "unknown flag {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Flags {
+    dataset: Option<DatasetName>,
+    scale: f64,
+    seed: u64,
+    out: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    landmarks: usize,
+    scenario: Option<String>,
+    format: TraceFormat,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, ParseError> {
+    let mut flags = Flags {
+        dataset: None,
+        scale: 0.02,
+        seed: 42,
+        out: None,
+        trace: None,
+        landmarks: 50,
+        scenario: None,
+        format: TraceFormat::default(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what| it.next().ok_or(ParseError::Missing(what));
+        match a.as_str() {
+            "--help" | "-h" => return Err(ParseError::Help),
+            "--dataset" => {
+                let v = value("--dataset value")?;
+                flags.dataset = Some(
+                    v.parse()
+                        .map_err(|_| ParseError::Invalid("dataset", v.clone()))?,
+                );
+            }
+            "--scale" => {
+                let v = value("--scale value")?;
+                let s: f64 = v
+                    .parse()
+                    .map_err(|_| ParseError::Invalid("scale", v.clone()))?;
+                if !(s > 0.0 && s <= 1.0) {
+                    return Err(ParseError::Invalid("scale", v.clone()));
+                }
+                flags.scale = s;
+            }
+            "--seed" => {
+                let v = value("--seed value")?;
+                flags.seed = v
+                    .parse()
+                    .map_err(|_| ParseError::Invalid("seed", v.clone()))?;
+            }
+            "--out" => flags.out = Some(PathBuf::from(value("--out value")?)),
+            "--trace" => flags.trace = Some(PathBuf::from(value("--trace value")?)),
+            "--landmarks" => {
+                let v = value("--landmarks value")?;
+                let k: usize = v
+                    .parse()
+                    .map_err(|_| ParseError::Invalid("landmarks", v.clone()))?;
+                if k < 3 {
+                    return Err(ParseError::Invalid("landmarks", v.clone()));
+                }
+                flags.landmarks = k;
+            }
+            "--scenario" => flags.scenario = Some(value("--scenario value")?.clone()),
+            "--format" => {
+                let v = value("--format value")?;
+                flags.format = match v.as_str() {
+                    "jsonl" => TraceFormat::Jsonl,
+                    "text" => TraceFormat::Text,
+                    _ => return Err(ParseError::Invalid("format", v.clone())),
+                };
+            }
+            other => return Err(ParseError::UnknownFlag(other.to_owned())),
+        }
+    }
+    Ok(flags)
+}
+
+/// Parses a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let (sub, rest) = args.split_first().ok_or(ParseError::MissingSubcommand)?;
+    match sub.as_str() {
+        "--help" | "-h" | "help" => return Err(ParseError::Help),
+        _ => {}
+    }
+    let flags = parse_flags(rest)?;
+    match sub.as_str() {
+        "generate" => Ok(Command::Generate {
+            dataset: flags.dataset,
+            scale: flags.scale,
+            seed: flags.seed,
+            out: flags.out.ok_or(ParseError::Missing("--out"))?,
+            format: flags.format,
+        }),
+        "analyze" => Ok(Command::Analyze {
+            trace: flags.trace.ok_or(ParseError::Missing("--trace"))?,
+            scale: flags.scale,
+            seed: flags.seed,
+        }),
+        "geolocate" => Ok(Command::Geolocate {
+            dataset: flags.dataset.ok_or(ParseError::Missing("--dataset"))?,
+            scale: flags.scale,
+            seed: flags.seed,
+            landmarks: flags.landmarks,
+        }),
+        "whatif" => Ok(Command::WhatIf {
+            scenario: flags.scenario.ok_or(ParseError::Missing("--scenario"))?,
+            scale: flags.scale,
+            seed: flags.seed,
+        }),
+        "characterize" => Ok(Command::Characterize {
+            trace: flags.trace.ok_or(ParseError::Missing("--trace"))?,
+        }),
+        "world" => Ok(Command::World {
+            scale: flags.scale,
+            seed: flags.seed,
+        }),
+        "anonymize" => Ok(Command::Anonymize {
+            trace: flags.trace.ok_or(ParseError::Missing("--trace"))?,
+            out: flags.out.ok_or(ParseError::Missing("--out"))?,
+            seed: flags.seed,
+        }),
+        other => Err(ParseError::UnknownSubcommand(other.to_owned())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_generate_single() {
+        let cmd = parse(&v(&[
+            "generate",
+            "--dataset",
+            "EU1-ADSL",
+            "--scale",
+            "0.05",
+            "--out",
+            "trace.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                dataset: Some(DatasetName::Eu1Adsl),
+                scale: 0.05,
+                seed: 42,
+                out: PathBuf::from("trace.jsonl"),
+                format: TraceFormat::Jsonl,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_generate_text_format() {
+        let cmd = parse(&v(&["generate", "--format", "text", "--out", "dir"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Generate {
+                format: TraceFormat::Text,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&v(&["generate", "--format", "xml", "--out", "d"])).unwrap_err(),
+            ParseError::Invalid("format", _)
+        ));
+    }
+
+    #[test]
+    fn parse_generate_all_requires_out() {
+        let err = parse(&v(&["generate"])).unwrap_err();
+        assert_eq!(err, ParseError::Missing("--out"));
+    }
+
+    #[test]
+    fn parse_analyze() {
+        let cmd = parse(&v(&["analyze", "--trace", "x.jsonl", "--seed", "7"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                trace: PathBuf::from("x.jsonl"),
+                scale: 0.02,
+                seed: 7,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_geolocate_defaults() {
+        let cmd = parse(&v(&["geolocate", "--dataset", "EU2"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Geolocate {
+                dataset: DatasetName::Eu2,
+                scale: 0.02,
+                seed: 42,
+                landmarks: 50,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_whatif() {
+        let cmd = parse(&v(&["whatif", "--scenario", "feb2011"])).unwrap();
+        assert!(matches!(cmd, Command::WhatIf { scenario, .. } if scenario == "feb2011"));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(parse(&[]).unwrap_err(), ParseError::MissingSubcommand);
+        assert!(matches!(
+            parse(&v(&["fly"])).unwrap_err(),
+            ParseError::UnknownSubcommand(_)
+        ));
+        assert!(matches!(
+            parse(&v(&["analyze", "--trace", "x", "--bogus"])).unwrap_err(),
+            ParseError::UnknownFlag(_)
+        ));
+        assert!(matches!(
+            parse(&v(&["generate", "--dataset", "EU9", "--out", "x"])).unwrap_err(),
+            ParseError::Invalid("dataset", _)
+        ));
+        assert!(matches!(
+            parse(&v(&["generate", "--scale", "0", "--out", "x"])).unwrap_err(),
+            ParseError::Invalid("scale", _)
+        ));
+        assert!(matches!(
+            parse(&v(&["geolocate", "--dataset", "EU2", "--landmarks", "2"])).unwrap_err(),
+            ParseError::Invalid("landmarks", _)
+        ));
+        assert_eq!(parse(&v(&["--help"])).unwrap_err(), ParseError::Help);
+        assert_eq!(
+            parse(&v(&["analyze", "--help"])).unwrap_err(),
+            ParseError::Help
+        );
+    }
+
+    #[test]
+    fn parse_characterize() {
+        let cmd = parse(&v(&["characterize", "--trace", "x.log"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Characterize {
+                trace: PathBuf::from("x.log")
+            }
+        );
+        assert_eq!(
+            parse(&v(&["characterize"])).unwrap_err(),
+            ParseError::Missing("--trace")
+        );
+    }
+
+    #[test]
+    fn parse_world_and_anonymize() {
+        assert_eq!(
+            parse(&v(&["world", "--scale", "0.1"])).unwrap(),
+            Command::World {
+                scale: 0.1,
+                seed: 42
+            }
+        );
+        assert_eq!(
+            parse(&v(&[
+                "anonymize", "--trace", "in.jsonl", "--out", "out.jsonl", "--seed", "9"
+            ]))
+            .unwrap(),
+            Command::Anonymize {
+                trace: PathBuf::from("in.jsonl"),
+                out: PathBuf::from("out.jsonl"),
+                seed: 9,
+            }
+        );
+        assert_eq!(
+            parse(&v(&["anonymize", "--trace", "in.jsonl"])).unwrap_err(),
+            ParseError::Missing("--out")
+        );
+    }
+
+    #[test]
+    fn missing_flag_values_detected() {
+        assert_eq!(
+            parse(&v(&["analyze", "--trace"])).unwrap_err(),
+            ParseError::Missing("--trace value")
+        );
+    }
+}

@@ -1,0 +1,353 @@
+//! `ytcdn` — command-line interface to the YouTube CDN reproduction.
+//!
+//! ```text
+//! ytcdn generate --dataset EU1-ADSL --scale 0.05 --out trace.jsonl
+//! ytcdn analyze  --trace trace.jsonl --scale 0.05
+//! ytcdn geolocate --dataset EU1-Campus --landmarks 50
+//! ytcdn whatif   --scenario feb2011
+//! ```
+//!
+//! `generate` writes a Tstat-style JSON-lines flow log; `analyze` re-reads
+//! one (from `generate` or any tool emitting the same schema) and runs the
+//! paper's methodology on it; `geolocate` runs CBG over a dataset's
+//! servers; `whatif` evaluates the counterfactuals of
+//! [`ytcdn_core::whatif`].
+
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+mod args;
+
+use args::{Command, ParseError};
+use ytcdn_cdnsim::{ScenarioConfig, StandardScenario};
+use ytcdn_core::patterns::classify_sessions;
+use ytcdn_core::perf::perf_report;
+use ytcdn_core::session::group_sessions;
+use ytcdn_core::whatif;
+use ytcdn_core::AnalysisContext;
+use ytcdn_geoloc::{cluster_by_city, Cbg};
+use ytcdn_geomodel::CityDb;
+use ytcdn_tstat::{Dataset, DatasetName};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => run(cmd),
+        Err(ParseError::Help) => {
+            eprintln!("{}", args::USAGE);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: Command) -> ExitCode {
+    match cmd {
+        Command::Generate {
+            dataset,
+            scale,
+            seed,
+            out,
+            format,
+        } => generate(dataset, scale, seed, out, format),
+        Command::Analyze { trace, scale, seed } => analyze(&trace, scale, seed),
+        Command::Geolocate {
+            dataset,
+            scale,
+            seed,
+            landmarks,
+        } => geolocate(dataset, scale, seed, landmarks),
+        Command::WhatIf {
+            scenario,
+            scale,
+            seed,
+        } => what_if(&scenario, scale, seed),
+        Command::Characterize { trace } => characterize_trace(&trace),
+        Command::World { scale, seed } => describe_world(scale, seed),
+        Command::Anonymize { trace, out, seed } => anonymize_trace(&trace, &out, seed),
+    }
+}
+
+fn describe_world(scale: f64, seed: u64) -> ExitCode {
+    let s = scenario(scale, seed);
+    for name in DatasetName::ALL {
+        println!("{}", s.world().describe(name));
+    }
+    ExitCode::SUCCESS
+}
+
+fn anonymize_trace(trace: &PathBuf, out: &PathBuf, seed: u64) -> ExitCode {
+    let ds = match read_trace(trace) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot parse {}: {e}", trace.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let anon = ytcdn_tstat::Anonymizer::new(seed).anonymize_dataset(&ds);
+    let file = match std::fs::File::create(out) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = anon.write_jsonl(BufWriter::new(file)) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "anonymized {} flows ({} distinct clients) into {}",
+        anon.len(),
+        anon.client_ips().len(),
+        out.display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn read_trace(trace: &PathBuf) -> Result<Dataset, String> {
+    let file = std::fs::File::open(trace).map_err(|e| format!("cannot open {}: {e}", trace.display()))?;
+    let mut reader = BufReader::new(file);
+    let is_text = {
+        use std::io::BufRead as _;
+        reader
+            .fill_buf()
+            .map(|b| b.first() == Some(&b'#'))
+            .unwrap_or(false)
+    };
+    if is_text {
+        ytcdn_tstat::read_textlog(reader).map_err(|e| e.to_string())
+    } else {
+        Dataset::read_jsonl(reader).map_err(|e| e.to_string())
+    }
+}
+
+fn characterize_trace(trace: &PathBuf) -> ExitCode {
+    let ds = match read_trace(trace) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot parse {}: {e}", trace.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", ds.summary());
+    let c = ytcdn_core::characterize::characterize(&ds);
+    println!(
+        "videos requested exactly once: {:.1}%",
+        100.0 * c.single_request_video_fraction
+    );
+    println!(
+        "top-1% most-requested videos carry {:.1}% of video flows",
+        100.0 * c.top1pct_video_share
+    );
+    println!(
+        "top-10% heaviest clients carry {:.1}% of bytes",
+        100.0 * c.top10pct_client_share
+    );
+    println!("busiest/quietest hour ratio: {:.1}", c.peak_to_trough);
+    ExitCode::SUCCESS
+}
+
+fn scenario(scale: f64, seed: u64) -> StandardScenario {
+    StandardScenario::build(ScenarioConfig::with_scale(scale, seed))
+}
+
+fn generate(
+    dataset: Option<DatasetName>,
+    scale: f64,
+    seed: u64,
+    out: PathBuf,
+    format: args::TraceFormat,
+) -> ExitCode {
+    let s = scenario(scale, seed);
+    let ext = match format {
+        args::TraceFormat::Jsonl => "jsonl",
+        args::TraceFormat::Text => "log",
+    };
+    let datasets: Vec<Dataset> = match dataset {
+        Some(n) => vec![s.run(n)],
+        None => s.run_all_parallel(),
+    };
+    for ds in datasets {
+        let name = ds.name();
+        let path = if names_len(dataset) == 1 {
+            out.clone()
+        } else {
+            out.join(format!("{name}.{ext}"))
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("cannot create {}: {e}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let file = match std::fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let write_result = match format {
+            args::TraceFormat::Jsonl => ds
+                .write_jsonl(BufWriter::new(file))
+                .map_err(|e| e.to_string()),
+            args::TraceFormat::Text => {
+                ytcdn_tstat::write_textlog(&ds, BufWriter::new(file)).map_err(|e| e.to_string())
+            }
+        };
+        if let Err(e) = write_result {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {} ({} flows)", path.display(), ds.len());
+    }
+    ExitCode::SUCCESS
+}
+
+fn names_len(dataset: Option<DatasetName>) -> usize {
+    if dataset.is_some() {
+        1
+    } else {
+        DatasetName::ALL.len()
+    }
+}
+
+fn analyze(trace: &PathBuf, scale: f64, seed: u64) -> ExitCode {
+    let ds = match read_trace(trace) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot parse {}: {e}", trace.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let s = scenario(scale, seed);
+    println!("{}", ds.summary());
+
+    let ctx = AnalysisContext::from_ground_truth(s.world(), &ds);
+    println!(
+        "preferred data center: {} (RTT {:.1} ms, {:.0} km), {:.1}% of video bytes",
+        ctx.preferred().city_name,
+        ctx.preferred().rtt_ms,
+        ctx.preferred().distance_km,
+        100.0 * ctx.preferred_share_of_bytes()
+    );
+    println!(
+        "non-preferred share of video flows: {:.1}%",
+        100.0 * ctx.nonpreferred_share_of_flows()
+    );
+
+    let sessions = group_sessions(&ds, 1_000);
+    let st = classify_sessions(&ctx, &ds, &sessions);
+    println!(
+        "sessions: {} total, {:.1}% single-flow ({:.1}% of those to non-preferred DCs)",
+        st.total,
+        100.0 * st.single_flow_fraction(),
+        100.0 * st.one_flow_non_preferred_fraction()
+    );
+    println!(
+        "2-flow patterns: pp={} pn={} np={} nn={}",
+        st.two_flow.pp, st.two_flow.pn, st.two_flow.np, st.two_flow.nn
+    );
+
+    let perf = perf_report(&ctx, &ds, &sessions);
+    println!(
+        "performance: median redirect startup penalty {:.0} ms, median non-preferred RTT penalty {:.1} ms",
+        perf.median_redirect_penalty_ms(),
+        perf.median_rtt_penalty_ms()
+    );
+    ExitCode::SUCCESS
+}
+
+fn geolocate(dataset: DatasetName, scale: f64, seed: u64, landmarks: usize) -> ExitCode {
+    let s = scenario(scale, seed);
+    let ds = s.run(dataset);
+    eprintln!(
+        "calibrating CBG on {landmarks} landmarks, geolocating {} servers…",
+        ds.server_ips().len()
+    );
+    let spec = scaled_landmark_spec(landmarks);
+    let cbg = Cbg::calibrate(
+        ytcdn_netsim::landmarks_with_counts(seed, &spec),
+        s.world().delay_model(),
+        3,
+        seed,
+    );
+    let locations = ytcdn_core::geo_analysis::geolocate_servers(s.world(), &ds, &cbg, seed);
+    let counts = ytcdn_core::geo_analysis::continent_counts(&locations);
+    println!(
+        "servers per continent: N.America={} Europe={} Others={}",
+        counts.north_america, counts.europe, counts.others
+    );
+    let estimates: Vec<_> = locations.iter().map(|l| (l.ip, l.cbg.estimate)).collect();
+    let clusters = cluster_by_city(&estimates, &CityDb::builtin());
+    println!("inferred data centers ({}):", clusters.len());
+    for c in &clusters {
+        println!("  {:<16} {:>3} representative /24s", c.city_name, c.len());
+    }
+    ExitCode::SUCCESS
+}
+
+fn scaled_landmark_spec(n: usize) -> Vec<(ytcdn_geomodel::Continent, usize)> {
+    use ytcdn_geomodel::Continent;
+    let total = 215.0;
+    [
+        (Continent::NorthAmerica, 97.0),
+        (Continent::Europe, 82.0),
+        (Continent::Asia, 24.0),
+        (Continent::SouthAmerica, 8.0),
+        (Continent::Oceania, 3.0),
+        (Continent::Africa, 1.0),
+    ]
+    .into_iter()
+    .map(|(c, k)| (c, ((k / total * n as f64).round() as usize).max(1)))
+    .collect()
+}
+
+fn what_if(name: &str, scale: f64, seed: u64) -> ExitCode {
+    let base = ScenarioConfig::with_scale(scale, seed);
+    let outcomes: Vec<whatif::WhatIfOutcome> = match name {
+        "feb2011" => {
+            let (a, b) = whatif::feb2011_us_campus(base);
+            vec![a, b]
+        }
+        "fixed-peering" => {
+            let (a, b) = whatif::fixed_us_peering(base);
+            vec![a, b]
+        }
+        "no-votd" => {
+            let (a, b) = whatif::without_votd(base, DatasetName::Eu1Adsl);
+            vec![a, b]
+        }
+        "eu2-capacity" => whatif::eu2_capacity_sweep(base, &[0.5, 1.0, 4.0, 10.0]),
+        "popularity" => whatif::popularity_sweep(base, &[0.7, 0.9, 1.2], DatasetName::Eu1Adsl),
+        other => {
+            eprintln!(
+                "unknown scenario {other:?}; known: feb2011, fixed-peering, no-votd, eu2-capacity, popularity"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{:<16} {:>14} {:>10} {:>12} {:>15} {:>13}",
+        "scenario", "preferred", "dist[km]", "pref bytes", "non-pref flows", "mean RTT[ms]"
+    );
+    for o in outcomes {
+        println!(
+            "{:<16} {:>14} {:>10.0} {:>12.3} {:>15.3} {:>13.1}",
+            o.label,
+            o.preferred_city,
+            o.preferred_distance_km,
+            o.preferred_byte_share,
+            o.nonpreferred_flow_share,
+            o.mean_serving_rtt_ms
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,129 @@
+//! Analysis of the controlled active experiment (Figures 17 and 18).
+//!
+//! Figure 17 plots the per-sample RTT of one probing node over time: the
+//! first download of the fresh test video comes from a far data center
+//! (~200 ms in the paper), all later ones from the node's nearby preferred
+//! data center (~20 ms). Figure 18 is the CDF of `RTT1/RTT2` over all
+//! nodes: over 40 % of nodes have ratio > 1, and ~20 % exceed 10.
+
+use serde::{Deserialize, Serialize};
+
+use ytcdn_cdnsim::NodeTrace;
+
+use crate::stats::Cdf;
+
+/// The Figure 18 CDF: first-to-second-sample RTT ratios over all nodes.
+pub fn ratio_cdf(traces: &[NodeTrace]) -> Cdf {
+    Cdf::from_values(traces.iter().filter_map(NodeTrace::first_to_second_ratio))
+}
+
+/// Headline statistics the paper quotes about Figure 18.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioStats {
+    /// Fraction of nodes with `RTT1/RTT2 > 1` (paper: over 40 %).
+    pub above_one: f64,
+    /// Fraction with ratio > 10 (paper: ~20 %).
+    pub above_ten: f64,
+    /// Number of nodes measured.
+    pub nodes: usize,
+}
+
+/// Computes the ratio statistics.
+pub fn ratio_stats(traces: &[NodeTrace]) -> RatioStats {
+    let ratios: Vec<f64> = traces
+        .iter()
+        .filter_map(NodeTrace::first_to_second_ratio)
+        .collect();
+    let n = ratios.len();
+    if n == 0 {
+        return RatioStats {
+            above_one: 0.0,
+            above_ten: 0.0,
+            nodes: 0,
+        };
+    }
+    RatioStats {
+        above_one: ratios.iter().filter(|&&r| r > 1.05).count() as f64 / n as f64,
+        above_ten: ratios.iter().filter(|&&r| r > 10.0).count() as f64 / n as f64,
+        nodes: n,
+    }
+}
+
+/// Picks the node whose trace best illustrates Figure 17: the largest
+/// first-to-second RTT drop.
+pub fn most_illustrative_node(traces: &[NodeTrace]) -> Option<&NodeTrace> {
+    traces
+        .iter()
+        .filter(|t| t.samples.len() >= 2)
+        .max_by(|a, b| {
+            let ra = a.first_to_second_ratio().unwrap_or(0.0);
+            let rb = b.first_to_second_ratio().unwrap_or(0.0);
+            ra.total_cmp(&rb)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ytcdn_cdnsim::{ActiveConfig, ActiveExperiment, ScenarioConfig, StandardScenario};
+
+    fn traces() -> Vec<NodeTrace> {
+        let scenario = StandardScenario::build(ScenarioConfig::with_scale(0.001, 23));
+        ActiveExperiment::new(ActiveConfig {
+            nodes: 45,
+            samples: 8,
+            ..ActiveConfig::default()
+        })
+        .run(&scenario)
+    }
+
+    #[test]
+    fn figure18_shape() {
+        let t = traces();
+        let stats = ratio_stats(&t);
+        assert_eq!(stats.nodes, 45);
+        // Paper: "for over 40% of the PlanetLab nodes, the ratio was larger
+        // than 1, and in 20% of the cases the ratio was greater than 10".
+        // Assert the qualitative shape: a substantial above-1 mass with a
+        // heavy >10 tail, and also a substantial mass near 1.
+        assert!(
+            (0.2..0.9).contains(&stats.above_one),
+            "above-1 fraction {}",
+            stats.above_one
+        );
+        assert!(stats.above_ten > 0.05, "above-10 fraction {}", stats.above_ten);
+        assert!(stats.above_ten < stats.above_one);
+    }
+
+    #[test]
+    fn figure17_first_sample_dominates() {
+        let t = traces();
+        let node = most_illustrative_node(&t).expect("45 nodes measured");
+        let first = node.samples[0].rtt_ms;
+        let rest_max = node.samples[1..]
+            .iter()
+            .map(|s| s.rtt_ms)
+            .fold(0.0f64, f64::max);
+        assert!(
+            first > 3.0 * rest_max,
+            "first {first} vs later max {rest_max}"
+        );
+    }
+
+    #[test]
+    fn ratio_cdf_matches_stats() {
+        let t = traces();
+        let cdf = ratio_cdf(&t);
+        let stats = ratio_stats(&t);
+        let above_ten_from_cdf = 1.0 - cdf.fraction_at_or_below(10.0);
+        assert!((above_ten_from_cdf - stats.above_ten).abs() < 0.03);
+    }
+
+    #[test]
+    fn empty_traces() {
+        let stats = ratio_stats(&[]);
+        assert_eq!(stats.nodes, 0);
+        assert_eq!(stats.above_one, 0.0);
+        assert!(most_illustrative_node(&[]).is_none());
+    }
+}

@@ -1,0 +1,839 @@
+//! One driver per table and figure of the paper.
+//!
+//! [`ExperimentSuite`] simulates the five datasets once and exposes a
+//! `table1()` … `fig18()` method per experiment, each returning a plain-text
+//! report that states what the paper observed next to what this
+//! reproduction measures. The `repro` binary in the bench crate and
+//! `EXPERIMENTS.md` are generated from these.
+
+use std::fmt::Write as _;
+
+use ytcdn_cdnsim::{
+    ActiveConfig, ActiveExperiment, ScenarioConfig, StandardScenario,
+};
+use ytcdn_geoloc::Cbg;
+use ytcdn_netsim::{landmarks_with_counts, planetlab_landmarks, WellKnownAs};
+use ytcdn_geomodel::Continent;
+use ytcdn_tstat::{Dataset, DatasetName, FlowClassifier, HOUR_MS};
+
+use crate::active_analysis::{most_illustrative_node, ratio_stats};
+use crate::as_analysis::{as_breakdown, WellKnownAsExt};
+use crate::dcmap::AnalysisContext;
+use crate::geo_analysis::{continent_counts, geolocate_servers, radius_cdfs, server_rtt_cdf};
+use crate::hotspot::{preferred_server_load, server_session_breakdown, top_nonpreferred_videos, video_timeseries};
+use crate::patterns::classify_sessions;
+use crate::preferred::{bytes_by_distance, bytes_by_rtt, closest_k_share};
+use crate::session::{flows_per_session, group_sessions};
+use crate::stats::Cdf;
+use crate::subnet::subnet_shares;
+use crate::timeseries::{hourly_samples, load_vs_preferred_correlation, nonpreferred_fraction_cdf};
+use crate::videos::nonpreferred_video_stats;
+
+/// Configuration of the experiment suite.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SuiteConfig {
+    /// Scenario (seed + scale + placement).
+    pub scenario: ScenarioConfig,
+    /// Use the full 215-landmark set for CBG experiments (slow); otherwise a
+    /// reduced 50-landmark set with the same continental proportions.
+    pub full_landmarks: bool,
+}
+
+/// All experiment identifiers, paper order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10a", "fig10b", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+];
+
+/// Experiments beyond the paper's figures: the what-if and user-performance
+/// analyses the paper's introduction motivates, and the workload
+/// characterization calibration check.
+pub const EXTENSION_EXPERIMENTS: &[&str] = &["ext-perf", "ext-characterize", "ext-feb2011"];
+
+/// Simulates the five datasets once and regenerates every table and figure.
+pub struct ExperimentSuite {
+    config: SuiteConfig,
+    scenario: StandardScenario,
+    datasets: Vec<Dataset>,
+    contexts: Vec<AnalysisContext>,
+    cbg: std::cell::OnceCell<Cbg>,
+}
+
+impl ExperimentSuite {
+    /// Builds the world and simulates all five datasets.
+    pub fn new(config: SuiteConfig) -> Self {
+        let scenario = StandardScenario::build(config.scenario);
+        let datasets = scenario.run_all_parallel();
+        let contexts = datasets
+            .iter()
+            .map(|ds| AnalysisContext::from_ground_truth(scenario.world(), ds))
+            .collect();
+        Self {
+            config,
+            scenario,
+            datasets,
+            contexts,
+            cbg: std::cell::OnceCell::new(),
+        }
+    }
+
+    /// The scenario under analysis.
+    pub fn scenario(&self) -> &StandardScenario {
+        &self.scenario
+    }
+
+    /// A dataset by name.
+    pub fn dataset(&self, name: DatasetName) -> &Dataset {
+        self.datasets
+            .iter()
+            .find(|d| d.name() == name)
+            .expect("suite simulates all five datasets")
+    }
+
+    /// A dataset's analysis context.
+    pub fn context(&self, name: DatasetName) -> &AnalysisContext {
+        self.contexts
+            .iter()
+            .find(|c| c.dataset_name() == name)
+            .expect("suite builds all five contexts")
+    }
+
+    fn cbg(&self) -> &Cbg {
+        self.cbg.get_or_init(|| {
+            let landmarks = if self.config.full_landmarks {
+                planetlab_landmarks(self.config.scenario.seed)
+            } else {
+                landmarks_with_counts(
+                    self.config.scenario.seed,
+                    &[
+                        (Continent::NorthAmerica, 22),
+                        (Continent::Europe, 19),
+                        (Continent::Asia, 5),
+                        (Continent::SouthAmerica, 2),
+                        (Continent::Oceania, 1),
+                        (Continent::Africa, 1),
+                    ],
+                )
+            };
+            Cbg::calibrate(
+                landmarks,
+                self.scenario.world().delay_model(),
+                3,
+                self.config.scenario.seed,
+            )
+        })
+    }
+
+    /// Runs one experiment by id (`"table1"` … `"fig18"`).
+    pub fn run(&self, id: &str) -> Option<String> {
+        Some(match id {
+            "table1" => self.table1(),
+            "table2" => self.table2(),
+            "table3" => self.table3(),
+            "fig2" => self.fig2(),
+            "fig3" => self.fig3(),
+            "fig4" => self.fig4(),
+            "fig5" => self.fig5(),
+            "fig6" => self.fig6(),
+            "fig7" => self.fig7(),
+            "fig8" => self.fig8(),
+            "fig9" => self.fig9(),
+            "fig10a" => self.fig10a(),
+            "fig10b" => self.fig10b(),
+            "fig11" => self.fig11(),
+            "fig12" => self.fig12(),
+            "fig13" => self.fig13(),
+            "fig14" => self.fig14(),
+            "fig15" => self.fig15(),
+            "fig16" => self.fig16(),
+            "fig17" => self.fig17(),
+            "fig18" => self.fig18(),
+            "ext-perf" => self.ext_perf(),
+            "ext-characterize" => self.ext_characterize(),
+            "ext-feb2011" => self.ext_feb2011(),
+            _ => return None,
+        })
+    }
+
+    /// Table I: traffic summary per dataset.
+    pub fn table1(&self) -> String {
+        let mut out = String::from(
+            "Table I — traffic summary (paper @ scale 1.0: 874649/134789/877443/91955/513403 flows)\n",
+        );
+        let _ = writeln!(
+            out,
+            "{:<11} {:>9} {:>12} {:>8} {:>8}",
+            "Dataset", "flows", "volume[GB]", "servers", "clients"
+        );
+        for ds in &self.datasets {
+            let s = ds.summary();
+            let _ = writeln!(
+                out,
+                "{:<11} {:>9} {:>12.2} {:>8} {:>8}",
+                s.dataset.to_string(),
+                s.flows,
+                s.volume_gb(),
+                s.servers,
+                s.clients
+            );
+        }
+        out
+    }
+
+    /// Table II: percentage of servers and bytes per AS.
+    pub fn table2(&self) -> String {
+        let mut out = String::from(
+            "Table II — % servers / bytes per AS (paper: Google ~63-83% servers, ~98% bytes except EU2)\n",
+        );
+        let _ = writeln!(
+            out,
+            "{:<11} {:>16} {:>16} {:>16} {:>16}",
+            "Dataset", "Google(srv/byte)", "YT-EU(srv/byte)", "SameAS(srv/byte)", "Other(srv/byte)"
+        );
+        for ds in &self.datasets {
+            let row = as_breakdown(self.scenario.world(), ds);
+            let mut line = format!("{:<11}", ds.name().to_string());
+            for b in WellKnownAs::buckets() {
+                let s = row.share(b);
+                let _ = write!(line, " {:>7.1}/{:<8.2}", s.servers_pct, s.bytes_pct);
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+
+    /// Table III: Google servers per continent per dataset (CBG-located).
+    pub fn table3(&self) -> String {
+        let mut out = String::from(
+            "Table III — servers per continent via CBG (paper: each dataset sees >=10% foreign-continent servers)\n",
+        );
+        let _ = writeln!(
+            out,
+            "{:<11} {:>10} {:>8} {:>8}",
+            "Dataset", "N.America", "Europe", "Others"
+        );
+        for ds in &self.datasets {
+            let locs = geolocate_servers(
+                self.scenario.world(),
+                ds,
+                self.cbg(),
+                self.config.scenario.seed ^ 0xFACE,
+            );
+            let c = continent_counts(&locs);
+            let _ = writeln!(
+                out,
+                "{:<11} {:>10} {:>8} {:>8}",
+                ds.name().to_string(),
+                c.north_america,
+                c.europe,
+                c.others
+            );
+        }
+        out
+    }
+
+    /// Figure 2: CDF of min RTT to all content servers per vantage point.
+    pub fn fig2(&self) -> String {
+        let mut out = String::from(
+            "Figure 2 — RTT to content servers (paper: wide spread; EU RTTs too small for transatlantic)\n",
+        );
+        let _ = writeln!(
+            out,
+            "{:<11} {:>9} {:>9} {:>9} {:>9}",
+            "Dataset", "p10[ms]", "p50[ms]", "p90[ms]", "max[ms]"
+        );
+        for ds in &self.datasets {
+            let cdf = server_rtt_cdf(self.scenario.world(), ds, 5);
+            let _ = writeln!(
+                out,
+                "{:<11} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+                ds.name().to_string(),
+                cdf.percentile(10.0),
+                cdf.median(),
+                cdf.percentile(90.0),
+                cdf.max()
+            );
+        }
+        out
+    }
+
+    /// Figure 3: CDF of the CBG confidence-region radius, US vs Europe.
+    pub fn fig3(&self) -> String {
+        let mut locs = Vec::new();
+        for ds in &self.datasets {
+            locs.extend(geolocate_servers(
+                self.scenario.world(),
+                ds,
+                self.cbg(),
+                self.config.scenario.seed ^ 0xF16,
+            ));
+        }
+        let (us, eu) = radius_cdfs(&locs);
+        let mut out = String::from(
+            "Figure 3 — CBG confidence-region radius (paper: median 41 km; p90 320 km US / 200 km EU)\n",
+        );
+        for (label, cdf) in [("US", &us), ("Europe", &eu)] {
+            if cdf.is_empty() {
+                let _ = writeln!(out, "{label:<7} (no servers)");
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<7} median {:>7.0} km   p90 {:>7.0} km   n={}",
+                label,
+                cdf.median(),
+                cdf.percentile(90.0),
+                cdf.len()
+            );
+        }
+        out
+    }
+
+    /// Figure 4: CDF of flow sizes (the control/video kink at 1000 B).
+    pub fn fig4(&self) -> String {
+        let classifier = FlowClassifier::default();
+        let mut out = String::from(
+            "Figure 4 — flow-size CDF (paper: bimodal with a kink at 1000 bytes)\n",
+        );
+        let _ = writeln!(
+            out,
+            "{:<11} {:>12} {:>14} {:>14} {:>12}",
+            "Dataset", "ctrl share", "p50 ctrl [B]", "p50 video [B]", "max [B]"
+        );
+        for ds in &self.datasets {
+            let (video, control): (Vec<_>, Vec<_>) = classifier.partition(ds.iter());
+            let ctrl_cdf = Cdf::from_values(control.iter().map(|f| f.bytes as f64));
+            let vid_cdf = Cdf::from_values(video.iter().map(|f| f.bytes as f64));
+            let _ = writeln!(
+                out,
+                "{:<11} {:>12.3} {:>14.0} {:>14.0} {:>12.0}",
+                ds.name().to_string(),
+                control.len() as f64 / ds.len() as f64,
+                if ctrl_cdf.is_empty() { 0.0 } else { ctrl_cdf.median() },
+                if vid_cdf.is_empty() { 0.0 } else { vid_cdf.median() },
+                if vid_cdf.is_empty() { 0.0 } else { vid_cdf.max() },
+            );
+        }
+        out
+    }
+
+    /// Figure 5: flows per session vs gap threshold T (US-Campus).
+    pub fn fig5(&self) -> String {
+        let ds = self.dataset(DatasetName::UsCampus);
+        let mut out = String::from(
+            "Figure 5 — flows/session vs T, US-Campus (paper: T <= 10 s similar; pick T = 1 s)\n",
+        );
+        let _ = writeln!(out, "{:<8} {:>10} {:>16}", "T[s]", "sessions", "single-flow frac");
+        for t_s in [1u64, 5, 10, 60, 300] {
+            let cdf = flows_per_session(ds, t_s * 1000);
+            let _ = writeln!(
+                out,
+                "{:<8} {:>10} {:>16.3}",
+                t_s,
+                cdf.len(),
+                cdf.fraction_at_or_below(1.0)
+            );
+        }
+        out
+    }
+
+    /// Figure 6: flows per session at T = 1 s, all datasets.
+    pub fn fig6(&self) -> String {
+        let mut out = String::from(
+            "Figure 6 — flows/session at T=1s (paper: 72.5-80.5% single-flow)\n",
+        );
+        let _ = writeln!(
+            out,
+            "{:<11} {:>10} {:>9} {:>9} {:>9}",
+            "Dataset", "sessions", "=1 flow", "=2 flows", ">2 flows"
+        );
+        for ds in &self.datasets {
+            let cdf = flows_per_session(ds, 1000);
+            let one = cdf.fraction_at_or_below(1.0);
+            let two = cdf.fraction_at_or_below(2.0) - one;
+            let _ = writeln!(
+                out,
+                "{:<11} {:>10} {:>9.3} {:>9.3} {:>9.3}",
+                ds.name().to_string(),
+                cdf.len(),
+                one,
+                two,
+                1.0 - one - two
+            );
+        }
+        out
+    }
+
+    /// Figure 7: cumulative byte fraction vs data-center RTT.
+    pub fn fig7(&self) -> String {
+        let mut out = String::from(
+            "Figure 7 — cumulative bytes vs DC RTT (paper: one DC > 85% except EU2; lowest-RTT DC dominates)\n",
+        );
+        for ctx in &self.contexts {
+            let steps = bytes_by_rtt(ctx);
+            let first = steps.first();
+            let _ = writeln!(
+                out,
+                "{:<11} preferred={} rtt={:.1}ms share={:.3}  first-RTT-DC {} share={:.3}",
+                ctx.dataset_name().to_string(),
+                ctx.preferred().city_name,
+                ctx.preferred().rtt_ms,
+                ctx.preferred_share_of_bytes(),
+                first.map(|s| s.city.as_str()).unwrap_or("-"),
+                first.map(|s| s.cumulative_fraction).unwrap_or(0.0),
+            );
+        }
+        out
+    }
+
+    /// Figure 8: cumulative byte fraction vs data-center distance.
+    pub fn fig8(&self) -> String {
+        let mut out = String::from(
+            "Figure 8 — cumulative bytes vs DC distance (paper: US-Campus 5 closest DCs < 2%)\n",
+        );
+        for ctx in &self.contexts {
+            let steps = bytes_by_distance(ctx);
+            let within_500: f64 = steps
+                .iter()
+                .take_while(|s| s.x <= 500.0)
+                .last()
+                .map(|s| s.cumulative_fraction)
+                .unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "{:<11} closest-5-DC share={:.4}  bytes within 500km={:.3}  preferred at {:.0} km",
+                ctx.dataset_name().to_string(),
+                closest_k_share(ctx, 5),
+                within_500,
+                ctx.preferred().distance_km,
+            );
+        }
+        out
+    }
+
+    /// Figure 9: CDF over hours of the non-preferred flow fraction.
+    pub fn fig9(&self) -> String {
+        let mut out = String::from(
+            "Figure 9 — hourly non-preferred fraction CDF (paper: EU2 median > 0.4; others low)\n",
+        );
+        let _ = writeln!(out, "{:<11} {:>8} {:>8} {:>8}", "Dataset", "p25", "p50", "p90");
+        for (ds, ctx) in self.datasets.iter().zip(&self.contexts) {
+            let cdf = nonpreferred_fraction_cdf(ctx, ds);
+            let _ = writeln!(
+                out,
+                "{:<11} {:>8.3} {:>8.3} {:>8.3}",
+                ds.name().to_string(),
+                cdf.percentile(25.0),
+                cdf.median(),
+                cdf.percentile(90.0)
+            );
+        }
+        out
+    }
+
+    /// Figure 10a: single-flow session breakdown.
+    pub fn fig10a(&self) -> String {
+        let mut out = String::from(
+            "Figure 10a — 1-flow sessions (paper: ~75% preferred / ~5% non-preferred; EU2 > 40% non-preferred)\n",
+        );
+        let _ = writeln!(
+            out,
+            "{:<11} {:>12} {:>14} {:>18}",
+            "Dataset", "1-flow frac", "to preferred", "to non-preferred"
+        );
+        for (ds, ctx) in self.datasets.iter().zip(&self.contexts) {
+            let sessions = group_sessions(ds, 1000);
+            let st = classify_sessions(ctx, ds, &sessions);
+            let single = st.one_flow.preferred + st.one_flow.non_preferred;
+            let _ = writeln!(
+                out,
+                "{:<11} {:>12.3} {:>14.3} {:>18.3}",
+                ds.name().to_string(),
+                st.single_flow_fraction(),
+                st.one_flow.preferred as f64 / st.total.max(1) as f64,
+                single as f64 / st.total.max(1) as f64
+                    * st.one_flow_non_preferred_fraction(),
+            );
+        }
+        out
+    }
+
+    /// Figure 10b: two-flow session pattern breakdown.
+    pub fn fig10b(&self) -> String {
+        let mut out = String::from(
+            "Figure 10b — 2-flow session patterns (paper: EU1 shows (pref, non-pref) redirections; EU2 shows (non, non))\n",
+        );
+        let _ = writeln!(
+            out,
+            "{:<11} {:>8} {:>8} {:>8} {:>8}",
+            "Dataset", "p,p", "p,n", "n,p", "n,n"
+        );
+        for (ds, ctx) in self.datasets.iter().zip(&self.contexts) {
+            let sessions = group_sessions(ds, 1000);
+            let st = classify_sessions(ctx, ds, &sessions);
+            let n = (st.two_flow.pp + st.two_flow.pn + st.two_flow.np + st.two_flow.nn).max(1);
+            let _ = writeln!(
+                out,
+                "{:<11} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                ds.name().to_string(),
+                st.two_flow.pp as f64 / n as f64,
+                st.two_flow.pn as f64 / n as f64,
+                st.two_flow.np as f64 / n as f64,
+                st.two_flow.nn as f64 / n as f64
+            );
+        }
+        out
+    }
+
+    /// Figure 11: EU2 hourly local fraction and load.
+    pub fn fig11(&self) -> String {
+        let ds = self.dataset(DatasetName::Eu2);
+        let ctx = self.context(DatasetName::Eu2);
+        let samples = hourly_samples(ctx, ds);
+        let corr = load_vs_preferred_correlation(&samples);
+        let mut out = String::from(
+            "Figure 11 — EU2 local-DC fraction vs hourly load (paper: ~100% at night, ~30% at peak)\n",
+        );
+        let _ = writeln!(out, "load/local-fraction correlation: {corr:.3} (paper: strongly negative)");
+        let _ = writeln!(out, "{:<6} {:>8} {:>12}", "hour", "flows", "local frac");
+        for s in samples.iter().take(48) {
+            let _ = writeln!(
+                out,
+                "{:<6} {:>8} {:>12}",
+                s.hour,
+                s.total(),
+                s.preferred_fraction()
+                    .map(|f| format!("{f:.3}"))
+                    .unwrap_or_else(|| "-".into())
+            );
+        }
+        out
+    }
+
+    /// Figure 12: US-Campus per-subnet non-preferred shares.
+    pub fn fig12(&self) -> String {
+        let ds = self.dataset(DatasetName::UsCampus);
+        let ctx = self.context(DatasetName::UsCampus);
+        let subnets = self
+            .scenario
+            .world()
+            .vantage(DatasetName::UsCampus)
+            .subnets
+            .clone();
+        let shares = subnet_shares(ctx, ds, &subnets);
+        let mut out = String::from(
+            "Figure 12 — US-Campus subnets (paper: Net-3 = 4% of flows but ~50% of non-preferred)\n",
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:>14} {:>22} {:>8}",
+            "Subnet", "share of all", "share of non-preferred", "bias"
+        );
+        for s in shares {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>14.3} {:>22.3} {:>8.1}",
+                s.name, s.share_of_all_flows, s.share_of_nonpreferred_flows, s.bias()
+            );
+        }
+        out
+    }
+
+    /// Figure 13: per-video non-preferred request counts.
+    pub fn fig13(&self) -> String {
+        let mut out = String::from(
+            "Figure 13 — non-preferred requests per video (paper: ~85% exactly once; tail > 1000)\n",
+        );
+        let _ = writeln!(
+            out,
+            "{:<11} {:>10} {:>14} {:>20} {:>8}",
+            "Dataset", "videos", "exactly once", "once & single-access", "max"
+        );
+        for (ds, ctx) in self.datasets.iter().zip(&self.contexts) {
+            let st = nonpreferred_video_stats(ctx, ds);
+            let _ = writeln!(
+                out,
+                "{:<11} {:>10} {:>14.3} {:>20.3} {:>8}",
+                ds.name().to_string(),
+                st.cdf.len(),
+                st.exactly_once_fraction,
+                st.exactly_once_and_single_access_fraction,
+                st.max_count
+            );
+        }
+        out
+    }
+
+    /// Figure 14: the top-4 non-preferred videos' request series (EU1-ADSL).
+    pub fn fig14(&self) -> String {
+        let ds = self.dataset(DatasetName::Eu1Adsl);
+        let ctx = self.context(DatasetName::Eu1Adsl);
+        let top = top_nonpreferred_videos(ctx, ds, 4);
+        let mut out = String::from(
+            "Figure 14 — top-4 non-preferred videos, EU1-ADSL (paper: 24h video-of-the-day spikes)\n",
+        );
+        for (rank, (video, count)) in top.iter().enumerate() {
+            let series = video_timeseries(ctx, ds, *video);
+            let (peak_hour, peak) = series
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, v)| v.all)
+                .map(|(h, v)| (h, v.all))
+                .unwrap_or((0, 0));
+            let active_hours = series.iter().filter(|v| v.all > 0).count();
+            let _ = writeln!(
+                out,
+                "video{} {}: non-preferred={} peak={}/h at hour {} active {}h",
+                rank + 1,
+                video,
+                count,
+                peak,
+                peak_hour,
+                active_hours
+            );
+        }
+        out
+    }
+
+    /// Figure 15: avg/max per-server load in EU1-ADSL's preferred DC.
+    pub fn fig15(&self) -> String {
+        let ds = self.dataset(DatasetName::Eu1Adsl);
+        let ctx = self.context(DatasetName::Eu1Adsl);
+        let load = preferred_server_load(ctx, ds);
+        let overall_avg =
+            load.iter().map(|h| h.avg).sum::<f64>() / load.len().max(1) as f64;
+        let peak = load
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, h)| h.max)
+            .map(|(i, h)| (i, h.max, h.avg))
+            .unwrap_or((0, 0, 0.0));
+        let mut out = String::from(
+            "Figure 15 — per-server load in preferred DC, EU1-ADSL (paper: avg ~50/h, peak server 650/h)\n",
+        );
+        let _ = writeln!(out, "mean hourly per-server load: {overall_avg:.1}");
+        let _ = writeln!(
+            out,
+            "peak: {} req/h at hour {} (hour avg {:.1}) — peak/avg ratio {:.1}",
+            peak.1,
+            peak.0,
+            peak.2,
+            peak.1 as f64 / peak.2.max(0.01)
+        );
+        out
+    }
+
+    /// Figure 16: session breakdown at the hottest preferred-DC server.
+    pub fn fig16(&self) -> String {
+        let ds = self.dataset(DatasetName::Eu1Adsl);
+        let ctx = self.context(DatasetName::Eu1Adsl);
+        let load = preferred_server_load(ctx, ds);
+        let Some(hot) = load
+            .iter()
+            .max_by_key(|h| h.max)
+            .and_then(|h| h.max_server)
+        else {
+            return "Figure 16 — no server load observed".into();
+        };
+        let sessions = group_sessions(ds, 1000);
+        let breakdown = server_session_breakdown(ctx, ds, &sessions, hot);
+        let total: u64 = breakdown.iter().map(|h| h.total()).sum();
+        let redirected: u64 = breakdown.iter().map(|h| h.first_preferred_then_non).sum();
+        let peak_hour = breakdown
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, h)| h.total())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mut out = String::from(
+            "Figure 16 — sessions at the hot server (paper: redirections appear when load spikes)\n",
+        );
+        let _ = writeln!(out, "server {hot}: {total} sessions, {redirected} redirected (pref → non-pref)");
+        let _ = writeln!(out, "peak hour {peak_hour}:");
+        let h = &breakdown[peak_hour];
+        let _ = writeln!(
+            out,
+            "  all-preferred={} first-pref-then-non={} others={}",
+            h.all_preferred, h.first_preferred_then_non, h.others
+        );
+        out
+    }
+
+    /// Extension: the user-performance cost of the selection mechanisms.
+    pub fn ext_perf(&self) -> String {
+        let mut out = String::from(
+            "Extension — user-performance cost of redirections (paper intro: 'impact ... user performance')\n",
+        );
+        let _ = writeln!(
+            out,
+            "{:<11} {:>22} {:>22}",
+            "Dataset", "startup penalty [ms]", "RTT penalty [ms]"
+        );
+        for (ds, ctx) in self.datasets.iter().zip(&self.contexts) {
+            let sessions = group_sessions(ds, 1000);
+            let r = crate::perf::perf_report(ctx, ds, &sessions);
+            let _ = writeln!(
+                out,
+                "{:<11} {:>22.0} {:>22.1}",
+                ds.name().to_string(),
+                r.median_redirect_penalty_ms(),
+                r.median_rtt_penalty_ms()
+            );
+        }
+        out
+    }
+
+    /// Extension: workload characterization (calibration against refs [3,4]).
+    pub fn ext_characterize(&self) -> String {
+        let mut out = String::from(
+            "Extension — workload characterization (paper refs [3,4]: Zipf popularity, heavy-tailed clients, diurnal cycle)\n",
+        );
+        let _ = writeln!(
+            out,
+            "{:<11} {:>13} {:>13} {:>15} {:>13}",
+            "Dataset", "1-req videos", "top1% share", "top10% clients", "peak/trough"
+        );
+        for ds in &self.datasets {
+            let c = crate::characterize::characterize(ds);
+            let _ = writeln!(
+                out,
+                "{:<11} {:>13.3} {:>13.3} {:>15.3} {:>13.1}",
+                ds.name().to_string(),
+                c.single_request_video_fraction,
+                c.top1pct_video_share,
+                c.top10pct_client_share,
+                c.peak_to_trough
+            );
+        }
+        out
+    }
+
+    /// Extension: the February-2011 mapping change (paper Section VI-B).
+    pub fn ext_feb2011(&self) -> String {
+        let (before, after) = crate::whatif::feb2011_us_campus(self.config.scenario);
+        let mut out = String::from(
+            "Extension — Feb 2011 mapping change (paper: US-Campus moved to a DC with RTT > 100 ms)\n",
+        );
+        for o in [before, after] {
+            let _ = writeln!(
+                out,
+                "{:<10} preferred={:<14} dist={:>5.0} km  mean serving RTT={:>6.1} ms  pref-bytes={:.3}",
+                o.label,
+                o.preferred_city,
+                o.preferred_distance_km,
+                o.mean_serving_rtt_ms,
+                o.preferred_byte_share
+            );
+        }
+        out
+    }
+
+    /// CBG-geolocates the servers of every dataset (pooled, deduplicated by
+    /// /24 per dataset) — shared by Table III, Figure 3, and CSV export.
+    pub fn cbg_locations(&self) -> Vec<crate::geo_analysis::ServerLocation> {
+        let mut locs = Vec::new();
+        for ds in &self.datasets {
+            locs.extend(geolocate_servers(
+                self.scenario.world(),
+                ds,
+                self.cbg(),
+                self.config.scenario.seed ^ 0xF16,
+            ));
+        }
+        locs
+    }
+
+    /// Runs the Section VII-C active experiment with this suite's seed.
+    pub fn active_traces(&self) -> Vec<ytcdn_cdnsim::NodeTrace> {
+        ActiveExperiment::new(ActiveConfig {
+            seed: self.config.scenario.seed ^ 0xAC71,
+            ..ActiveConfig::default()
+        })
+        .run(&self.scenario)
+    }
+
+    /// Figure 17: RTT over time for the most illustrative probing node.
+    pub fn fig17(&self) -> String {
+        let traces = self.active_traces();
+        let Some(node) = most_illustrative_node(&traces) else {
+            return "Figure 17 — no traces".into();
+        };
+        let mut out = String::from(
+            "Figure 17 — RTT per 30-min sample, one node (paper: first ~200 ms, later ~20 ms)\n",
+        );
+        let _ = writeln!(out, "node {} (preferred {}):", node.node, node.preferred);
+        for (i, s) in node.samples.iter().enumerate().take(12) {
+            let _ = writeln!(out, "  sample {:>2}: {:>8.1} ms  (dc {})", i, s.rtt_ms, s.dc);
+        }
+        out
+    }
+
+    /// Figure 18: CDF of RTT1/RTT2 over the probing nodes.
+    pub fn fig18(&self) -> String {
+        let traces = self.active_traces();
+        let st = ratio_stats(&traces);
+        let mut out = String::from(
+            "Figure 18 — RTT1/RTT2 over nodes (paper: >40% above 1; ~20% above 10)\n",
+        );
+        let _ = writeln!(
+            out,
+            "nodes={} above1={:.2} above10={:.2}",
+            st.nodes, st.above_one, st.above_ten
+        );
+        out
+    }
+}
+
+/// Sanity helper for callers iterating hours: trace length in hours.
+pub fn trace_hours(dataset: &Dataset) -> u64 {
+    dataset
+        .records()
+        .iter()
+        .map(|r| r.start_ms / HOUR_MS)
+        .max()
+        .map(|h| h + 1)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn suite() -> ExperimentSuite {
+        ExperimentSuite::new(SuiteConfig {
+            scenario: ScenarioConfig::with_scale(0.004, 2),
+            full_landmarks: false,
+        })
+    }
+
+    #[test]
+    fn every_experiment_runs_and_reports() {
+        let s = suite();
+        for id in ALL_EXPERIMENTS.iter().chain(EXTENSION_EXPERIMENTS) {
+            let report = s.run(id).unwrap_or_else(|| panic!("unknown id {id}"));
+            assert!(report.len() > 40, "{id} report too short: {report}");
+            assert!(
+                report.contains("paper"),
+                "{id} report lacks the paper reference line"
+            );
+        }
+        assert!(s.run("fig99").is_none());
+    }
+
+    #[test]
+    fn datasets_accessible_by_name() {
+        let s = suite();
+        for name in DatasetName::ALL {
+            assert_eq!(s.dataset(name).name(), name);
+            assert_eq!(s.context(name).dataset_name(), name);
+        }
+    }
+
+    #[test]
+    fn trace_hours_spans_week() {
+        let s = suite();
+        let h = trace_hours(s.dataset(DatasetName::Eu1Adsl));
+        assert!((160..=170).contains(&h), "{h}");
+        assert_eq!(trace_hours(&Dataset::new(DatasetName::Eu2)), 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Session preferred/non-preferred pattern taxonomy (Figure 10).
+//!
+//! Section VI-C disambiguates the two mechanisms behind non-preferred
+//! accesses by looking at *where each flow of a session goes*:
+//!
+//! * a **single-flow** session to a non-preferred data center — or a session
+//!   *beginning* with a control flow there — means DNS itself mapped the
+//!   request away (Figure 10a);
+//! * a session whose **first flow goes to the preferred** data center but
+//!   whose later flows do not means the preferred server issued an
+//!   application-layer redirect (Figure 10b, pattern "preferred,
+//!   non-preferred").
+
+use serde::{Deserialize, Serialize};
+
+use ytcdn_tstat::Dataset;
+
+use crate::dcmap::AnalysisContext;
+use crate::session::Session;
+
+/// Breakdown of single-flow sessions (Figure 10a).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OneFlowBreakdown {
+    /// Served directly by the preferred data center.
+    pub preferred: u64,
+    /// Served directly by a non-preferred data center (DNS-caused).
+    pub non_preferred: u64,
+}
+
+/// Breakdown of two-flow sessions by the (first, second) flow targets
+/// (Figure 10b).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoFlowBreakdown {
+    /// (preferred, preferred): e.g. a format renegotiation, no redirect.
+    pub pp: u64,
+    /// (preferred, non-preferred): application-layer redirection away from
+    /// the preferred data center.
+    pub pn: u64,
+    /// (non-preferred, preferred): redirected *back* to the preferred.
+    pub np: u64,
+    /// (non-preferred, non-preferred): DNS mapped away and the session
+    /// stayed away.
+    pub nn: u64,
+}
+
+/// Full pattern statistics for one dataset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternStats {
+    /// Sessions considered (all flows inside analysis data centers).
+    pub total: u64,
+    /// Sessions excluded because some flow hit a non-analysis AS.
+    pub excluded: u64,
+    /// Single-flow sessions.
+    pub one_flow: OneFlowBreakdown,
+    /// Two-flow sessions.
+    pub two_flow: TwoFlowBreakdown,
+    /// Sessions with three or more flows.
+    pub three_plus: u64,
+    /// Of the three-plus sessions, those whose first flow went to the
+    /// preferred data center and a later flow did not (the "similar trends
+    /// to 2-flow sessions" remark).
+    pub three_plus_first_preferred_then_non: u64,
+}
+
+impl PatternStats {
+    /// Fraction of all (analysis) sessions that are single-flow — the
+    /// Figure 6 headline number (72.5–80.5 %).
+    pub fn single_flow_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.one_flow.preferred + self.one_flow.non_preferred) as f64 / self.total as f64
+    }
+
+    /// Fraction of single-flow sessions served by non-preferred data
+    /// centers (the DNS-caused share of Figure 10a).
+    pub fn one_flow_non_preferred_fraction(&self) -> f64 {
+        let n = self.one_flow.preferred + self.one_flow.non_preferred;
+        if n == 0 {
+            return 0.0;
+        }
+        self.one_flow.non_preferred as f64 / n as f64
+    }
+
+    /// Fraction of two-flow sessions that are (preferred, non-preferred) —
+    /// the application-layer redirection signature.
+    pub fn two_flow_pn_fraction(&self) -> f64 {
+        let n = self.two_flow.pp + self.two_flow.pn + self.two_flow.np + self.two_flow.nn;
+        if n == 0 {
+            return 0.0;
+        }
+        self.two_flow.pn as f64 / n as f64
+    }
+}
+
+/// A full per-flow target pattern, e.g. `"p,n,n"` for a 3-flow session whose
+/// first flow hit the preferred data center and the rest did not.
+///
+/// The paper reports only the 1- and 2-flow breakdowns and remarks that
+/// longer sessions "show similar trends"; this histogram makes the longer
+/// chains inspectable.
+pub fn chain_pattern_histogram(
+    ctx: &AnalysisContext,
+    dataset: &Dataset,
+    sessions: &[Session],
+) -> std::collections::BTreeMap<String, u64> {
+    let mut hist = std::collections::BTreeMap::new();
+    for s in sessions {
+        let flows = s.flows(dataset);
+        let Some(targets) = flows
+            .iter()
+            .map(|f| ctx.is_preferred(f))
+            .collect::<Option<Vec<bool>>>()
+        else {
+            continue;
+        };
+        let key: Vec<&str> = targets.iter().map(|&p| if p { "p" } else { "n" }).collect();
+        *hist.entry(key.join(",")).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// Classifies every session of a dataset.
+///
+/// Sessions touching servers outside the analysis ASes (legacy YouTube-EU,
+/// third-party) are counted in `excluded`, mirroring the paper's Section IV
+/// filter.
+pub fn classify_sessions(
+    ctx: &AnalysisContext,
+    dataset: &Dataset,
+    sessions: &[Session],
+) -> PatternStats {
+    let mut stats = PatternStats::default();
+    for s in sessions {
+        let flows = s.flows(dataset);
+        let targets: Option<Vec<bool>> = flows.iter().map(|f| ctx.is_preferred(f)).collect();
+        let Some(targets) = targets else {
+            stats.excluded += 1;
+            continue;
+        };
+        stats.total += 1;
+        match targets.as_slice() {
+            [only] => {
+                if *only {
+                    stats.one_flow.preferred += 1;
+                } else {
+                    stats.one_flow.non_preferred += 1;
+                }
+            }
+            [first, second] => match (first, second) {
+                (true, true) => stats.two_flow.pp += 1,
+                (true, false) => stats.two_flow.pn += 1,
+                (false, true) => stats.two_flow.np += 1,
+                (false, false) => stats.two_flow.nn += 1,
+            },
+            longer => {
+                stats.three_plus += 1;
+                if longer[0] && longer[1..].iter().any(|p| !p) {
+                    stats.three_plus_first_preferred_then_non += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::group_sessions;
+    use ytcdn_cdnsim::{ScenarioConfig, StandardScenario};
+    use ytcdn_tstat::DatasetName;
+
+    fn stats_for(name: DatasetName) -> PatternStats {
+        let s = StandardScenario::build(ScenarioConfig::with_scale(0.008, 55));
+        let ds = s.run(name);
+        let ctx = AnalysisContext::from_ground_truth(s.world(), &ds);
+        let sessions = group_sessions(&ds, 1_000);
+        classify_sessions(&ctx, &ds, &sessions)
+    }
+
+    #[test]
+    fn figure6_single_flow_share() {
+        for name in [DatasetName::UsCampus, DatasetName::Eu1Adsl] {
+            let st = stats_for(name);
+            let f = st.single_flow_fraction();
+            assert!((0.65..0.88).contains(&f), "{name}: single-flow {f}");
+        }
+    }
+
+    #[test]
+    fn us_campus_dns_noise_small_but_present() {
+        let st = stats_for(DatasetName::UsCampus);
+        let f = st.one_flow_non_preferred_fraction();
+        assert!((0.01..0.20).contains(&f), "one-flow non-preferred {f}");
+    }
+
+    #[test]
+    fn eu2_dns_mapping_dominates() {
+        // Figure 10a: for EU2, over 40% of single-flow sessions go to the
+        // non-preferred data center.
+        let st = stats_for(DatasetName::Eu2);
+        let f = st.one_flow_non_preferred_fraction();
+        assert!(f > 0.30, "EU2 one-flow non-preferred {f}");
+    }
+
+    #[test]
+    fn eu1_redirections_visible_in_two_flow() {
+        // Figure 10b: EU1 has a significant (preferred, non-preferred)
+        // share — application-layer redirection.
+        let st = stats_for(DatasetName::Eu1Adsl);
+        assert!(st.two_flow.pn > 0, "{st:?}");
+        let f = st.two_flow_pn_fraction();
+        assert!(f > 0.10, "pn fraction {f}");
+        // And (preferred, preferred) renegotiations exist too.
+        assert!(st.two_flow.pp > 0);
+    }
+
+    #[test]
+    fn eu2_two_flow_sessions_often_both_non_preferred() {
+        let st = stats_for(DatasetName::Eu2);
+        let n = st.two_flow.pp + st.two_flow.pn + st.two_flow.np + st.two_flow.nn;
+        assert!(
+            st.two_flow.nn as f64 / n as f64 > 0.15,
+            "EU2 nn share {}/{n}",
+            st.two_flow.nn
+        );
+    }
+
+    #[test]
+    fn three_plus_sessions_in_paper_range() {
+        let st = stats_for(DatasetName::Eu1Adsl);
+        let f = st.three_plus as f64 / st.total as f64;
+        // Paper: 5.18–10% of sessions have more than 2 flows.
+        assert!((0.02..0.15).contains(&f), "3+ flow share {f}");
+        assert!(st.three_plus_first_preferred_then_non > 0);
+    }
+
+    #[test]
+    fn excluded_sessions_counted() {
+        let st = stats_for(DatasetName::Eu2);
+        // EU2 has a large legacy share; those sessions must be excluded, not
+        // silently classified.
+        assert!(st.excluded > 0);
+    }
+
+    #[test]
+    fn chain_histogram_consistent_with_stats() {
+        let s = StandardScenario::build(ScenarioConfig::with_scale(0.008, 55));
+        let ds = s.run(DatasetName::Eu1Adsl);
+        let ctx = AnalysisContext::from_ground_truth(s.world(), &ds);
+        let sessions = group_sessions(&ds, 1_000);
+        let st = classify_sessions(&ctx, &ds, &sessions);
+        let hist = chain_pattern_histogram(&ctx, &ds, &sessions);
+        // The histogram's totals reconstruct the coarse stats exactly.
+        assert_eq!(hist.get("p").copied().unwrap_or(0), st.one_flow.preferred);
+        assert_eq!(hist.get("n").copied().unwrap_or(0), st.one_flow.non_preferred);
+        assert_eq!(hist.get("p,n").copied().unwrap_or(0), st.two_flow.pn);
+        assert_eq!(hist.get("n,n").copied().unwrap_or(0), st.two_flow.nn);
+        let total: u64 = hist.values().sum();
+        assert_eq!(total, st.total);
+        // The paper's remark: long sessions trend like 2-flow ones — the
+        // dominant 3-flow pattern for EU1 starts at the preferred DC.
+        let three_flow: Vec<(&String, &u64)> =
+            hist.iter().filter(|(k, _)| k.len() == 5).collect();
+        if let Some((top, _)) = three_flow.iter().max_by_key(|(_, &c)| c) {
+            assert!(top.starts_with('p'), "dominant 3-flow pattern {top}");
+        }
+    }
+
+    #[test]
+    fn fractions_of_empty_stats_are_zero() {
+        let st = PatternStats::default();
+        assert_eq!(st.single_flow_fraction(), 0.0);
+        assert_eq!(st.one_flow_non_preferred_fraction(), 0.0);
+        assert_eq!(st.two_flow_pn_fraction(), 0.0);
+    }
+}

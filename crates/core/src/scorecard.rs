@@ -1,0 +1,283 @@
+//! The executable reproduction scorecard.
+//!
+//! EXPERIMENTS.md narrates paper-vs-measured; this module *executes* it:
+//! every quantitative claim the paper makes that this reproduction targets
+//! is evaluated as a [`Check`] with an explicit tolerance band, and the
+//! whole set renders as a pass/fail table (`repro --scorecard`). The
+//! integration suite asserts the scorecard passes, so any model change
+//! that degrades fidelity fails CI rather than silently rotting the docs.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use ytcdn_tstat::DatasetName;
+
+use crate::experiments::ExperimentSuite;
+use crate::patterns::classify_sessions;
+use crate::preferred::closest_k_share;
+use crate::session::group_sessions;
+use crate::subnet::subnet_shares;
+use crate::timeseries::{hourly_samples, load_vs_preferred_correlation};
+use crate::videos::nonpreferred_video_stats;
+
+/// One quantitative claim, checked.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Check {
+    /// Which experiment the claim belongs to ("table1", "fig11", …).
+    pub experiment: &'static str,
+    /// What is being measured.
+    pub metric: String,
+    /// The paper's value or band center.
+    pub paper: f64,
+    /// This run's value.
+    pub measured: f64,
+    /// Accepted band (inclusive).
+    pub band: (f64, f64),
+}
+
+impl Check {
+    /// Whether the measured value falls in the accepted band.
+    pub fn pass(&self) -> bool {
+        (self.band.0..=self.band.1).contains(&self.measured)
+    }
+}
+
+/// Evaluates every scorecard check against a simulated suite.
+pub fn scorecard(suite: &ExperimentSuite) -> Vec<Check> {
+    let mut checks = Vec::new();
+    let mut push = |experiment, metric: String, paper: f64, measured: f64, band: (f64, f64)| {
+        checks.push(Check {
+            experiment,
+            metric,
+            paper,
+            measured,
+            band,
+        });
+    };
+
+    // --- Table I: flows per dataset, relative to the paper at this scale.
+    let scale = suite.scenario().config().engine.scale;
+    let paper_flows = [874_649.0, 134_789.0, 877_443.0, 91_955.0, 513_403.0];
+    for (name, paper) in DatasetName::ALL.into_iter().zip(paper_flows) {
+        let measured = suite.dataset(name).len() as f64;
+        let target = paper * scale;
+        push(
+            "table1",
+            format!("{name} flows (scaled)"),
+            target,
+            measured,
+            (0.80 * target, 1.20 * target),
+        );
+    }
+
+    // --- Figure 7: preferred byte shares.
+    for name in [
+        DatasetName::UsCampus,
+        DatasetName::Eu1Campus,
+        DatasetName::Eu1Adsl,
+        DatasetName::Eu1Ftth,
+    ] {
+        push(
+            "fig7",
+            format!("{name} preferred byte share"),
+            0.90,
+            suite.context(name).preferred_share_of_bytes(),
+            (0.85, 0.99),
+        );
+    }
+    push(
+        "fig7",
+        "EU2 preferred byte share (split)".into(),
+        0.45,
+        suite.context(DatasetName::Eu2).preferred_share_of_bytes(),
+        (0.25, 0.60),
+    );
+
+    // --- Figure 8: US closest-5 share.
+    push(
+        "fig8",
+        "US-Campus closest-5 DC byte share".into(),
+        0.02,
+        closest_k_share(suite.context(DatasetName::UsCampus), 5),
+        (0.0, 0.05),
+    );
+
+    // --- Figure 6 / 10: session structure.
+    for name in DatasetName::ALL {
+        let sessions = group_sessions(suite.dataset(name), 1000);
+        let st = classify_sessions(suite.context(name), suite.dataset(name), &sessions);
+        push(
+            "fig6",
+            format!("{name} single-flow session fraction"),
+            0.765,
+            st.single_flow_fraction(),
+            (0.68, 0.88),
+        );
+        if name == DatasetName::Eu2 {
+            push(
+                "fig10a",
+                "EU2 single-flow-to-non-preferred fraction".into(),
+                0.45,
+                st.one_flow_non_preferred_fraction(),
+                (0.30, 0.70),
+            );
+        }
+    }
+
+    // --- Figure 11: EU2 load balancing.
+    let eu2_samples = hourly_samples(
+        suite.context(DatasetName::Eu2),
+        suite.dataset(DatasetName::Eu2),
+    );
+    push(
+        "fig11",
+        "EU2 load/local-fraction correlation".into(),
+        -0.9,
+        load_vs_preferred_correlation(&eu2_samples),
+        (-1.0, -0.6),
+    );
+
+    // --- Figure 12: Net-3 dominance.
+    let subnets = suite
+        .scenario()
+        .world()
+        .vantage(DatasetName::UsCampus)
+        .subnets
+        .clone();
+    let shares = subnet_shares(
+        suite.context(DatasetName::UsCampus),
+        suite.dataset(DatasetName::UsCampus),
+        &subnets,
+    );
+    let net3 = shares
+        .iter()
+        .find(|s| s.name == "Net-3")
+        .expect("US-Campus has Net-3");
+    push(
+        "fig12",
+        "Net-3 share of all flows".into(),
+        0.04,
+        net3.share_of_all_flows,
+        (0.02, 0.06),
+    );
+    push(
+        "fig12",
+        "Net-3 share of non-preferred flows".into(),
+        0.50,
+        net3.share_of_nonpreferred_flows,
+        (0.25, 0.70),
+    );
+
+    // --- Figure 13: cold-tail repair.
+    let vstats = nonpreferred_video_stats(
+        suite.context(DatasetName::Eu1Adsl),
+        suite.dataset(DatasetName::Eu1Adsl),
+    );
+    push(
+        "fig13",
+        "EU1-ADSL exactly-once fraction".into(),
+        0.85,
+        vstats.exactly_once_fraction,
+        (0.6, 1.0),
+    );
+
+    // --- Figures 17/18: active experiment.
+    let traces = suite.active_traces();
+    let rstats = crate::active_analysis::ratio_stats(&traces);
+    push(
+        "fig18",
+        "nodes with RTT1/RTT2 > 1".into(),
+        0.40,
+        rstats.above_one,
+        (0.25, 0.90),
+    );
+    push(
+        "fig18",
+        "nodes with RTT1/RTT2 > 10".into(),
+        0.20,
+        rstats.above_ten,
+        (0.05, 0.50),
+    );
+
+    checks
+}
+
+/// Renders the scorecard as an aligned text table.
+pub fn render(checks: &[Check]) -> String {
+    let mut out = String::new();
+    let passed = checks.iter().filter(|c| c.pass()).count();
+    let _ = writeln!(
+        out,
+        "Reproduction scorecard: {passed}/{} checks pass",
+        checks.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:<44} {:>10} {:>10} {:>19} {:>5}",
+        "exp", "metric", "paper", "measured", "band", "ok"
+    );
+    for c in checks {
+        let _ = writeln!(
+            out,
+            "{:<8} {:<44} {:>10.3} {:>10.3} {:>8.3}..{:<8.3} {:>5}",
+            c.experiment,
+            c.metric,
+            c.paper,
+            c.measured,
+            c.band.0,
+            c.band.1,
+            if c.pass() { "yes" } else { "NO" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::SuiteConfig;
+    use ytcdn_cdnsim::ScenarioConfig;
+
+    #[test]
+    fn scorecard_passes_at_reference_scale() {
+        let suite = ExperimentSuite::new(SuiteConfig {
+            scenario: ScenarioConfig::with_scale(0.02, 42),
+            full_landmarks: false,
+        });
+        let checks = scorecard(&suite);
+        assert!(checks.len() >= 18, "only {} checks", checks.len());
+        let failing: Vec<&Check> = checks.iter().filter(|c| !c.pass()).collect();
+        assert!(
+            failing.is_empty(),
+            "failing checks:\n{}",
+            render(&failing.into_iter().cloned().collect::<Vec<_>>())
+        );
+    }
+
+    #[test]
+    fn render_flags_failures() {
+        let checks = vec![Check {
+            experiment: "figX",
+            metric: "made up".into(),
+            paper: 1.0,
+            measured: 5.0,
+            band: (0.5, 1.5),
+        }];
+        let text = render(&checks);
+        assert!(text.contains("0/1 checks pass"));
+        assert!(text.contains("NO"));
+    }
+
+    #[test]
+    fn check_band_is_inclusive() {
+        let c = Check {
+            experiment: "t",
+            metric: "m".into(),
+            paper: 1.0,
+            measured: 1.5,
+            band: (0.5, 1.5),
+        };
+        assert!(c.pass());
+    }
+}

@@ -1,0 +1,255 @@
+//! Video-session grouping — the paper's key analysis device.
+//!
+//! Section VI-A: "A video session aggregates all flows that i) have the same
+//! source IP address and VideoID, and ii) are overlapped in time. In
+//! particular, we consider two flows to overlap in time if the end of the
+//! first flow and the beginning of the second flow are separated by less
+//! than T seconds." The paper settles on `T = 1 s` after the sensitivity
+//! analysis of Figure 5.
+//!
+//! Grouping related flows is what lets the analysis tell *DNS-caused*
+//! non-preferred accesses (a session that starts at the non-preferred data
+//! center) apart from *application-layer redirections* (a session whose
+//! first, control flow goes to the preferred data center and whose video
+//! flow does not).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use ytcdn_tstat::{Dataset, FlowRecord, VideoId};
+
+/// A group of related flows: one user's attempt to watch one video.
+///
+/// Holds indices into the dataset's record slice rather than clones, so
+/// grouping a million-flow dataset stays cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Session {
+    /// The client address.
+    pub client_ip: Ipv4Addr,
+    /// The video requested.
+    pub video_id: VideoId,
+    /// Indices of the member flows in the dataset, in start-time order.
+    pub flow_indices: Vec<usize>,
+    /// Session start (first flow's start), ms.
+    pub start_ms: u64,
+    /// Session end (latest flow end), ms.
+    pub end_ms: u64,
+}
+
+impl Session {
+    /// Number of flows in the session.
+    pub fn flow_count(&self) -> usize {
+        self.flow_indices.len()
+    }
+
+    /// The member flows, resolved against their dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dataset` is not the dataset the session was built from.
+    pub fn flows<'d>(&self, dataset: &'d Dataset) -> Vec<&'d FlowRecord> {
+        self.flow_indices
+            .iter()
+            .map(|&i| &dataset.records()[i])
+            .collect()
+    }
+}
+
+/// Groups a dataset's flows into video sessions with gap threshold
+/// `gap_ms` (the paper's `T`, in milliseconds).
+///
+/// Returns sessions sorted by start time.
+pub fn group_sessions(dataset: &Dataset, gap_ms: u64) -> Vec<Session> {
+    // Bucket flow indices by (client, video). Records are already sorted by
+    // start time, so each bucket is too.
+    let mut buckets: HashMap<(Ipv4Addr, VideoId), Vec<usize>> = HashMap::new();
+    for (i, r) in dataset.records().iter().enumerate() {
+        buckets.entry((r.client_ip, r.video_id)).or_default().push(i);
+    }
+
+    let mut sessions = Vec::new();
+    for ((client_ip, video_id), indices) in buckets {
+        let mut current: Option<Session> = None;
+        for idx in indices {
+            let r = &dataset.records()[idx];
+            match current.as_mut() {
+                Some(s) if r.start_ms <= s.end_ms.saturating_add(gap_ms) => {
+                    s.flow_indices.push(idx);
+                    s.end_ms = s.end_ms.max(r.end_ms);
+                }
+                _ => {
+                    if let Some(done) = current.take() {
+                        sessions.push(done);
+                    }
+                    current = Some(Session {
+                        client_ip,
+                        video_id,
+                        flow_indices: vec![idx],
+                        start_ms: r.start_ms,
+                        end_ms: r.end_ms,
+                    });
+                }
+            }
+        }
+        if let Some(done) = current.take() {
+            sessions.push(done);
+        }
+    }
+    sessions.sort_by_key(|s| (s.start_ms, s.end_ms, s.client_ip, s.video_id));
+    sessions
+}
+
+/// The distribution of flows-per-session for a dataset at one gap threshold
+/// — one curve of the paper's Figures 5 and 6.
+pub fn flows_per_session(dataset: &Dataset, gap_ms: u64) -> crate::stats::Cdf {
+    crate::stats::Cdf::from_values(
+        group_sessions(dataset, gap_ms)
+            .iter()
+            .map(|s| s.flow_count() as f64),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ytcdn_tstat::{DatasetName, Resolution};
+
+    fn flow(client: &str, video: u64, start: u64, end: u64, bytes: u64) -> FlowRecord {
+        FlowRecord {
+            client_ip: client.parse().unwrap(),
+            server_ip: "74.125.0.1".parse().unwrap(),
+            start_ms: start,
+            end_ms: end,
+            bytes,
+            video_id: VideoId::from_index(video),
+            resolution: Resolution::R360,
+        }
+    }
+
+    fn ds(records: Vec<FlowRecord>) -> Dataset {
+        Dataset::from_records(DatasetName::UsCampus, records)
+    }
+
+    #[test]
+    fn close_flows_group() {
+        let d = ds(vec![
+            flow("10.0.0.1", 1, 0, 100, 500),
+            flow("10.0.0.1", 1, 600, 5000, 1_000_000),
+        ]);
+        let sessions = group_sessions(&d, 1_000);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].flow_count(), 2);
+        assert_eq!(sessions[0].start_ms, 0);
+        assert_eq!(sessions[0].end_ms, 5000);
+    }
+
+    #[test]
+    fn gap_splits_sessions() {
+        let d = ds(vec![
+            flow("10.0.0.1", 1, 0, 100, 500),
+            flow("10.0.0.1", 1, 1_200, 5_000, 1_000_000),
+        ]);
+        assert_eq!(group_sessions(&d, 1_000).len(), 2);
+        // A larger T merges them (the Figure 5 sensitivity).
+        assert_eq!(group_sessions(&d, 5_000).len(), 1);
+    }
+
+    #[test]
+    fn different_videos_never_group() {
+        let d = ds(vec![
+            flow("10.0.0.1", 1, 0, 100, 500),
+            flow("10.0.0.1", 2, 150, 5_000, 1_000_000),
+        ]);
+        assert_eq!(group_sessions(&d, 1_000).len(), 2);
+    }
+
+    #[test]
+    fn different_clients_never_group() {
+        let d = ds(vec![
+            flow("10.0.0.1", 1, 0, 100, 500),
+            flow("10.0.0.2", 1, 150, 5_000, 1_000_000),
+        ]);
+        assert_eq!(group_sessions(&d, 1_000).len(), 2);
+    }
+
+    #[test]
+    fn overlapping_flows_group() {
+        // Second flow starts before the first ends.
+        let d = ds(vec![
+            flow("10.0.0.1", 1, 0, 10_000, 500),
+            flow("10.0.0.1", 1, 2_000, 4_000, 1_000_000),
+        ]);
+        assert_eq!(group_sessions(&d, 1_000).len(), 1);
+    }
+
+    #[test]
+    fn gap_measured_from_max_end() {
+        // Flow B is contained in flow A; flow C starts within T of A's end
+        // even though it is far past B's end.
+        let d = ds(vec![
+            flow("10.0.0.1", 1, 0, 10_000, 500),
+            flow("10.0.0.1", 1, 1_000, 2_000, 700),
+            flow("10.0.0.1", 1, 10_500, 12_000, 1_000_000),
+        ]);
+        let sessions = group_sessions(&d, 1_000);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].flow_count(), 3);
+    }
+
+    #[test]
+    fn boundary_gap_exactly_t_groups() {
+        // "separated by less than T seconds" — we group at <= T since times
+        // are integer ms; the boundary case is vanishingly rare in data.
+        let d = ds(vec![
+            flow("10.0.0.1", 1, 0, 100, 500),
+            flow("10.0.0.1", 1, 1_100, 2_000, 900),
+        ]);
+        assert_eq!(group_sessions(&d, 1_000).len(), 1);
+    }
+
+    #[test]
+    fn sessions_sorted_by_start() {
+        let d = ds(vec![
+            flow("10.0.0.2", 9, 5_000, 6_000, 100),
+            flow("10.0.0.1", 1, 0, 100, 500),
+            flow("10.0.0.3", 4, 2_000, 3_000, 100),
+        ]);
+        let sessions = group_sessions(&d, 1_000);
+        let starts: Vec<_> = sessions.iter().map(|s| s.start_ms).collect();
+        assert_eq!(starts, vec![0, 2_000, 5_000]);
+    }
+
+    #[test]
+    fn flows_resolve_in_order() {
+        let d = ds(vec![
+            flow("10.0.0.1", 1, 600, 5_000, 1_000_000),
+            flow("10.0.0.1", 1, 0, 100, 500),
+        ]);
+        let sessions = group_sessions(&d, 1_000);
+        let flows = sessions[0].flows(&d);
+        assert_eq!(flows[0].start_ms, 0);
+        assert_eq!(flows[1].start_ms, 600);
+    }
+
+    #[test]
+    fn empty_dataset_no_sessions() {
+        let d = ds(vec![]);
+        assert!(group_sessions(&d, 1_000).is_empty());
+        assert!(flows_per_session(&d, 1_000).is_empty());
+    }
+
+    #[test]
+    fn flows_per_session_cdf() {
+        let d = ds(vec![
+            flow("10.0.0.1", 1, 0, 100, 500),
+            flow("10.0.0.1", 1, 300, 900, 1_000_000),
+            flow("10.0.0.2", 2, 0, 100, 1_000_000),
+        ]);
+        let cdf = flows_per_session(&d, 1_000);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.5);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 1.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Empirical statistics used throughout the analysis: CDFs and binning.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution function.
+///
+/// Every figure in the paper that plots a CDF (Figures 2–6, 9, 13, 18) is
+/// produced from this type.
+///
+/// # Examples
+///
+/// ```
+/// use ytcdn_core::Cdf;
+///
+/// let cdf = Cdf::from_values([4.0, 1.0, 2.0, 3.0]);
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(cdf.percentile(50.0), 2.0);
+/// assert_eq!(cdf.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from any collection of values. Non-finite values are
+    /// dropped.
+    pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut sorted: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(f64::total_cmp);
+        Self { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x` (0.0 for an empty CDF).
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `p`-th percentile (nearest-rank), `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty CDF or `p` outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "percentile of empty CDF");
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        let n = self.sorted.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// Median shorthand.
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Smallest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty CDF.
+    pub fn min(&self) -> f64 {
+        *self.sorted.first().expect("min of empty CDF")
+    }
+
+    /// Largest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty CDF.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("max of empty CDF")
+    }
+
+    /// Arithmetic mean (0.0 for an empty CDF).
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// `(x, F(x))` plot points, decimated to at most `max_points`.
+    pub fn plot_points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || max_points == 0 {
+            return Vec::new();
+        }
+        let n = self.sorted.len();
+        let step = (n / max_points).max(1);
+        let mut pts: Vec<(f64, f64)> = (0..n)
+            .step_by(step)
+            .map(|i| (self.sorted[i], (i + 1) as f64 / n as f64))
+            .collect();
+        if pts.last().map(|p| p.1) != Some(1.0) {
+            pts.push((self.sorted[n - 1], 1.0));
+        }
+        pts
+    }
+
+    /// The underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Two-sample Kolmogorov–Smirnov distance: the maximum absolute gap
+    /// between the two empirical CDFs. 0 = identical distributions,
+    /// 1 = disjoint supports. Used to compare trace *shapes* across seeds
+    /// and scales.
+    ///
+    /// Returns 1.0 when exactly one CDF is empty, 0.0 when both are.
+    pub fn ks_distance(&self, other: &Cdf) -> f64 {
+        match (self.is_empty(), other.is_empty()) {
+            (true, true) => return 0.0,
+            (true, false) | (false, true) => return 1.0,
+            _ => {}
+        }
+        let mut max_gap = 0.0f64;
+        // Evaluate at every jump point of either CDF.
+        for &x in self.sorted.iter().chain(&other.sorted) {
+            let gap = (self.fraction_at_or_below(x) - other.fraction_at_or_below(x)).abs();
+            max_gap = max_gap.max(gap);
+        }
+        max_gap
+    }
+}
+
+impl FromIterator<f64> for Cdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Cdf::from_values(iter)
+    }
+}
+
+impl Extend<f64> for Cdf {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.sorted.extend(iter.into_iter().filter(|v| v.is_finite()));
+        self.sorted.sort_by(f64::total_cmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fraction_boundaries() {
+        let cdf = Cdf::from_values([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(cdf.fraction_at_or_below(4.0), 1.0);
+        assert_eq!(cdf.fraction_at_or_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let cdf = Cdf::from_values((1..=100).map(f64::from));
+        assert_eq!(cdf.percentile(50.0), 50.0);
+        assert_eq!(cdf.percentile(90.0), 90.0);
+        assert_eq!(cdf.percentile(100.0), 100.0);
+        assert_eq!(cdf.percentile(0.0), 1.0);
+        assert_eq!(cdf.median(), 50.0);
+    }
+
+    #[test]
+    fn drops_non_finite() {
+        let cdf = Cdf::from_values([1.0, f64::NAN, f64::INFINITY, 2.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let cdf = Cdf::from_values(std::iter::empty());
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
+        assert_eq!(cdf.mean(), 0.0);
+        assert!(cdf.plot_points(10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty")]
+    fn empty_percentile_panics() {
+        Cdf::from_values(std::iter::empty()).percentile(50.0);
+    }
+
+    #[test]
+    fn plot_points_end_at_one() {
+        let cdf = Cdf::from_values((0..1000).map(f64::from));
+        let pts = cdf.plot_points(50);
+        assert!(pts.len() <= 52);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        // Monotone in both coordinates.
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn extend_keeps_sorted() {
+        let mut cdf = Cdf::from_values([5.0, 1.0]);
+        cdf.extend([3.0, 0.5]);
+        assert_eq!(cdf.samples(), &[0.5, 1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ks_distance_basics() {
+        let a = Cdf::from_values((0..100).map(f64::from));
+        let b = Cdf::from_values((0..100).map(f64::from));
+        assert_eq!(a.ks_distance(&b), 0.0);
+        // Disjoint supports → distance 1.
+        let c = Cdf::from_values((200..300).map(f64::from));
+        assert_eq!(a.ks_distance(&c), 1.0);
+        // Shifted by half the range → distance ~0.5.
+        let d = Cdf::from_values((50..150).map(f64::from));
+        let ks = a.ks_distance(&d);
+        assert!((0.45..0.55).contains(&ks), "{ks}");
+        // Symmetry.
+        assert_eq!(a.ks_distance(&d), d.ks_distance(&a));
+        // Empty handling.
+        let e = Cdf::from_values(std::iter::empty());
+        assert_eq!(e.ks_distance(&e), 0.0);
+        assert_eq!(a.ks_distance(&e), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn ks_distance_is_a_bounded_pseudometric(
+            xs in prop::collection::vec(-1e3f64..1e3, 1..80),
+            ys in prop::collection::vec(-1e3f64..1e3, 1..80),
+        ) {
+            let a = Cdf::from_values(xs.iter().copied());
+            let b = Cdf::from_values(ys.iter().copied());
+            let d = a.ks_distance(&b);
+            prop_assert!((0.0..=1.0).contains(&d));
+            prop_assert!((a.ks_distance(&b) - b.ks_distance(&a)).abs() < 1e-12);
+            prop_assert_eq!(a.ks_distance(&a), 0.0);
+        }
+
+        #[test]
+        fn fraction_is_monotone(mut xs in prop::collection::vec(-1e6f64..1e6, 1..200), a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            let cdf = Cdf::from_values(xs.drain(..));
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(cdf.fraction_at_or_below(lo) <= cdf.fraction_at_or_below(hi));
+        }
+
+        #[test]
+        fn percentile_within_range(xs in prop::collection::vec(-1e6f64..1e6, 1..200), p in 0.0f64..100.0) {
+            let cdf = Cdf::from_values(xs.iter().copied());
+            let v = cdf.percentile(p);
+            prop_assert!(v >= cdf.min() && v <= cdf.max());
+        }
+
+        #[test]
+        fn median_splits_mass(xs in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+            let cdf = Cdf::from_values(xs.iter().copied());
+            let m = cdf.median();
+            prop_assert!(cdf.fraction_at_or_below(m) >= 0.5);
+        }
+    }
+}

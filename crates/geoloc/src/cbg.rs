@@ -1,0 +1,350 @@
+//! Constraint-Based Geolocation (CBG).
+//!
+//! CBG (Gueye, Ziviani, Crovella, Fdida — IEEE/ACM ToN 2006) turns each
+//! landmark's RTT measurement into a *distance upper bound* and intersects
+//! the resulting disks: the target must lie inside every disk, so the
+//! intersection is a confidence region whose centroid is the position
+//! estimate and whose radius quantifies the uncertainty (the paper's
+//! Figure 3 reports exactly this radius: median 41 km, 90th percentile
+//! 200–320 km).
+//!
+//! The RTT→distance conversion is calibrated per landmark with a
+//! **bestline**: the line `rtt = m·d + b` lying below all (distance, RTT)
+//! points the landmark measures toward the *other* landmarks (whose
+//! positions are known). This implementation fixes the slope at the
+//! physical fiber bound and fits the intercept, which is the conservative
+//! variant: radii can only be slightly loose, and a relaxation loop handles
+//! the rare under-estimate that makes the intersection empty.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ytcdn_geomodel::{Coord, FIBER_KM_PER_MS};
+use ytcdn_netsim::{DelayModel, Endpoint, Landmark, Pinger};
+
+/// Result of localizing one target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CbgResult {
+    /// Centroid of the feasible region.
+    pub estimate: Coord,
+    /// Radius of the confidence region, km (max distance from the centroid
+    /// to any feasible point, plus the grid quantum).
+    pub radius_km: f64,
+    /// Number of grid points found feasible.
+    pub feasible_points: usize,
+    /// How many times the radii had to be relaxed by 5 % to make the
+    /// intersection non-empty (0 in the common case).
+    pub relaxations: u32,
+}
+
+/// A calibrated CBG instance.
+///
+/// Create with [`Cbg::calibrate`]; localize targets with [`Cbg::localize`].
+#[derive(Debug, Clone)]
+pub struct Cbg {
+    landmarks: Vec<Landmark>,
+    /// Bestline intercept per landmark (ms). Slope is the fiber bound.
+    intercepts: Vec<f64>,
+    model: DelayModel,
+    probes: u32,
+}
+
+/// Bestline slope: ms of RTT per km of distance at fiber speed.
+fn slope_ms_per_km() -> f64 {
+    2.0 / FIBER_KM_PER_MS
+}
+
+impl Cbg {
+    /// Calibrates bestlines by measuring every landmark against every other
+    /// landmark (positions known).
+    ///
+    /// `probes` is the per-measurement probe count; `seed` makes the
+    /// calibration deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than 3 landmarks — the intersection would be
+    /// meaningless.
+    pub fn calibrate(landmarks: Vec<Landmark>, model: DelayModel, probes: u32, seed: u64) -> Self {
+        assert!(landmarks.len() >= 3, "CBG needs at least 3 landmarks");
+        let pinger = Pinger::new(model, probes);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let m = slope_ms_per_km();
+        let intercepts = landmarks
+            .iter()
+            .map(|li| {
+                let ei = li.endpoint();
+                landmarks
+                    .iter()
+                    .filter(|lj| lj.name != li.name)
+                    .map(|lj| {
+                        let d = li.coord.distance_km(lj.coord);
+                        let rtt = pinger.ping(&ei, &lj.endpoint(), &mut rng).min_ms;
+                        rtt - m * d
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        Self {
+            landmarks,
+            intercepts,
+            model,
+            probes,
+        }
+    }
+
+    /// The landmark set.
+    pub fn landmarks(&self) -> &[Landmark] {
+        &self.landmarks
+    }
+
+    /// The bestline intercept of landmark `i`, ms.
+    pub fn intercept(&self, i: usize) -> f64 {
+        self.intercepts[i]
+    }
+
+    /// Localizes a target endpoint.
+    ///
+    /// The endpoint's coordinates are used only to *generate* the RTT
+    /// measurements through the delay model — exactly the information a real
+    /// probe would obtain — never read directly by the solver.
+    pub fn localize<R: Rng + ?Sized>(&self, target: &Endpoint, rng: &mut R) -> CbgResult {
+        let pinger = Pinger::new(self.model, self.probes);
+        let m = slope_ms_per_km();
+        // Distance upper bound per landmark.
+        let mut constraints: Vec<(Coord, f64)> = self
+            .landmarks
+            .iter()
+            .zip(&self.intercepts)
+            .map(|(l, &b)| {
+                let rtt = pinger.ping(&l.endpoint(), target, rng).min_ms;
+                (l.coord, ((rtt - b) / m).max(10.0))
+            })
+            .collect();
+        // Tightest constraints first: they define the region and let
+        // infeasible candidates fail fast.
+        constraints.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+        let mut scale = 1.0;
+        let mut relaxations = 0u32;
+        loop {
+            if let Some(result) = self.solve(&constraints, scale, relaxations) {
+                return result;
+            }
+            relaxations += 1;
+            scale *= 1.05;
+            if relaxations > 120 {
+                // Degenerate measurement; fall back to the tightest
+                // landmark's position with its radius.
+                let (anchor, r) = constraints[0];
+                return CbgResult {
+                    estimate: anchor,
+                    radius_km: r * scale,
+                    feasible_points: 0,
+                    relaxations,
+                };
+            }
+        }
+    }
+
+    /// Grid-searches the disk of the tightest constraint for feasible
+    /// points; `None` if the intersection is empty at this scale.
+    ///
+    /// Two-phase search: a coarse pass over the whole disk locates the
+    /// feasible region, a refinement pass at 4× resolution over its
+    /// bounding box tightens the centroid and the reported radius.
+    fn solve(&self, constraints: &[(Coord, f64)], scale: f64, relaxations: u32) -> Option<CbgResult> {
+        const GRID: i32 = 16; // (2·16+1)² = 1089 candidates per pass
+        let (anchor, r0) = constraints[0];
+        let r = r0 * scale;
+        let coarse_step = r / GRID as f64;
+        let coarse = grid_pass(constraints, scale, anchor, r, coarse_step);
+        if coarse.is_empty() {
+            return None;
+        }
+        // Refine over the coarse feasible set's bounding disk.
+        let coarse_centroid =
+            Coord::centroid(coarse.iter().copied()).expect("coarse set is non-empty");
+        let coarse_radius = coarse
+            .iter()
+            .map(|p| coarse_centroid.distance_km(*p))
+            .fold(0.0, f64::max)
+            + coarse_step;
+        let fine_step = (coarse_radius / GRID as f64).max(coarse_step / 8.0);
+        let fine = grid_pass(constraints, scale, coarse_centroid, coarse_radius, fine_step);
+        let feasible = if fine.is_empty() { coarse } else { fine };
+        let step_km = if feasible.len() == 1 {
+            coarse_step
+        } else {
+            fine_step
+        };
+        let estimate =
+            Coord::centroid(feasible.iter().copied()).expect("feasible set is non-empty");
+        let radius_km = feasible
+            .iter()
+            .map(|p| estimate.distance_km(*p))
+            .fold(0.0, f64::max)
+            + step_km;
+        Some(CbgResult {
+            estimate,
+            radius_km,
+            feasible_points: feasible.len(),
+            relaxations,
+        })
+    }
+}
+
+/// One rectangular-grid feasibility pass over the disk `(center, radius)`.
+fn grid_pass(
+    constraints: &[(Coord, f64)],
+    scale: f64,
+    center: Coord,
+    radius_km: f64,
+    step_km: f64,
+) -> Vec<Coord> {
+    let n = (radius_km / step_km).ceil() as i32;
+    let mut feasible = Vec::new();
+    for iy in -n..=n {
+        for ix in -n..=n {
+            let dx = ix as f64 * step_km;
+            let dy = iy as f64 * step_km;
+            if dx * dx + dy * dy > radius_km * radius_km {
+                continue;
+            }
+            let lat = center.lat + dy / 111.0;
+            let lon = center.lon + dx / (111.0 * center.lat.to_radians().cos().max(0.05));
+            if !(-90.0..=90.0).contains(&lat) {
+                continue;
+            }
+            let p = Coord {
+                lat,
+                lon: (lon + 540.0).rem_euclid(360.0) - 180.0,
+            };
+            if constraints
+                .iter()
+                .all(|&(c, cr)| p.distance_km(c) <= cr * scale)
+            {
+                feasible.push(p);
+            }
+        }
+    }
+    feasible
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ytcdn_geomodel::CityDb;
+    use ytcdn_netsim::{landmarks_with_counts, planetlab_landmarks, AccessKind};
+    use ytcdn_geomodel::Continent;
+
+    fn small_cbg() -> Cbg {
+        // A reduced landmark set keeps the tests fast while preserving
+        // worldwide coverage.
+        let lms = landmarks_with_counts(
+            3,
+            &[
+                (Continent::NorthAmerica, 20),
+                (Continent::Europe, 20),
+                (Continent::Asia, 8),
+                (Continent::SouthAmerica, 3),
+                (Continent::Oceania, 2),
+            ],
+        );
+        Cbg::calibrate(lms, DelayModel::default(), 3, 11)
+    }
+
+    fn dc_at(city: &str) -> Endpoint {
+        Endpoint::new(CityDb::builtin().expect(city).coord, AccessKind::DataCenter)
+    }
+
+    #[test]
+    fn localizes_european_target_to_right_area() {
+        let cbg = small_cbg();
+        let mut rng = StdRng::seed_from_u64(1);
+        let target = dc_at("Paris");
+        let r = cbg.localize(&target, &mut rng);
+        let err = r.estimate.distance_km(target.coord);
+        assert!(err < 400.0, "error {err} km, radius {}", r.radius_km);
+    }
+
+    #[test]
+    fn localizes_us_target_to_right_area() {
+        let cbg = small_cbg();
+        let mut rng = StdRng::seed_from_u64(2);
+        let target = dc_at("Chicago");
+        let r = cbg.localize(&target, &mut rng);
+        let err = r.estimate.distance_km(target.coord);
+        assert!(err < 500.0, "error {err} km, radius {}", r.radius_km);
+    }
+
+    #[test]
+    fn transcontinental_confusion_does_not_happen() {
+        let cbg = small_cbg();
+        let mut rng = StdRng::seed_from_u64(3);
+        for city in ["Tokyo", "Sao Paulo", "Sydney"] {
+            let target = dc_at(city);
+            let r = cbg.localize(&target, &mut rng);
+            let err = r.estimate.distance_km(target.coord);
+            assert!(err < 1500.0, "{city}: error {err} km");
+        }
+    }
+
+    #[test]
+    fn radius_reflects_estimate_quality() {
+        let cbg = small_cbg();
+        let mut rng = StdRng::seed_from_u64(4);
+        // A target in dense landmark territory gets a tighter region than
+        // one in sparse territory.
+        let dense = cbg.localize(&dc_at("Frankfurt"), &mut rng);
+        let sparse = cbg.localize(&dc_at("Johannesburg"), &mut rng);
+        assert!(
+            dense.radius_km < sparse.radius_km,
+            "dense {} vs sparse {}",
+            dense.radius_km,
+            sparse.radius_km
+        );
+    }
+
+    #[test]
+    fn intercepts_are_positive_and_bounded() {
+        let cbg = small_cbg();
+        for i in 0..cbg.landmarks().len() {
+            let b = cbg.intercept(i);
+            assert!(b > 0.0, "landmark {i} intercept {b}");
+            assert!(b < 50.0, "landmark {i} intercept {b}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_rng_seed() {
+        let cbg = small_cbg();
+        let t = dc_at("Madrid");
+        let a = cbg.localize(&t, &mut StdRng::seed_from_u64(7));
+        let b = cbg.localize(&t, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 landmarks")]
+    fn too_few_landmarks_rejected() {
+        let lms = planetlab_landmarks(0)[..2].to_vec();
+        let _ = Cbg::calibrate(lms, DelayModel::default(), 3, 0);
+    }
+
+    #[test]
+    fn more_landmarks_do_not_hurt_much() {
+        // Sanity for the landmark-count ablation: 215 landmarks should be at
+        // least roughly as accurate as 50 on a European target.
+        let big = Cbg::calibrate(planetlab_landmarks(5), DelayModel::default(), 3, 5);
+        let small = small_cbg();
+        let t = dc_at("Milan");
+        let rb = big.localize(&t, &mut StdRng::seed_from_u64(8));
+        let rs = small.localize(&t, &mut StdRng::seed_from_u64(8));
+        let eb = rb.estimate.distance_km(t.coord);
+        let es = rs.estimate.distance_km(t.coord);
+        assert!(eb < es + 300.0, "big {eb} vs small {es}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Grouping geolocated servers into data centers.
+//!
+//! Section V: "servers are grouped into the same data center if they are
+//! located in the same city according to CBG. We note that all servers with
+//! IP addresses in the same /24 subnet are always aggregated to the same
+//! data center using this approach."
+//!
+//! [`cluster_by_city`] implements that rule: each /24 is assigned the city
+//! nearest to the centroid of its members' CBG estimates, and clusters are
+//! keyed by city.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use ytcdn_geomodel::{City, CityDb, Coord};
+use ytcdn_netsim::Ipv4Block;
+
+/// A data center inferred from geolocation: a city plus the servers
+/// clustered there.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CityCluster {
+    /// The city the cluster was assigned to.
+    pub city_name: String,
+    /// City coordinates.
+    pub city_coord: Coord,
+    /// Member servers.
+    pub servers: Vec<Ipv4Addr>,
+}
+
+impl CityCluster {
+    /// Number of servers in the cluster.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the cluster is empty (not produced by [`cluster_by_city`]).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+}
+
+/// Clusters `(server, estimated position)` pairs into data centers.
+///
+/// Steps: group servers by /24 → average each /24's estimates → snap the
+/// average to the nearest city in `cities` → merge /24s snapped to the same
+/// city. Output is sorted by descending cluster size, ties by city name.
+pub fn cluster_by_city(estimates: &[(Ipv4Addr, Coord)], cities: &CityDb) -> Vec<CityCluster> {
+    // Group estimates by /24.
+    let mut by_block: BTreeMap<Ipv4Block, Vec<(Ipv4Addr, Coord)>> = BTreeMap::new();
+    for &(ip, coord) in estimates {
+        by_block
+            .entry(Ipv4Block::slash24_of(ip))
+            .or_default()
+            .push((ip, coord));
+    }
+    // Snap each /24 to a city.
+    let mut by_city: BTreeMap<&'static str, (&'static City, Vec<Ipv4Addr>)> = BTreeMap::new();
+    for members in by_block.into_values() {
+        let centroid = Coord::centroid(members.iter().map(|&(_, c)| c))
+            .expect("block groups are non-empty by construction");
+        let (city, _) = cities.nearest(centroid);
+        let entry = by_city.entry(city.name).or_insert_with(|| (city, Vec::new()));
+        entry.1.extend(members.iter().map(|&(ip, _)| ip));
+    }
+    let mut clusters: Vec<CityCluster> = by_city
+        .into_values()
+        .map(|(city, mut servers)| {
+            servers.sort();
+            CityCluster {
+                city_name: city.name.to_owned(),
+                city_coord: city.coord,
+                servers,
+            }
+        })
+        .collect();
+    clusters.sort_by(|a, b| b.len().cmp(&a.len()).then(a.city_name.cmp(&b.city_name)));
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coord_of(name: &str) -> Coord {
+        CityDb::builtin().expect(name).coord
+    }
+
+    #[test]
+    fn same_slash24_always_together() {
+        let cities = CityDb::builtin();
+        // Two servers of one /24 with estimates pulled toward different
+        // cities still end in a single cluster.
+        let estimates = vec![
+            ("74.125.1.1".parse().unwrap(), coord_of("Milan")),
+            (
+                "74.125.1.2".parse().unwrap(),
+                coord_of("Milan").offset_km(200.0, 120.0),
+            ),
+        ];
+        let clusters = cluster_by_city(&estimates, &cities);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 2);
+    }
+
+    #[test]
+    fn distinct_cities_form_distinct_clusters() {
+        let cities = CityDb::builtin();
+        let estimates = vec![
+            ("74.125.1.1".parse().unwrap(), coord_of("Milan")),
+            ("74.125.2.1".parse().unwrap(), coord_of("Tokyo")),
+            ("74.125.3.1".parse().unwrap(), coord_of("Chicago")),
+        ];
+        let clusters = cluster_by_city(&estimates, &cities);
+        assert_eq!(clusters.len(), 3);
+        let names: Vec<_> = clusters.iter().map(|c| c.city_name.as_str()).collect();
+        assert!(names.contains(&"Milan"));
+        assert!(names.contains(&"Tokyo"));
+        assert!(names.contains(&"Chicago"));
+    }
+
+    #[test]
+    fn noisy_estimates_snap_to_nearest_city() {
+        let cities = CityDb::builtin();
+        // 30 km off Paris still clusters as Paris.
+        let near_paris = coord_of("Paris").offset_km(45.0, 30.0);
+        let clusters = cluster_by_city(&[("74.125.9.9".parse().unwrap(), near_paris)], &cities);
+        assert_eq!(clusters[0].city_name, "Paris");
+    }
+
+    #[test]
+    fn different_slash24s_same_city_merge() {
+        let cities = CityDb::builtin();
+        let estimates = vec![
+            ("74.125.1.1".parse().unwrap(), coord_of("Milan")),
+            ("74.125.2.1".parse().unwrap(), coord_of("Milan").offset_km(10.0, 5.0)),
+        ];
+        let clusters = cluster_by_city(&estimates, &cities);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 2);
+    }
+
+    #[test]
+    fn sorted_by_size_desc() {
+        let cities = CityDb::builtin();
+        let mut estimates = vec![("74.125.9.1".parse().unwrap(), coord_of("Tokyo"))];
+        for i in 0..5u8 {
+            estimates.push((
+                format!("74.125.1.{i}").parse().unwrap(),
+                coord_of("Milan"),
+            ));
+        }
+        let clusters = cluster_by_city(&estimates, &cities);
+        assert_eq!(clusters[0].city_name, "Milan");
+        assert_eq!(clusters[0].len(), 5);
+        assert_eq!(clusters[1].len(), 1);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let cities = CityDb::builtin();
+        assert!(cluster_by_city(&[], &cities).is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! The IP-geolocation-database baseline.
+//!
+//! Section V of the paper: "according to the Maxmind database, all YouTube
+//! content servers found in the datasets should be located in Mountain View,
+//! California, USA" — which RTT measurements immediately falsify. This
+//! module reproduces that failure mode: a prefix database that knows
+//! consumer ISP ranges reasonably well but maps every address of a large
+//! corporate network to the company's headquarters.
+
+use std::net::Ipv4Addr;
+
+use ytcdn_geomodel::{CityDb, Coord};
+use ytcdn_netsim::Ipv4Block;
+
+/// A toy IP-to-location database with MaxMind's 2010-era blind spot.
+///
+/// # Examples
+///
+/// ```
+/// use ytcdn_geoloc::MaxmindLike;
+/// use ytcdn_geomodel::CityDb;
+///
+/// let db = MaxmindLike::with_hq_default();
+/// // Any unregistered (corporate CDN) address resolves to Mountain View.
+/// let mv = CityDb::builtin().expect("Mountain View").coord;
+/// let got = db.geolocate("74.125.13.7".parse()?);
+/// assert!(got.distance_km(mv) < 1.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxmindLike {
+    entries: Vec<(Ipv4Block, Coord)>,
+    default: Coord,
+}
+
+impl MaxmindLike {
+    /// A database whose fallback for unknown prefixes is Google's
+    /// headquarters in Mountain View — the paper's observed behaviour.
+    pub fn with_hq_default() -> Self {
+        let mv = CityDb::builtin().expect("Mountain View").coord;
+        Self {
+            entries: Vec::new(),
+            default: mv,
+        }
+    }
+
+    /// A database with an explicit fallback location.
+    pub fn with_default(default: Coord) -> Self {
+        Self {
+            entries: Vec::new(),
+            default,
+        }
+    }
+
+    /// Registers a known prefix (e.g. a consumer ISP range).
+    pub fn register(&mut self, block: Ipv4Block, location: Coord) {
+        self.entries.push((block, location));
+    }
+
+    /// Number of registered prefixes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no prefixes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks an address up: longest registered prefix, or the fallback.
+    pub fn geolocate(&self, addr: Ipv4Addr) -> Coord {
+        self.entries
+            .iter()
+            .filter(|(b, _)| b.contains(addr))
+            .max_by_key(|(b, _)| b.prefix_len())
+            .map(|&(_, c)| c)
+            .unwrap_or(self.default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_goes_to_default() {
+        let db = MaxmindLike::with_hq_default();
+        let a = db.geolocate("74.125.99.1".parse().unwrap());
+        let b = db.geolocate("208.117.230.9".parse().unwrap());
+        // Both "located" in the same place although the real servers could
+        // be continents apart — the failure the paper demonstrates.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn registered_prefix_wins() {
+        let mut db = MaxmindLike::with_hq_default();
+        let turin = CityDb::builtin().expect("Turin").coord;
+        db.register("151.38.0.0/16".parse().unwrap(), turin);
+        assert_eq!(db.geolocate("151.38.4.4".parse().unwrap()), turin);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn longest_prefix_match() {
+        let mut db = MaxmindLike::with_hq_default();
+        let turin = CityDb::builtin().expect("Turin").coord;
+        let milan = CityDb::builtin().expect("Milan").coord;
+        db.register("151.0.0.0/8".parse().unwrap(), turin);
+        db.register("151.38.0.0/16".parse().unwrap(), milan);
+        assert_eq!(db.geolocate("151.38.1.1".parse().unwrap()), milan);
+        assert_eq!(db.geolocate("151.99.1.1".parse().unwrap()), turin);
+    }
+
+    #[test]
+    fn custom_default() {
+        let paris = CityDb::builtin().expect("Paris").coord;
+        let db = MaxmindLike::with_default(paris);
+        assert_eq!(db.geolocate("1.2.3.4".parse().unwrap()), paris);
+        assert!(db.is_empty());
+    }
+}

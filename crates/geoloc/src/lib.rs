@@ -1,0 +1,48 @@
+//! Delay-based geolocation.
+//!
+//! Section V of the paper geolocates every YouTube server seen in the
+//! traces. Database lookups fail for CDN-internal addresses (MaxMind placed
+//! every YouTube server in Mountain View), and reverse DNS is disabled on
+//! the new infrastructure, so the authors run **CBG** — Constraint-Based
+//! Geolocation (Gueye et al., ToN 2006) — from 215 PlanetLab landmarks.
+//!
+//! This crate implements all three pieces:
+//!
+//! * [`Cbg`] — the constraint-based algorithm: per-landmark *bestline*
+//!   calibration against the other landmarks, RTT-to-distance upper bounds,
+//!   intersection of the resulting disks, and a centroid estimate with a
+//!   confidence-region radius (the quantity of the paper's Figure 3);
+//! * [`MaxmindLike`] — the failing baseline: a prefix-keyed database that
+//!   sends every unknown corporate address to one headquarters location;
+//! * [`cluster_by_city`] — the paper's aggregation rule: "servers are
+//!   grouped into the same data center if they are located in the same
+//!   city", with /24-mates always landing together.
+//!
+//! # Examples
+//!
+//! ```
+//! use ytcdn_geomodel::{CityDb, Coord};
+//! use ytcdn_netsim::{planetlab_landmarks, AccessKind, DelayModel, Endpoint};
+//! use ytcdn_geoloc::Cbg;
+//!
+//! let landmarks = planetlab_landmarks(1);
+//! let cbg = Cbg::calibrate(landmarks, DelayModel::default(), 3, 7);
+//! let target = Endpoint::new(CityDb::builtin().expect("Paris").coord, AccessKind::DataCenter);
+//! let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(99);
+//! let result = cbg.localize(&target, &mut rng);
+//! let err = result.estimate.distance_km(target.coord);
+//! assert!(err < 500.0, "estimate {} km off", err);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cbg;
+mod cluster;
+mod ipdb;
+mod shortest_ping;
+
+pub use cbg::{Cbg, CbgResult};
+pub use cluster::{cluster_by_city, CityCluster};
+pub use ipdb::MaxmindLike;
+pub use shortest_ping::{ShortestPing, ShortestPingResult};

@@ -1,0 +1,143 @@
+//! The Shortest-Ping baseline.
+//!
+//! The simplest delay-based geolocation scheme: declare the target to be at
+//! the position of the landmark with the smallest RTT to it. CBG's original
+//! evaluation (Gueye et al.) uses it as the baseline; it is accurate only
+//! where the landmark set is dense, and it provides no confidence region.
+//! We implement it both as a comparison point for CBG (the paper's choice)
+//! and as a fast pre-filter.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ytcdn_geomodel::Coord;
+use ytcdn_netsim::{DelayModel, Endpoint, Landmark, Pinger};
+
+/// Result of a shortest-ping localization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShortestPingResult {
+    /// The estimate: the nearest landmark's position.
+    pub estimate: Coord,
+    /// Name of the winning landmark.
+    pub landmark: String,
+    /// Its measured min-RTT, ms.
+    pub rtt_ms: f64,
+}
+
+/// Shortest-ping localizer over a landmark set.
+///
+/// # Examples
+///
+/// ```
+/// use ytcdn_geoloc::ShortestPing;
+/// use ytcdn_geomodel::CityDb;
+/// use ytcdn_netsim::{planetlab_landmarks, AccessKind, DelayModel, Endpoint};
+///
+/// let sp = ShortestPing::new(planetlab_landmarks(1), DelayModel::default(), 3);
+/// let target = Endpoint::new(CityDb::builtin().expect("Berlin").coord, AccessKind::DataCenter);
+/// let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+/// let r = sp.localize(&target, &mut rng);
+/// assert!(r.estimate.distance_km(target.coord) < 800.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShortestPing {
+    landmarks: Vec<Landmark>,
+    model: DelayModel,
+    probes: u32,
+}
+
+impl ShortestPing {
+    /// Creates a localizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `landmarks` is empty.
+    pub fn new(landmarks: Vec<Landmark>, model: DelayModel, probes: u32) -> Self {
+        assert!(!landmarks.is_empty(), "shortest-ping needs landmarks");
+        Self {
+            landmarks,
+            model,
+            probes,
+        }
+    }
+
+    /// The landmark set.
+    pub fn landmarks(&self) -> &[Landmark] {
+        &self.landmarks
+    }
+
+    /// Localizes a target: pings it from every landmark and returns the
+    /// closest landmark's position.
+    pub fn localize<R: Rng + ?Sized>(&self, target: &Endpoint, rng: &mut R) -> ShortestPingResult {
+        let pinger = Pinger::new(self.model, self.probes);
+        let (lm, rtt) = self
+            .landmarks
+            .iter()
+            .map(|l| (l, pinger.ping(&l.endpoint(), target, rng).min_ms))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("landmark set is non-empty");
+        ShortestPingResult {
+            estimate: lm.coord,
+            landmark: lm.name.clone(),
+            rtt_ms: rtt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ytcdn_geomodel::{CityDb, Continent};
+    use ytcdn_netsim::{landmarks_with_counts, planetlab_landmarks, AccessKind};
+
+    fn target(city: &str) -> Endpoint {
+        Endpoint::new(CityDb::builtin().expect(city).coord, AccessKind::DataCenter)
+    }
+
+    #[test]
+    fn finds_a_nearby_landmark() {
+        let sp = ShortestPing::new(planetlab_landmarks(2), DelayModel::default(), 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = target("Chicago");
+        let r = sp.localize(&t, &mut rng);
+        assert!(
+            r.estimate.distance_km(t.coord) < 700.0,
+            "off by {} km via {}",
+            r.estimate.distance_km(t.coord),
+            r.landmark
+        );
+    }
+
+    #[test]
+    fn estimate_is_a_landmark_position() {
+        let sp = ShortestPing::new(planetlab_landmarks(3), DelayModel::default(), 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = sp.localize(&target("Madrid"), &mut rng);
+        assert!(sp
+            .landmarks()
+            .iter()
+            .any(|l| l.name == r.landmark && l.coord == r.estimate));
+    }
+
+    #[test]
+    fn degrades_where_landmarks_are_sparse() {
+        // Only NA landmarks: an Asian target lands an ocean away.
+        let sp = ShortestPing::new(
+            landmarks_with_counts(1, &[(Continent::NorthAmerica, 10)]),
+            DelayModel::default(),
+            3,
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = target("Tokyo");
+        let r = sp.localize(&t, &mut rng);
+        assert!(r.estimate.distance_km(t.coord) > 3_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs landmarks")]
+    fn empty_landmarks_rejected() {
+        let _ = ShortestPing::new(vec![], DelayModel::default(), 3);
+    }
+}

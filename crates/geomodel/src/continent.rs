@@ -1,0 +1,168 @@
+//! Coarse continental regions, as used by the paper's Table III.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A continent, at the granularity the paper reports server locations
+/// ("N. America / Europe / Others" in Table III, plus the finer split used
+/// when describing the landmark set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Continent {
+    /// North America.
+    NorthAmerica,
+    /// South America.
+    SouthAmerica,
+    /// Europe.
+    Europe,
+    /// Asia.
+    Asia,
+    /// Africa.
+    Africa,
+    /// Oceania.
+    Oceania,
+}
+
+impl Continent {
+    /// All continents, in a stable order.
+    pub const ALL: [Continent; 6] = [
+        Continent::NorthAmerica,
+        Continent::SouthAmerica,
+        Continent::Europe,
+        Continent::Asia,
+        Continent::Africa,
+        Continent::Oceania,
+    ];
+
+    /// Collapses the continent into the three buckets of the paper's
+    /// Table III: North America, Europe, and everything else.
+    pub fn table3_bucket(self) -> Table3Bucket {
+        match self {
+            Continent::NorthAmerica => Table3Bucket::NorthAmerica,
+            Continent::Europe => Table3Bucket::Europe,
+            _ => Table3Bucket::Others,
+        }
+    }
+
+    /// Short ASCII name, e.g. `"EU"` for Europe.
+    pub fn code(self) -> &'static str {
+        match self {
+            Continent::NorthAmerica => "NA",
+            Continent::SouthAmerica => "SA",
+            Continent::Europe => "EU",
+            Continent::Asia => "AS",
+            Continent::Africa => "AF",
+            Continent::Oceania => "OC",
+        }
+    }
+}
+
+impl fmt::Display for Continent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Continent::NorthAmerica => "North America",
+            Continent::SouthAmerica => "South America",
+            Continent::Europe => "Europe",
+            Continent::Asia => "Asia",
+            Continent::Africa => "Africa",
+            Continent::Oceania => "Oceania",
+        };
+        f.write_str(name)
+    }
+}
+
+impl FromStr for Continent {
+    type Err = ParseContinentError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "NA" | "North America" => Ok(Continent::NorthAmerica),
+            "SA" | "South America" => Ok(Continent::SouthAmerica),
+            "EU" | "Europe" => Ok(Continent::Europe),
+            "AS" | "Asia" => Ok(Continent::Asia),
+            "AF" | "Africa" => Ok(Continent::Africa),
+            "OC" | "Oceania" => Ok(Continent::Oceania),
+            _ => Err(ParseContinentError(s.to_owned())),
+        }
+    }
+}
+
+/// Error returned when parsing a [`Continent`] from an unrecognized string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseContinentError(String);
+
+impl fmt::Display for ParseContinentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognized continent name: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseContinentError {}
+
+/// The three location buckets of the paper's Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Table3Bucket {
+    /// Servers geolocated to North America.
+    NorthAmerica,
+    /// Servers geolocated to Europe.
+    Europe,
+    /// Everywhere else.
+    Others,
+}
+
+impl fmt::Display for Table3Bucket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Table3Bucket::NorthAmerica => "N. America",
+            Table3Bucket::Europe => "Europe",
+            Table3Bucket::Others => "Others",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_code_parse() {
+        for c in Continent::ALL {
+            assert_eq!(c.code().parse::<Continent>().unwrap(), c);
+            assert_eq!(c.to_string().parse::<Continent>().unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!("Atlantis".parse::<Continent>().is_err());
+        let err = "XX".parse::<Continent>().unwrap_err();
+        assert!(err.to_string().contains("XX"));
+    }
+
+    #[test]
+    fn table3_buckets() {
+        assert_eq!(
+            Continent::NorthAmerica.table3_bucket(),
+            Table3Bucket::NorthAmerica
+        );
+        assert_eq!(Continent::Europe.table3_bucket(), Table3Bucket::Europe);
+        for c in [
+            Continent::Asia,
+            Continent::Africa,
+            Continent::Oceania,
+            Continent::SouthAmerica,
+        ] {
+            assert_eq!(c.table3_bucket(), Table3Bucket::Others);
+        }
+    }
+
+    #[test]
+    fn all_contains_six_distinct() {
+        let mut v = Continent::ALL.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 6);
+    }
+}

@@ -1,0 +1,273 @@
+//! WGS84 coordinates and great-circle geometry.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::EARTH_RADIUS_KM;
+
+/// A point on the Earth's surface: latitude and longitude in degrees.
+///
+/// Latitude is positive north, longitude positive east. Construction through
+/// [`Coord::new`] validates the ranges; the type is `Copy` and cheap to pass
+/// by value.
+///
+/// # Examples
+///
+/// ```
+/// use ytcdn_geomodel::Coord;
+///
+/// let turin = Coord::new(45.07, 7.69).unwrap();
+/// let west_lafayette = Coord::new(40.43, -86.91).unwrap();
+/// let km = turin.distance_km(west_lafayette);
+/// assert!((7100.0..7500.0).contains(&km), "got {km}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Coord {
+    /// Latitude in degrees, in `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, in `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl Coord {
+    /// Creates a coordinate, validating that latitude is in `[-90, 90]` and
+    /// longitude in `[-180, 180]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidCoordError`] if either component is out of range or
+    /// not finite.
+    pub fn new(lat: f64, lon: f64) -> Result<Self, InvalidCoordError> {
+        if !lat.is_finite() || !(-90.0..=90.0).contains(&lat) {
+            return Err(InvalidCoordError { lat, lon });
+        }
+        if !lon.is_finite() || !(-180.0..=180.0).contains(&lon) {
+            return Err(InvalidCoordError { lat, lon });
+        }
+        Ok(Self { lat, lon })
+    }
+
+    /// Creates a coordinate without range validation.
+    ///
+    /// Intended for compile-time tables of known-good values; out-of-range
+    /// inputs produce meaningless distances rather than memory unsafety.
+    pub const fn new_unchecked(lat: f64, lon: f64) -> Self {
+        Self { lat, lon }
+    }
+
+    /// Great-circle (haversine) distance to `other`, in kilometers.
+    ///
+    /// Uses the mean Earth radius; accurate to ~0.5 % which is far below the
+    /// error the delay model introduces deliberately.
+    pub fn distance_km(self, other: Coord) -> f64 {
+        let lat1 = self.lat.to_radians();
+        let lat2 = other.lat.to_radians();
+        let dlat = (other.lat - self.lat).to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// Returns the destination reached by travelling `km` kilometers from
+    /// `self` along the initial `bearing_deg` (degrees clockwise from north).
+    ///
+    /// Used by the CBG test harness to place synthetic targets at known
+    /// distances from landmarks.
+    pub fn offset_km(self, bearing_deg: f64, km: f64) -> Coord {
+        let ang = km / EARTH_RADIUS_KM;
+        let brg = bearing_deg.to_radians();
+        let lat1 = self.lat.to_radians();
+        let lon1 = self.lon.to_radians();
+        let lat2 = (lat1.sin() * ang.cos() + lat1.cos() * ang.sin() * brg.cos()).asin();
+        let lon2 = lon1
+            + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
+        // Normalize longitude into [-180, 180].
+        let lon_deg = (lon2.to_degrees() + 540.0).rem_euclid(360.0) - 180.0;
+        Coord {
+            lat: lat2.to_degrees(),
+            lon: lon_deg,
+        }
+    }
+
+    /// Initial bearing from `self` toward `other`, in degrees clockwise
+    /// from north, normalized to `[0, 360)`.
+    ///
+    /// Inverse companion of [`Coord::offset_km`]: travelling from `self`
+    /// along `bearing_deg_to(other)` for `distance_km(other)` kilometers
+    /// arrives at `other`.
+    pub fn bearing_deg_to(self, other: Coord) -> f64 {
+        let lat1 = self.lat.to_radians();
+        let lat2 = other.lat.to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        y.atan2(x).to_degrees().rem_euclid(360.0)
+    }
+
+    /// Geographic midpoint (centroid on the unit sphere) of an iterator of
+    /// coordinates; `None` when the iterator is empty.
+    ///
+    /// CBG uses this to report a point estimate from the feasible region's
+    /// sample points.
+    pub fn centroid<I: IntoIterator<Item = Coord>>(points: I) -> Option<Coord> {
+        let (mut x, mut y, mut z, mut n) = (0.0, 0.0, 0.0, 0usize);
+        for p in points {
+            let lat = p.lat.to_radians();
+            let lon = p.lon.to_radians();
+            x += lat.cos() * lon.cos();
+            y += lat.cos() * lon.sin();
+            z += lat.sin();
+            n += 1;
+        }
+        if n == 0 {
+            return None;
+        }
+        let (x, y, z) = (x / n as f64, y / n as f64, z / n as f64);
+        let hyp = (x * x + y * y).sqrt();
+        Some(Coord {
+            lat: z.atan2(hyp).to_degrees(),
+            lon: y.atan2(x).to_degrees(),
+        })
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.lat, self.lon)
+    }
+}
+
+/// Error returned by [`Coord::new`] for out-of-range components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidCoordError {
+    lat: f64,
+    lon: f64,
+}
+
+impl fmt::Display for InvalidCoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid coordinate: lat {} must be in [-90, 90], lon {} in [-180, 180]",
+            self.lat, self.lon
+        )
+    }
+}
+
+impl std::error::Error for InvalidCoordError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(lat: f64, lon: f64) -> Coord {
+        Coord::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range() {
+        assert!(Coord::new(91.0, 0.0).is_err());
+        assert!(Coord::new(-91.0, 0.0).is_err());
+        assert!(Coord::new(0.0, 181.0).is_err());
+        assert!(Coord::new(0.0, -181.0).is_err());
+        assert!(Coord::new(f64::NAN, 0.0).is_err());
+        assert!(Coord::new(0.0, f64::INFINITY).is_err());
+        assert!(Coord::new(90.0, 180.0).is_ok());
+        assert!(Coord::new(-90.0, -180.0).is_ok());
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = c(45.07, 7.69);
+        assert!(p.distance_km(p) < 1e-9);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = c(40.43, -86.91);
+        let b = c(52.37, 4.90);
+        assert!((a.distance_km(b) - b.distance_km(a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_distances() {
+        // London - New York: ~5570 km.
+        let london = c(51.5074, -0.1278);
+        let nyc = c(40.7128, -74.0060);
+        let d = london.distance_km(nyc);
+        assert!((5500.0..5650.0).contains(&d), "got {d}");
+        // Antipodal-ish: half the Earth's circumference ~ 20015 km.
+        let north = c(90.0, 0.0);
+        let south = c(-90.0, 0.0);
+        let d = north.distance_km(south);
+        assert!((d - std::f64::consts::PI * EARTH_RADIUS_KM).abs() < 1.0);
+    }
+
+    #[test]
+    fn offset_roundtrip_distance() {
+        let start = c(45.0, 7.0);
+        for (bearing, km) in [(0.0, 100.0), (90.0, 1500.0), (200.0, 4000.0), (345.0, 42.0)] {
+            let end = start.offset_km(bearing, km);
+            let measured = start.distance_km(end);
+            assert!(
+                (measured - km).abs() < km * 1e-6 + 1e-6,
+                "bearing {bearing} km {km} -> {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn offset_normalizes_longitude() {
+        let tokyo = c(35.68, 139.69);
+        let east = tokyo.offset_km(90.0, 5000.0);
+        assert!((-180.0..=180.0).contains(&east.lon), "lon {}", east.lon);
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let origin = c(0.0, 0.0);
+        assert!((origin.bearing_deg_to(c(1.0, 0.0)) - 0.0).abs() < 1e-6); // north
+        assert!((origin.bearing_deg_to(c(0.0, 1.0)) - 90.0).abs() < 1e-6); // east
+        assert!((origin.bearing_deg_to(c(-1.0, 0.0)) - 180.0).abs() < 1e-6); // south
+        assert!((origin.bearing_deg_to(c(0.0, -1.0)) - 270.0).abs() < 1e-6); // west
+    }
+
+    #[test]
+    fn bearing_offset_roundtrip() {
+        let start = c(45.07, 7.69);
+        for (bearing, km) in [(33.0, 500.0), (200.0, 1500.0), (350.0, 80.0)] {
+            let end = start.offset_km(bearing, km);
+            let back = start.bearing_deg_to(end);
+            let diff = (back - bearing).abs().min(360.0 - (back - bearing).abs());
+            assert!(diff < 0.5, "bearing {bearing} -> {back}");
+        }
+    }
+
+    #[test]
+    fn centroid_of_single_point_is_that_point() {
+        let p = c(12.0, 34.0);
+        let g = Coord::centroid([p]).unwrap();
+        assert!((g.lat - 12.0).abs() < 1e-9 && (g.lon - 34.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_of_empty_is_none() {
+        assert!(Coord::centroid(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn centroid_between_two_points_lies_between() {
+        let a = c(0.0, 0.0);
+        let b = c(0.0, 10.0);
+        let g = Coord::centroid([a, b]).unwrap();
+        assert!((g.lon - 5.0).abs() < 1e-6, "got {g}");
+        assert!(g.lat.abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = c(1.23456, -7.0);
+        assert_eq!(p.to_string(), "(1.2346, -7.0000)");
+    }
+}

@@ -1,0 +1,102 @@
+//! Geographic substrate for the YouTube CDN reproduction.
+//!
+//! The measurement study this workspace reproduces ("Dissecting Video Server
+//! Selection Strategies in the YouTube CDN", ICDCS 2011) reasons about the
+//! physical placement of clients, landmarks, and data centers: round-trip
+//! times are bounded below by speed-of-light propagation, CBG geolocation
+//! triangulates hosts from delay measurements, and servers are clustered into
+//! data centers by city. This crate provides the geometric primitives those
+//! layers share:
+//!
+//! * [`Coord`] — a WGS84 latitude/longitude pair with great-circle
+//!   ([haversine](Coord::distance_km)) distance,
+//! * [`Continent`] — the coarse regions used by the paper's Table III,
+//! * [`City`] and [`CityDb`] — a built-in database of world cities at which
+//!   vantage points, landmarks, and data centers are placed,
+//! * propagation constants used by the delay model and by CBG's physical
+//!   lower bound.
+//!
+//! # Examples
+//!
+//! ```
+//! use ytcdn_geomodel::{CityDb, Coord};
+//!
+//! let db = CityDb::builtin();
+//! let chicago = db.get("Chicago").unwrap();
+//! let amsterdam = db.get("Amsterdam").unwrap();
+//! let km = chicago.coord.distance_km(amsterdam.coord);
+//! assert!((6600.0..6800.0).contains(&km), "got {km}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod city;
+mod continent;
+mod coord;
+
+pub use city::{City, CityDb, WORLD_CITIES};
+pub use continent::{Continent, ParseContinentError, Table3Bucket};
+pub use coord::{Coord, InvalidCoordError};
+
+/// Speed of light in vacuum, km per millisecond.
+pub const SPEED_OF_LIGHT_KM_PER_MS: f64 = 299.792_458;
+
+/// Effective signal speed in optical fiber, km per millisecond.
+///
+/// Light in fiber propagates at roughly 2/3 of `c`; this is the constant CBG
+/// and the delay model use to convert between distance and the *minimum*
+/// possible one-way delay.
+pub const FIBER_KM_PER_MS: f64 = SPEED_OF_LIGHT_KM_PER_MS * 2.0 / 3.0;
+
+/// Mean Earth radius in kilometers (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Lower bound on the RTT (in ms) between two points `km` apart.
+///
+/// This is the physical constraint CBG relies on: a signal cannot do the
+/// round trip faster than fiber-speed propagation along the great circle.
+///
+/// # Examples
+///
+/// ```
+/// let rtt = ytcdn_geomodel::min_rtt_ms(1000.0);
+/// assert!((10.0..10.1).contains(&rtt));
+/// ```
+pub fn min_rtt_ms(km: f64) -> f64 {
+    2.0 * km / FIBER_KM_PER_MS
+}
+
+/// Upper bound on the distance (in km) implied by an RTT measurement.
+///
+/// Inverse of [`min_rtt_ms`]: a host whose RTT is `rtt_ms` can be at most
+/// this many kilometers away. This is the radius CBG draws around each
+/// landmark before tightening it with the calibrated bestline.
+pub fn max_distance_km(rtt_ms: f64) -> f64 {
+    rtt_ms * FIBER_KM_PER_MS / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_rtt_and_max_distance_are_inverse() {
+        for km in [1.0, 10.0, 500.0, 12000.0] {
+            let rtt = min_rtt_ms(km);
+            let back = max_distance_km(rtt);
+            assert!((back - km).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fiber_speed_is_two_thirds_c() {
+        assert!((FIBER_KM_PER_MS - 199.861).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_distance_zero_rtt() {
+        assert_eq!(min_rtt_ms(0.0), 0.0);
+        assert_eq!(max_distance_km(0.0), 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Autonomous-system numbers and a whois-like prefix registry.
+//!
+//! Section IV of the paper maps every server IP to its AS with `whois` and
+//! breaks traffic down across AS 15169 (Google), AS 43515 (YouTube-EU), the
+//! monitored network's own AS (the EU2 in-ISP data center), and a residue of
+//! transit ASes. [`AsRegistry`] reproduces that lookup: longest-prefix match
+//! over registered CIDR blocks.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ip::Ipv4Block;
+
+/// An autonomous-system number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// Google Inc. (AS 15169) — hosts most YouTube servers in the paper.
+    pub const GOOGLE: Asn = Asn(15169);
+    /// YouTube-EU (AS 43515) — legacy infrastructure, a few percent of bytes.
+    pub const YOUTUBE_EU: Asn = Asn(43515);
+    /// The original pre-acquisition YouTube AS (AS 36561), "now not used".
+    pub const YOUTUBE_LEGACY: Asn = Asn(36561);
+    /// Cable & Wireless (AS 1273), one of the "other" ASes of Table II.
+    pub const CW: Asn = Asn(1273);
+    /// Global Crossing (AS 3549), the other named transit AS.
+    pub const GBLX: Asn = Asn(3549);
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// The Table II column an AS falls into, relative to a monitored network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum WellKnownAs {
+    /// Google Inc., AS 15169.
+    Google,
+    /// YouTube-EU, AS 43515.
+    YouTubeEu,
+    /// The AS the dataset itself was collected in (EU2's in-ISP data center).
+    SameAs,
+    /// Any other AS (transit providers etc.).
+    Other,
+}
+
+impl WellKnownAs {
+    /// Classifies `asn` relative to the monitored network's own `home` AS.
+    pub fn classify(asn: Asn, home: Asn) -> WellKnownAs {
+        if asn == home {
+            // The paper counts the in-ISP data center under "same AS" even
+            // though it is operated by Google.
+            WellKnownAs::SameAs
+        } else if asn == Asn::GOOGLE {
+            WellKnownAs::Google
+        } else if asn == Asn::YOUTUBE_EU {
+            WellKnownAs::YouTubeEu
+        } else {
+            WellKnownAs::Other
+        }
+    }
+}
+
+impl fmt::Display for WellKnownAs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WellKnownAs::Google => "AS 15169 Google Inc.",
+            WellKnownAs::YouTubeEu => "AS 43515 YouTube-EU",
+            WellKnownAs::SameAs => "Same AS",
+            WellKnownAs::Other => "Others",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Longest-prefix-match registry of CIDR block → AS, i.e. a tiny whois.
+///
+/// # Examples
+///
+/// ```
+/// use ytcdn_netsim::{AsRegistry, Asn};
+///
+/// let mut reg = AsRegistry::new();
+/// reg.register("74.125.0.0/16".parse()?, Asn::GOOGLE);
+/// reg.register("74.125.99.0/24".parse()?, Asn(64512));
+/// // Longest prefix wins.
+/// assert_eq!(reg.lookup("74.125.99.1".parse()?), Some(Asn(64512)));
+/// assert_eq!(reg.lookup("74.125.1.1".parse()?), Some(Asn::GOOGLE));
+/// assert_eq!(reg.lookup("8.8.8.8".parse()?), None);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AsRegistry {
+    // Sorted by (prefix_len desc) lazily at lookup; the table is small
+    // (tens of entries) so a linear scan keeps the structure simple.
+    entries: Vec<(Ipv4Block, Asn)>,
+}
+
+impl AsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `block` as belonging to `asn`.
+    ///
+    /// Re-registering the same block overrides the previous owner, mirroring
+    /// how more recent routing data supersedes older data.
+    pub fn register(&mut self, block: Ipv4Block, asn: Asn) {
+        if let Some(e) = self.entries.iter_mut().find(|(b, _)| *b == block) {
+            e.1 = asn;
+        } else {
+            self.entries.push((block, asn));
+        }
+    }
+
+    /// Longest-prefix-match lookup of the AS owning `addr`.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<Asn> {
+        self.entries
+            .iter()
+            .filter(|(b, _)| b.contains(addr))
+            .max_by_key(|(b, _)| b.prefix_len())
+            .map(|&(_, asn)| asn)
+    }
+
+    /// Classifies `addr` into a Table II bucket, relative to `home`.
+    ///
+    /// Unregistered addresses classify as [`WellKnownAs::Other`], matching
+    /// how whois failures end up in the residual column.
+    pub fn classify(&self, addr: Ipv4Addr, home: Asn) -> WellKnownAs {
+        match self.lookup(addr) {
+            Some(asn) => WellKnownAs::classify(asn, home),
+            None => WellKnownAs::Other,
+        }
+    }
+
+    /// Number of registered blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(block, asn)` registrations in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Block, Asn)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_well_known() {
+        let home = Asn(3269);
+        assert_eq!(
+            WellKnownAs::classify(Asn::GOOGLE, home),
+            WellKnownAs::Google
+        );
+        assert_eq!(
+            WellKnownAs::classify(Asn::YOUTUBE_EU, home),
+            WellKnownAs::YouTubeEu
+        );
+        assert_eq!(WellKnownAs::classify(home, home), WellKnownAs::SameAs);
+        assert_eq!(WellKnownAs::classify(Asn::CW, home), WellKnownAs::Other);
+        assert_eq!(WellKnownAs::classify(Asn::GBLX, home), WellKnownAs::Other);
+    }
+
+    #[test]
+    fn same_as_beats_google_when_home_is_google() {
+        // Degenerate but well-defined: if the dataset were collected inside
+        // Google, Google servers count as "same AS".
+        assert_eq!(
+            WellKnownAs::classify(Asn::GOOGLE, Asn::GOOGLE),
+            WellKnownAs::SameAs
+        );
+    }
+
+    #[test]
+    fn longest_prefix_match() {
+        let mut reg = AsRegistry::new();
+        reg.register("10.0.0.0/8".parse().unwrap(), Asn(1));
+        reg.register("10.1.0.0/16".parse().unwrap(), Asn(2));
+        reg.register("10.1.2.0/24".parse().unwrap(), Asn(3));
+        assert_eq!(reg.lookup("10.1.2.3".parse().unwrap()), Some(Asn(3)));
+        assert_eq!(reg.lookup("10.1.3.3".parse().unwrap()), Some(Asn(2)));
+        assert_eq!(reg.lookup("10.2.0.1".parse().unwrap()), Some(Asn(1)));
+        assert_eq!(reg.lookup("11.0.0.1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn reregister_overrides() {
+        let mut reg = AsRegistry::new();
+        let b = "10.0.0.0/8".parse().unwrap();
+        reg.register(b, Asn(1));
+        reg.register(b, Asn(2));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.lookup("10.0.0.1".parse().unwrap()), Some(Asn(2)));
+    }
+
+    #[test]
+    fn classify_unregistered_is_other() {
+        let reg = AsRegistry::new();
+        assert_eq!(
+            reg.classify("192.0.2.1".parse().unwrap(), Asn(100)),
+            WellKnownAs::Other
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Asn::GOOGLE.to_string(), "AS15169");
+        assert_eq!(WellKnownAs::Google.to_string(), "AS 15169 Google Inc.");
+        assert_eq!(WellKnownAs::SameAs.to_string(), "Same AS");
+    }
+}

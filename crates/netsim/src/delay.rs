@@ -1,0 +1,309 @@
+//! The physics-based delay model.
+//!
+//! Every RTT in the reproduction comes from this model. It enforces the one
+//! physical law CBG depends on — a packet cannot beat fiber-speed great-
+//! circle propagation — and layers the real-world effects on top:
+//!
+//! * **path inflation** ("stretch"): Internet paths are not great circles;
+//!   measured RTTs run 1.2–1.9× the propagation floor. The factor is
+//!   *deterministic per endpoint pair* (hashed from the coordinates), so the
+//!   minimum RTT over many probes is stable, as it is in practice.
+//! * **access latency**: the last mile adds a technology-dependent constant
+//!   (ADSL interleaving ≈ 15 ms, FTTH ≈ 2 ms, …). This is what separates the
+//!   EU1-ADSL and EU1-FTTH curves in the paper's Figure 2 even though the
+//!   two PoPs are in the same country.
+//! * **queueing noise**: each probe adds a random exponential component;
+//!   min-filtering over several probes recovers the floor.
+
+use std::hash::{Hash, Hasher};
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ytcdn_geomodel::{min_rtt_ms, Coord};
+
+/// Access technology of an endpoint; determines last-mile latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// University campus network (high-capacity Ethernet uplink).
+    Campus,
+    /// Consumer ADSL (interleaved DSLAM path, the slow last mile of EU1-ADSL).
+    Adsl,
+    /// Consumer fiber-to-the-home (EU1-FTTH).
+    Ftth,
+    /// An ISP point-of-presence or backbone router (vantage-point probes).
+    IspPop,
+    /// A server inside a data center.
+    DataCenter,
+}
+
+impl AccessKind {
+    /// Deterministic last-mile latency contribution, in ms (one way ×2
+    /// folded into a single RTT constant).
+    pub fn base_latency_ms(self) -> f64 {
+        match self {
+            AccessKind::Campus => 1.0,
+            AccessKind::Adsl => 16.0,
+            AccessKind::Ftth => 2.0,
+            AccessKind::IspPop => 0.8,
+            AccessKind::DataCenter => 0.4,
+        }
+    }
+
+    /// Mean of the exponential queueing noise added per probe, in ms.
+    pub fn noise_mean_ms(self) -> f64 {
+        match self {
+            AccessKind::Campus => 1.5,
+            AccessKind::Adsl => 8.0,
+            AccessKind::Ftth => 2.0,
+            AccessKind::IspPop => 1.0,
+            AccessKind::DataCenter => 0.5,
+        }
+    }
+}
+
+/// A network endpoint: a location plus its access technology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// Physical location.
+    pub coord: Coord,
+    /// Access technology.
+    pub access: AccessKind,
+}
+
+impl Endpoint {
+    /// Creates an endpoint.
+    pub fn new(coord: Coord, access: AccessKind) -> Self {
+        Self { coord, access }
+    }
+}
+
+/// Parameters of the delay model.
+///
+/// The defaults are tuned so that transatlantic RTTs land in the 90–150 ms
+/// band and same-continent RTTs in the 10–60 ms band, matching the paper's
+/// Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayModel {
+    /// Minimum path-inflation factor (≥ 1.0 to preserve the physical bound).
+    pub min_inflation: f64,
+    /// Maximum path-inflation factor.
+    pub max_inflation: f64,
+    /// Fixed per-path processing overhead added to every RTT, in ms.
+    pub hop_overhead_ms: f64,
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        Self {
+            min_inflation: 1.2,
+            max_inflation: 1.9,
+            hop_overhead_ms: 1.0,
+        }
+    }
+}
+
+impl DelayModel {
+    /// Creates a model with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_inflation < 1.0` (which would let packets beat light)
+    /// or `max_inflation < min_inflation`.
+    pub fn new(min_inflation: f64, max_inflation: f64, hop_overhead_ms: f64) -> Self {
+        assert!(
+            min_inflation >= 1.0,
+            "min_inflation must be >= 1.0 to respect the speed of light"
+        );
+        assert!(max_inflation >= min_inflation);
+        Self {
+            min_inflation,
+            max_inflation,
+            hop_overhead_ms,
+        }
+    }
+
+    /// Deterministic per-pair path-inflation factor, in
+    /// `[min_inflation, max_inflation]`, symmetric in its arguments.
+    pub fn inflation(&self, a: Coord, b: Coord) -> f64 {
+        let h = pair_hash(a, b);
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        self.min_inflation + unit * (self.max_inflation - self.min_inflation)
+    }
+
+    /// The deterministic floor RTT between two endpoints, in ms.
+    ///
+    /// This is what an infinite number of probes would converge to; it is
+    /// always at least the fiber propagation bound.
+    pub fn floor_rtt_ms(&self, a: &Endpoint, b: &Endpoint) -> f64 {
+        let km = a.coord.distance_km(b.coord);
+        min_rtt_ms(km) * self.inflation(a.coord, b.coord)
+            + a.access.base_latency_ms()
+            + b.access.base_latency_ms()
+            + self.hop_overhead_ms
+    }
+
+    /// Samples one probe's RTT: the floor plus exponential queueing noise
+    /// from both endpoints.
+    pub fn sample_rtt_ms<R: Rng + ?Sized>(&self, a: &Endpoint, b: &Endpoint, rng: &mut R) -> f64 {
+        let noise_mean = a.access.noise_mean_ms() + b.access.noise_mean_ms();
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        let noise = -noise_mean * u.ln();
+        self.floor_rtt_ms(a, b) + noise
+    }
+}
+
+/// Stable, symmetric hash of a coordinate pair (quantized to ~11 m).
+fn pair_hash(a: Coord, b: Coord) -> u64 {
+    fn quantize(c: Coord) -> (i64, i64) {
+        ((c.lat * 1e4).round() as i64, (c.lon * 1e4).round() as i64)
+    }
+    let (mut p, mut q) = (quantize(a), quantize(b));
+    if p > q {
+        std::mem::swap(&mut p, &mut q);
+    }
+    let mut hasher = Fnv1a::default();
+    p.hash(&mut hasher);
+    q.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Minimal FNV-1a hasher: stable across platforms and Rust versions, unlike
+/// `DefaultHasher`, which matters because simulation output must be
+/// reproducible from a seed alone.
+#[derive(Debug)]
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ytcdn_geomodel::CityDb;
+
+    fn ep(city: &str, access: AccessKind) -> Endpoint {
+        Endpoint::new(CityDb::builtin().expect(city).coord, access)
+    }
+
+    #[test]
+    fn floor_respects_speed_of_light() {
+        let model = DelayModel::default();
+        let a = ep("Turin", AccessKind::Campus);
+        let b = ep("New York", AccessKind::DataCenter);
+        let km = a.coord.distance_km(b.coord);
+        assert!(model.floor_rtt_ms(&a, &b) >= min_rtt_ms(km));
+    }
+
+    #[test]
+    fn floor_is_symmetric() {
+        let model = DelayModel::default();
+        let a = ep("Turin", AccessKind::Campus);
+        let b = ep("Tokyo", AccessKind::DataCenter);
+        assert_eq!(model.floor_rtt_ms(&a, &b), model.floor_rtt_ms(&b, &a));
+    }
+
+    #[test]
+    fn transatlantic_in_plausible_band() {
+        let model = DelayModel::default();
+        let a = ep("Turin", AccessKind::IspPop);
+        let b = ep("Washington DC", AccessKind::DataCenter);
+        let rtt = model.floor_rtt_ms(&a, &b);
+        assert!((70.0..180.0).contains(&rtt), "got {rtt}");
+    }
+
+    #[test]
+    fn adsl_floor_exceeds_ftth_floor() {
+        let model = DelayModel::default();
+        let dc = ep("Milan", AccessKind::DataCenter);
+        let adsl = ep("Turin", AccessKind::Adsl);
+        let ftth = ep("Turin", AccessKind::Ftth);
+        assert!(model.floor_rtt_ms(&adsl, &dc) > model.floor_rtt_ms(&ftth, &dc) + 10.0);
+    }
+
+    #[test]
+    fn samples_never_below_floor() {
+        let model = DelayModel::default();
+        let a = ep("Turin", AccessKind::Adsl);
+        let b = ep("Amsterdam", AccessKind::DataCenter);
+        let floor = model.floor_rtt_ms(&a, &b);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(model.sample_rtt_ms(&a, &b, &mut rng) >= floor);
+        }
+    }
+
+    #[test]
+    fn min_of_many_samples_approaches_floor() {
+        let model = DelayModel::default();
+        let a = ep("Turin", AccessKind::Campus);
+        let b = ep("Paris", AccessKind::DataCenter);
+        let floor = model.floor_rtt_ms(&a, &b);
+        let mut rng = StdRng::seed_from_u64(9);
+        let min = (0..200)
+            .map(|_| model.sample_rtt_ms(&a, &b, &mut rng))
+            .fold(f64::INFINITY, f64::min);
+        assert!(min - floor < 1.0, "min {min} floor {floor}");
+    }
+
+    #[test]
+    fn inflation_within_bounds_and_symmetric() {
+        let model = DelayModel::default();
+        let db = CityDb::builtin();
+        let cities: Vec<_> = db.iter().collect();
+        for w in cities.windows(2) {
+            let f = model.inflation(w[0].coord, w[1].coord);
+            let g = model.inflation(w[1].coord, w[0].coord);
+            assert_eq!(f, g);
+            assert!((model.min_inflation..=model.max_inflation).contains(&f));
+        }
+    }
+
+    #[test]
+    fn inflation_varies_across_pairs() {
+        let model = DelayModel::default();
+        let db = CityDb::builtin();
+        let t = db.expect("Turin").coord;
+        let vals: Vec<f64> = db
+            .iter()
+            .take(20)
+            .map(|c| model.inflation(t, c.coord))
+            .collect();
+        let spread = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.1, "inflation should differ across paths");
+    }
+
+    #[test]
+    #[should_panic(expected = "speed of light")]
+    fn rejects_sub_light_inflation() {
+        let _ = DelayModel::new(0.9, 1.5, 1.0);
+    }
+
+    #[test]
+    fn deterministic_across_model_instances() {
+        let a = ep("Turin", AccessKind::Campus);
+        let b = ep("Seoul", AccessKind::DataCenter);
+        let m1 = DelayModel::default();
+        let m2 = DelayModel::default();
+        assert_eq!(m1.floor_rtt_ms(&a, &b), m2.floor_rtt_ms(&a, &b));
+    }
+}

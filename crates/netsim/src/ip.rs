@@ -1,0 +1,378 @@
+//! IPv4 prefix arithmetic and address allocation.
+//!
+//! The paper identifies servers by IPv4 address and aggregates them by /24
+//! subnet ("all servers with IP addresses in the same /24 subnet are always
+//! aggregated to the same data center"). The CDN simulator allocates server
+//! addresses from per-data-center blocks carved out of each AS's address
+//! space, and vantage-point clients get addresses from per-subnet blocks of
+//! the monitored network.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// An IPv4 CIDR block, e.g. `208.65.152.0/22`.
+///
+/// # Examples
+///
+/// ```
+/// use ytcdn_netsim::Ipv4Block;
+///
+/// let block: Ipv4Block = "10.1.0.0/16".parse()?;
+/// assert_eq!(block.len(), 65536);
+/// assert!(block.contains("10.1.200.7".parse()?));
+/// assert!(!block.contains("10.2.0.1".parse()?));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ipv4Block {
+    base: u32,
+    prefix_len: u8,
+}
+
+impl Ipv4Block {
+    /// Creates a block from a network address and prefix length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidBlockError`] if `prefix_len > 32` or if `base` has
+    /// host bits set (i.e. it is not the network address of the block).
+    pub fn new(base: Ipv4Addr, prefix_len: u8) -> Result<Self, InvalidBlockError> {
+        if prefix_len > 32 {
+            return Err(InvalidBlockError::PrefixTooLong(prefix_len));
+        }
+        let base = u32::from(base);
+        let mask = Self::mask_for(prefix_len);
+        if base & !mask != 0 {
+            return Err(InvalidBlockError::HostBitsSet {
+                base: Ipv4Addr::from(base),
+                prefix_len,
+            });
+        }
+        Ok(Self { base, prefix_len })
+    }
+
+    fn mask_for(prefix_len: u8) -> u32 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len)
+        }
+    }
+
+    /// The network (first) address of the block.
+    pub fn network(self) -> Ipv4Addr {
+        Ipv4Addr::from(self.base)
+    }
+
+    /// The prefix length.
+    pub fn prefix_len(self) -> u8 {
+        self.prefix_len
+    }
+
+    /// Number of addresses in the block.
+    pub fn len(self) -> u64 {
+        1u64 << (32 - self.prefix_len)
+    }
+
+    /// Whether the block is empty. A CIDR block never is; provided for
+    /// API completeness alongside [`Ipv4Block::len`].
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Whether `addr` falls inside the block.
+    pub fn contains(self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Self::mask_for(self.prefix_len) == self.base
+    }
+
+    /// The `index`-th address of the block, or `None` past the end.
+    pub fn addr(self, index: u64) -> Option<Ipv4Addr> {
+        if index >= self.len() {
+            return None;
+        }
+        Some(Ipv4Addr::from(self.base + index as u32))
+    }
+
+    /// The /24 subnet containing `addr`.
+    ///
+    /// This is the aggregation unit the paper uses when clustering servers
+    /// into data centers.
+    pub fn slash24_of(addr: Ipv4Addr) -> Ipv4Block {
+        Ipv4Block {
+            base: u32::from(addr) & 0xFFFF_FF00,
+            prefix_len: 24,
+        }
+    }
+
+    /// Splits the block into consecutive sub-blocks of `prefix_len`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidBlockError::PrefixTooLong`] when the requested prefix
+    /// is longer than 32 bits or shorter than this block's prefix.
+    pub fn subdivide(self, prefix_len: u8) -> Result<Subdivide, InvalidBlockError> {
+        if prefix_len > 32 || prefix_len < self.prefix_len {
+            return Err(InvalidBlockError::PrefixTooLong(prefix_len));
+        }
+        Ok(Subdivide {
+            parent: self,
+            child_prefix: prefix_len,
+            next: 0,
+            count: 1u64 << (prefix_len - self.prefix_len),
+        })
+    }
+
+    /// Iterates over every address in the block.
+    pub fn iter(self) -> impl Iterator<Item = Ipv4Addr> {
+        (0..self.len()).map(move |i| Ipv4Addr::from(self.base + i as u32))
+    }
+}
+
+impl fmt::Display for Ipv4Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.prefix_len)
+    }
+}
+
+impl FromStr for Ipv4Block {
+    type Err = InvalidBlockError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (ip, len) = s
+            .split_once('/')
+            .ok_or_else(|| InvalidBlockError::Syntax(s.to_owned()))?;
+        let base: Ipv4Addr = ip
+            .parse()
+            .map_err(|_| InvalidBlockError::Syntax(s.to_owned()))?;
+        let prefix_len: u8 = len
+            .parse()
+            .map_err(|_| InvalidBlockError::Syntax(s.to_owned()))?;
+        Ipv4Block::new(base, prefix_len)
+    }
+}
+
+/// Iterator over the sub-blocks produced by [`Ipv4Block::subdivide`].
+#[derive(Debug, Clone)]
+pub struct Subdivide {
+    parent: Ipv4Block,
+    child_prefix: u8,
+    next: u64,
+    count: u64,
+}
+
+impl Iterator for Subdivide {
+    type Item = Ipv4Block;
+
+    fn next(&mut self) -> Option<Ipv4Block> {
+        if self.next >= self.count {
+            return None;
+        }
+        let step = 1u64 << (32 - self.child_prefix);
+        let base = self.parent.base + (self.next * step) as u32;
+        self.next += 1;
+        Some(Ipv4Block {
+            base,
+            prefix_len: self.child_prefix,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.count - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Subdivide {}
+
+/// Error for malformed CIDR blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidBlockError {
+    /// The string was not `a.b.c.d/len`.
+    Syntax(String),
+    /// Prefix length out of range for the operation.
+    PrefixTooLong(u8),
+    /// The base address has bits set below the prefix.
+    HostBitsSet {
+        /// Offending base address.
+        base: Ipv4Addr,
+        /// Prefix length supplied.
+        prefix_len: u8,
+    },
+}
+
+impl fmt::Display for InvalidBlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidBlockError::Syntax(s) => write!(f, "invalid CIDR syntax: {s:?}"),
+            InvalidBlockError::PrefixTooLong(n) => write!(f, "invalid prefix length: /{n}"),
+            InvalidBlockError::HostBitsSet { base, prefix_len } => {
+                write!(f, "{base} has host bits set for /{prefix_len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidBlockError {}
+
+/// Sequentially allocates addresses out of a block, never reusing one.
+///
+/// # Examples
+///
+/// ```
+/// use ytcdn_netsim::{BlockAllocator, Ipv4Block};
+///
+/// let block: Ipv4Block = "192.0.2.0/29".parse()?;
+/// let mut alloc = BlockAllocator::new(block);
+/// assert_eq!(alloc.next_addr().unwrap().to_string(), "192.0.2.0");
+/// assert_eq!(alloc.next_addr().unwrap().to_string(), "192.0.2.1");
+/// assert_eq!(alloc.allocated(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockAllocator {
+    block: Ipv4Block,
+    next: u64,
+}
+
+impl BlockAllocator {
+    /// Creates an allocator over `block`, starting from its first address.
+    pub fn new(block: Ipv4Block) -> Self {
+        Self { block, next: 0 }
+    }
+
+    /// Returns the next unused address, or `None` once the block is
+    /// exhausted.
+    pub fn next_addr(&mut self) -> Option<Ipv4Addr> {
+        let addr = self.block.addr(self.next)?;
+        self.next += 1;
+        Some(addr)
+    }
+
+    /// Number of addresses handed out so far.
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
+
+    /// The block this allocator draws from.
+    pub fn block(&self) -> Ipv4Block {
+        self.block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.0.2.0/24", "1.2.3.4/32"] {
+            let b: Ipv4Block = s.parse().unwrap();
+            assert_eq!(b.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn new_rejects_host_bits() {
+        let err = Ipv4Block::new("10.0.0.1".parse().unwrap(), 24).unwrap_err();
+        assert!(matches!(err, InvalidBlockError::HostBitsSet { .. }));
+    }
+
+    #[test]
+    fn new_rejects_long_prefix() {
+        let err = Ipv4Block::new("10.0.0.0".parse().unwrap(), 33).unwrap_err();
+        assert_eq!(err, InvalidBlockError::PrefixTooLong(33));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("10.0.0.0".parse::<Ipv4Block>().is_err());
+        assert!("10.0.0.0/ab".parse::<Ipv4Block>().is_err());
+        assert!("10.0.0/8".parse::<Ipv4Block>().is_err());
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let b: Ipv4Block = "192.0.2.0/24".parse().unwrap();
+        assert!(b.contains("192.0.2.0".parse().unwrap()));
+        assert!(b.contains("192.0.2.255".parse().unwrap()));
+        assert!(!b.contains("192.0.3.0".parse().unwrap()));
+        assert!(!b.contains("192.0.1.255".parse().unwrap()));
+    }
+
+    #[test]
+    fn addr_indexing() {
+        let b: Ipv4Block = "10.0.0.0/30".parse().unwrap();
+        assert_eq!(b.addr(0).unwrap().to_string(), "10.0.0.0");
+        assert_eq!(b.addr(3).unwrap().to_string(), "10.0.0.3");
+        assert!(b.addr(4).is_none());
+    }
+
+    #[test]
+    fn slash24_aggregation() {
+        let a = Ipv4Block::slash24_of("74.125.13.7".parse().unwrap());
+        let b = Ipv4Block::slash24_of("74.125.13.250".parse().unwrap());
+        let c = Ipv4Block::slash24_of("74.125.14.7".parse().unwrap());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.to_string(), "74.125.13.0/24");
+    }
+
+    #[test]
+    fn subdivide_into_slash24s() {
+        let b: Ipv4Block = "10.0.0.0/22".parse().unwrap();
+        let subs: Vec<_> = b.subdivide(24).unwrap().collect();
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[0].to_string(), "10.0.0.0/24");
+        assert_eq!(subs[3].to_string(), "10.0.3.0/24");
+        // Disjoint and covering.
+        for (i, s) in subs.iter().enumerate() {
+            for (j, t) in subs.iter().enumerate() {
+                if i != j {
+                    assert!(!s.contains(t.network()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subdivide_rejects_coarser_prefix() {
+        let b: Ipv4Block = "10.0.0.0/22".parse().unwrap();
+        assert!(b.subdivide(16).is_err());
+        assert!(b.subdivide(33).is_err());
+    }
+
+    #[test]
+    fn subdivide_size_hint_exact() {
+        let b: Ipv4Block = "10.0.0.0/22".parse().unwrap();
+        let it = b.subdivide(25).unwrap();
+        assert_eq!(it.len(), 8);
+    }
+
+    #[test]
+    fn allocator_exhausts() {
+        let b: Ipv4Block = "192.0.2.0/30".parse().unwrap();
+        let mut a = BlockAllocator::new(b);
+        let got: Vec<_> = std::iter::from_fn(|| a.next_addr()).collect();
+        assert_eq!(got.len(), 4);
+        assert!(a.next_addr().is_none());
+        assert_eq!(a.allocated(), 4);
+    }
+
+    #[test]
+    fn iter_covers_block() {
+        let b: Ipv4Block = "203.0.113.0/29".parse().unwrap();
+        let addrs: Vec<_> = b.iter().collect();
+        assert_eq!(addrs.len(), 8);
+        assert!(addrs.iter().all(|&a| b.contains(a)));
+    }
+
+    #[test]
+    fn zero_prefix_len() {
+        let b: Ipv4Block = "0.0.0.0/0".parse().unwrap();
+        assert_eq!(b.len(), 1u64 << 32);
+        assert!(b.contains("255.255.255.255".parse().unwrap()));
+    }
+}

@@ -1,0 +1,161 @@
+//! Active RTT probing.
+//!
+//! The paper "perform\[s\] RTT measurements from each of our vantage points to
+//! all content servers" and always works with the *minimum* RTT over the
+//! probes, which filters queueing noise. [`Pinger`] reproduces that
+//! primitive on top of [`DelayModel`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::delay::{DelayModel, Endpoint};
+
+/// Result of a multi-probe RTT measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RttMeasurement {
+    /// Minimum RTT over all probes, in ms.
+    pub min_ms: f64,
+    /// Mean RTT over all probes, in ms.
+    pub avg_ms: f64,
+    /// Maximum RTT over all probes, in ms.
+    pub max_ms: f64,
+    /// Number of probes sent.
+    pub probes: u32,
+}
+
+/// Sends `k` probes between endpoints and min/avg/max-filters the samples.
+///
+/// # Examples
+///
+/// ```
+/// use ytcdn_geomodel::CityDb;
+/// use ytcdn_netsim::{AccessKind, DelayModel, Endpoint, Pinger};
+///
+/// let db = CityDb::builtin();
+/// let a = Endpoint::new(db.expect("Turin").coord, AccessKind::Campus);
+/// let b = Endpoint::new(db.expect("Paris").coord, AccessKind::DataCenter);
+/// let mut pinger = Pinger::new(DelayModel::default(), 10);
+/// let m = pinger.ping_seeded(&a, &b, 1);
+/// assert!(m.min_ms <= m.avg_ms && m.avg_ms <= m.max_ms);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pinger {
+    model: DelayModel,
+    probes: u32,
+}
+
+impl Pinger {
+    /// Creates a pinger sending `probes` probes per measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probes == 0`.
+    pub fn new(model: DelayModel, probes: u32) -> Self {
+        assert!(probes > 0, "a measurement needs at least one probe");
+        Self { model, probes }
+    }
+
+    /// The underlying delay model.
+    pub fn model(&self) -> &DelayModel {
+        &self.model
+    }
+
+    /// Number of probes per measurement.
+    pub fn probes(&self) -> u32 {
+        self.probes
+    }
+
+    /// Measures RTT between `a` and `b` using the caller's RNG.
+    pub fn ping<R: Rng + ?Sized>(&self, a: &Endpoint, b: &Endpoint, rng: &mut R) -> RttMeasurement {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for _ in 0..self.probes {
+            let s = self.model.sample_rtt_ms(a, b, rng);
+            min = min.min(s);
+            max = max.max(s);
+            sum += s;
+        }
+        RttMeasurement {
+            min_ms: min,
+            avg_ms: sum / f64::from(self.probes),
+            max_ms: max,
+            probes: self.probes,
+        }
+    }
+
+    /// Measures RTT with a dedicated RNG derived from `seed`: the same
+    /// `(endpoints, seed)` always yields the same measurement.
+    pub fn ping_seeded(&mut self, a: &Endpoint, b: &Endpoint, seed: u64) -> RttMeasurement {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.ping(a, b, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::AccessKind;
+    use ytcdn_geomodel::CityDb;
+
+    fn ep(city: &str, access: AccessKind) -> Endpoint {
+        Endpoint::new(CityDb::builtin().expect(city).coord, access)
+    }
+
+    #[test]
+    fn ordering_invariant() {
+        let mut p = Pinger::new(DelayModel::default(), 13);
+        let a = ep("Turin", AccessKind::Adsl);
+        let b = ep("Amsterdam", AccessKind::DataCenter);
+        let m = p.ping_seeded(&a, &b, 3);
+        assert!(m.min_ms <= m.avg_ms);
+        assert!(m.avg_ms <= m.max_ms);
+        assert_eq!(m.probes, 13);
+    }
+
+    #[test]
+    fn seeded_is_reproducible() {
+        let mut p = Pinger::new(DelayModel::default(), 5);
+        let a = ep("Turin", AccessKind::Campus);
+        let b = ep("Dublin", AccessKind::DataCenter);
+        assert_eq!(p.ping_seeded(&a, &b, 17), p.ping_seeded(&a, &b, 17));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut p = Pinger::new(DelayModel::default(), 5);
+        let a = ep("Turin", AccessKind::Campus);
+        let b = ep("Dublin", AccessKind::DataCenter);
+        assert_ne!(
+            p.ping_seeded(&a, &b, 1).avg_ms,
+            p.ping_seeded(&a, &b, 2).avg_ms
+        );
+    }
+
+    #[test]
+    fn min_never_below_model_floor() {
+        let model = DelayModel::default();
+        let mut p = Pinger::new(model, 50);
+        let a = ep("Seattle", AccessKind::Campus);
+        let b = ep("Miami", AccessKind::DataCenter);
+        let m = p.ping_seeded(&a, &b, 5);
+        assert!(m.min_ms >= model.floor_rtt_ms(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one probe")]
+    fn zero_probes_rejected() {
+        let _ = Pinger::new(DelayModel::default(), 0);
+    }
+
+    #[test]
+    fn single_probe_min_eq_max() {
+        let mut p = Pinger::new(DelayModel::default(), 1);
+        let a = ep("Turin", AccessKind::Campus);
+        let b = ep("Rome", AccessKind::DataCenter);
+        let m = p.ping_seeded(&a, &b, 0);
+        assert_eq!(m.min_ms, m.max_ms);
+        assert_eq!(m.min_ms, m.avg_ms);
+    }
+}

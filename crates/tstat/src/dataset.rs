@@ -1,0 +1,425 @@
+//! Named per-vantage-point flow datasets.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::flow::FlowRecord;
+use crate::summary::TrafficSummary;
+
+/// The five vantage points of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DatasetName {
+    /// US university campus (Purdue).
+    UsCampus,
+    /// European university campus (Politecnico di Torino).
+    Eu1Campus,
+    /// ADSL PoP of the EU1 nation-wide ISP.
+    Eu1Adsl,
+    /// FTTH PoP of the same EU1 ISP.
+    Eu1Ftth,
+    /// PoP of the largest ISP in a second European country — the one with a
+    /// YouTube data center *inside* the ISP.
+    Eu2,
+}
+
+impl DatasetName {
+    /// All five datasets, in the paper's table order.
+    pub const ALL: [DatasetName; 5] = [
+        DatasetName::UsCampus,
+        DatasetName::Eu1Campus,
+        DatasetName::Eu1Adsl,
+        DatasetName::Eu1Ftth,
+        DatasetName::Eu2,
+    ];
+}
+
+impl fmt::Display for DatasetName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DatasetName::UsCampus => "US-Campus",
+            DatasetName::Eu1Campus => "EU1-Campus",
+            DatasetName::Eu1Adsl => "EU1-ADSL",
+            DatasetName::Eu1Ftth => "EU1-FTTH",
+            DatasetName::Eu2 => "EU2",
+        })
+    }
+}
+
+impl FromStr for DatasetName {
+    type Err = DatasetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "US-Campus" => Ok(DatasetName::UsCampus),
+            "EU1-Campus" => Ok(DatasetName::Eu1Campus),
+            "EU1-ADSL" => Ok(DatasetName::Eu1Adsl),
+            "EU1-FTTH" => Ok(DatasetName::Eu1Ftth),
+            "EU2" => Ok(DatasetName::Eu2),
+            _ => Err(DatasetError::UnknownName(s.to_owned())),
+        }
+    }
+}
+
+/// A week-long flow log collected at one vantage point.
+///
+/// Records are kept sorted by start time — the order a passive monitor
+/// produces them — which downstream session grouping relies on.
+///
+/// # Examples
+///
+/// ```
+/// use ytcdn_tstat::{Dataset, DatasetName};
+///
+/// let ds = Dataset::new(DatasetName::UsCampus);
+/// assert_eq!(ds.len(), 0);
+/// assert!(ds.is_empty());
+/// assert_eq!(ds.name().to_string(), "US-Campus");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    name: DatasetName,
+    records: Vec<FlowRecord>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset for `name`.
+    pub fn new(name: DatasetName) -> Self {
+        Self {
+            name,
+            records: Vec::new(),
+        }
+    }
+
+    /// Builds a dataset from records, sorting them by start time.
+    pub fn from_records(name: DatasetName, mut records: Vec<FlowRecord>) -> Self {
+        records.sort_by_key(|r| (r.start_ms, r.end_ms));
+        Self { name, records }
+    }
+
+    /// The vantage point this dataset was collected at.
+    pub fn name(&self) -> DatasetName {
+        self.name
+    }
+
+    /// Appends a record, keeping start-time order.
+    pub fn push(&mut self, record: FlowRecord) {
+        let pos = self
+            .records
+            .partition_point(|r| (r.start_ms, r.end_ms) <= (record.start_ms, record.end_ms));
+        self.records.insert(pos, record);
+    }
+
+    /// Number of flow records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records, sorted by start time.
+    pub fn records(&self) -> &[FlowRecord] {
+        &self.records
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> std::slice::Iter<'_, FlowRecord> {
+        self.records.iter()
+    }
+
+    /// Distinct server IPs observed.
+    pub fn server_ips(&self) -> BTreeSet<Ipv4Addr> {
+        self.records.iter().map(|r| r.server_ip).collect()
+    }
+
+    /// Distinct client IPs observed.
+    pub fn client_ips(&self) -> BTreeSet<Ipv4Addr> {
+        self.records.iter().map(|r| r.client_ip).collect()
+    }
+
+    /// Total bytes across all flows.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Computes the Table I row for this dataset.
+    pub fn summary(&self) -> TrafficSummary {
+        TrafficSummary::of(self)
+    }
+
+    /// A new dataset containing only flows *starting* within
+    /// `[start_ms, end_ms)` — hour- or day-slicing for time-window analyses.
+    pub fn time_slice(&self, start_ms: u64, end_ms: u64) -> Dataset {
+        Dataset {
+            name: self.name,
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.start_ms >= start_ms && r.start_ms < end_ms)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// A new dataset containing only flows whose client passes `keep` —
+    /// e.g. one subnet's traffic.
+    pub fn filter_clients(&self, mut keep: impl FnMut(Ipv4Addr) -> bool) -> Dataset {
+        Dataset {
+            name: self.name,
+            records: self
+                .records
+                .iter()
+                .filter(|r| keep(r.client_ip))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Serializes the dataset as JSON-lines: a header line with the name,
+    /// then one [`FlowRecord`] per line.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from `w`, or a serialization error.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> Result<(), DatasetError> {
+        writeln!(w, "{}", serde_json::to_string(&self.name)?)?;
+        for r in &self.records {
+            writeln!(w, "{}", serde_json::to_string(r)?)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a dataset back from the JSON-lines form of
+    /// [`Dataset::write_jsonl`]. Blank lines are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Empty`] for input without a header, or the
+    /// underlying I/O / JSON error.
+    pub fn read_jsonl<R: BufRead>(r: R) -> Result<Self, DatasetError> {
+        let mut lines = r.lines();
+        let header = loop {
+            match lines.next() {
+                None => return Err(DatasetError::Empty),
+                Some(line) => {
+                    let line = line?;
+                    if !line.trim().is_empty() {
+                        break line;
+                    }
+                }
+            }
+        };
+        let name: DatasetName = serde_json::from_str(&header)?;
+        let mut records = Vec::new();
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            records.push(serde_json::from_str(&line)?);
+        }
+        Ok(Dataset::from_records(name, records))
+    }
+}
+
+impl Extend<FlowRecord> for Dataset {
+    fn extend<T: IntoIterator<Item = FlowRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+        self.records.sort_by_key(|r| (r.start_ms, r.end_ms));
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a FlowRecord;
+    type IntoIter = std::slice::Iter<'a, FlowRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+/// Errors from dataset parsing and serialization.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Unrecognized dataset name string.
+    UnknownName(String),
+    /// Serialized input contained no header line.
+    Empty,
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Underlying JSON failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::UnknownName(s) => write!(f, "unknown dataset name: {s:?}"),
+            DatasetError::Empty => f.write_str("serialized dataset has no header line"),
+            DatasetError::Io(e) => write!(f, "dataset I/O error: {e}"),
+            DatasetError::Json(e) => write!(f, "dataset JSON error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            DatasetError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for DatasetError {
+    fn from(e: serde_json::Error) -> Self {
+        DatasetError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{Resolution, VideoId};
+
+    fn flow(start: u64, bytes: u64) -> FlowRecord {
+        FlowRecord {
+            client_ip: "10.0.0.1".parse().unwrap(),
+            server_ip: "74.125.0.1".parse().unwrap(),
+            start_ms: start,
+            end_ms: start + 100,
+            bytes,
+            video_id: VideoId::from_index(start),
+            resolution: Resolution::R360,
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for n in DatasetName::ALL {
+            assert_eq!(n.to_string().parse::<DatasetName>().unwrap(), n);
+        }
+        assert!("EU3".parse::<DatasetName>().is_err());
+    }
+
+    #[test]
+    fn from_records_sorts() {
+        let ds = Dataset::from_records(
+            DatasetName::Eu2,
+            vec![flow(50, 1), flow(10, 2), flow(30, 3)],
+        );
+        let starts: Vec<_> = ds.iter().map(|r| r.start_ms).collect();
+        assert_eq!(starts, vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn push_keeps_order() {
+        let mut ds = Dataset::new(DatasetName::UsCampus);
+        ds.push(flow(100, 1));
+        ds.push(flow(50, 1));
+        ds.push(flow(75, 1));
+        let starts: Vec<_> = ds.iter().map(|r| r.start_ms).collect();
+        assert_eq!(starts, vec![50, 75, 100]);
+    }
+
+    #[test]
+    fn extend_keeps_order() {
+        let mut ds = Dataset::new(DatasetName::UsCampus);
+        ds.extend([flow(100, 1), flow(10, 1)]);
+        ds.extend([flow(55, 1)]);
+        let starts: Vec<_> = ds.iter().map(|r| r.start_ms).collect();
+        assert_eq!(starts, vec![10, 55, 100]);
+    }
+
+    #[test]
+    fn distinct_ip_sets() {
+        let mut ds = Dataset::new(DatasetName::Eu1Adsl);
+        let mut f1 = flow(0, 10);
+        f1.client_ip = "10.0.0.1".parse().unwrap();
+        f1.server_ip = "74.125.0.1".parse().unwrap();
+        let mut f2 = flow(1, 20);
+        f2.client_ip = "10.0.0.2".parse().unwrap();
+        f2.server_ip = "74.125.0.1".parse().unwrap();
+        ds.extend([f1, f2]);
+        assert_eq!(ds.client_ips().len(), 2);
+        assert_eq!(ds.server_ips().len(), 1);
+        assert_eq!(ds.total_bytes(), 30);
+    }
+
+    #[test]
+    fn time_slice_selects_by_start() {
+        let ds = Dataset::from_records(
+            DatasetName::Eu2,
+            vec![flow(0, 1), flow(100, 2), flow(200, 3), flow(300, 4)],
+        );
+        let slice = ds.time_slice(100, 300);
+        assert_eq!(slice.len(), 2);
+        assert!(slice.iter().all(|r| (100..300).contains(&r.start_ms)));
+        assert_eq!(slice.name(), DatasetName::Eu2);
+        // Empty window.
+        assert!(ds.time_slice(500, 600).is_empty());
+    }
+
+    #[test]
+    fn filter_clients_partitions() {
+        let mut a = flow(0, 1);
+        a.client_ip = "10.0.0.1".parse().unwrap();
+        let mut b = flow(1, 2);
+        b.client_ip = "10.0.0.2".parse().unwrap();
+        let ds = Dataset::from_records(DatasetName::Eu2, vec![a, b]);
+        let one = ds.filter_clients(|ip| ip.octets()[3] == 1);
+        let two = ds.filter_clients(|ip| ip.octets()[3] == 2);
+        assert_eq!(one.len() + two.len(), ds.len());
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let ds = Dataset::from_records(
+            DatasetName::Eu1Ftth,
+            vec![flow(0, 500), flow(10, 5_000_000)],
+        );
+        let mut buf = Vec::new();
+        ds.write_jsonl(&mut buf).unwrap();
+        let back = Dataset::read_jsonl(&buf[..]).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let ds = Dataset::from_records(DatasetName::Eu2, vec![flow(0, 500)]);
+        let mut buf = Vec::new();
+        ds.write_jsonl(&mut buf).unwrap();
+        let with_blanks = format!("\n{}\n\n", String::from_utf8(buf).unwrap());
+        let back = Dataset::read_jsonl(with_blanks.as_bytes()).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn read_empty_is_error() {
+        let err = Dataset::read_jsonl(&b""[..]).unwrap_err();
+        assert!(matches!(err, DatasetError::Empty));
+    }
+
+    #[test]
+    fn read_garbage_is_error() {
+        let err = Dataset::read_jsonl(&b"not json"[..]).unwrap_err();
+        assert!(matches!(err, DatasetError::Json(_)));
+        // Error chains expose the source.
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

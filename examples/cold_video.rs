@@ -1,0 +1,39 @@
+//! The cold-video experiment (the paper's Section VII-C, Figures 17–18):
+//! upload a fresh test video, download it from 45 worldwide nodes every 30
+//! minutes, and watch the first access get redirected to the one data
+//! center storing it — after which pull-through replication makes every
+//! later access local.
+//!
+//! ```sh
+//! cargo run --release --example cold_video
+//! ```
+
+use ytcdn_cdnsim::{ActiveConfig, ActiveExperiment, ScenarioConfig, StandardScenario};
+use ytcdn_core::active_analysis::{most_illustrative_node, ratio_cdf, ratio_stats};
+
+fn main() {
+    let scenario = StandardScenario::build(ScenarioConfig::with_scale(0.001, 3));
+    let experiment = ActiveExperiment::new(ActiveConfig::default());
+    let traces = experiment.run(&scenario);
+
+    let node = most_illustrative_node(&traces).expect("45 nodes probed");
+    println!("most illustrative node: {}", node.node);
+    println!("{:>7} {:>10} {:>8}", "sample", "RTT [ms]", "DC");
+    for (i, s) in node.samples.iter().enumerate().take(10) {
+        println!("{:>7} {:>10.1} {:>8}", i, s.rtt_ms, s.dc.to_string());
+    }
+
+    let stats = ratio_stats(&traces);
+    println!(
+        "\nRTT1/RTT2 across {} nodes: {:.0}% above 1, {:.0}% above 10 (paper: >40% / ~20%)",
+        stats.nodes,
+        100.0 * stats.above_one,
+        100.0 * stats.above_ten
+    );
+
+    let cdf = ratio_cdf(&traces);
+    println!("\nratio CDF:");
+    for (x, f) in cdf.plot_points(10) {
+        println!("  ratio <= {x:>8.2}: {:>5.1}%", 100.0 * f);
+    }
+}

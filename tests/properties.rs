@@ -1,0 +1,175 @@
+//! Cross-crate property-based tests: the structural invariants every
+//! analysis in the reproduction silently relies on.
+
+use proptest::prelude::*;
+
+use ytcdn_cdnsim::dns::{DnsResolver, LdnsId, LdnsPolicy};
+use ytcdn_cdnsim::{ContentStore, DataCenterId, Topology};
+use ytcdn_core::session::group_sessions;
+use ytcdn_geomodel::{min_rtt_ms, Coord};
+use ytcdn_netsim::{AccessKind, DelayModel, Endpoint};
+use ytcdn_tstat::{Dataset, DatasetName, FlowRecord, Resolution, VideoId, HOUR_MS};
+
+/// Strategy: a small universe of flows with realistic collisions (few
+/// clients, few videos, clustered times) so session grouping is exercised
+/// on adversarial overlaps.
+fn flows_strategy() -> impl Strategy<Value = Vec<FlowRecord>> {
+    prop::collection::vec(
+        (
+            0u8..4,          // client
+            0u64..6,         // video
+            0u64..100_000,   // start
+            1u64..30_000,    // duration
+            0u64..20_000_000 // bytes
+        ),
+        0..60,
+    )
+    .prop_map(|tuples| {
+        tuples
+            .into_iter()
+            .map(|(c, vid, start, dur, bytes)| FlowRecord {
+                client_ip: std::net::Ipv4Addr::new(10, 0, 0, c),
+                server_ip: std::net::Ipv4Addr::new(74, 125, 0, (vid % 256) as u8),
+                start_ms: start,
+                end_ms: start + dur,
+                bytes,
+                video_id: VideoId::from_index(vid),
+                resolution: Resolution::R360,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Every flow belongs to exactly one session: sessions partition the
+    /// dataset.
+    #[test]
+    fn sessions_partition_flows(flows in flows_strategy(), gap in 1u64..5_000) {
+        let ds = Dataset::from_records(DatasetName::UsCampus, flows);
+        let sessions = group_sessions(&ds, gap);
+        let mut seen = vec![false; ds.len()];
+        for s in &sessions {
+            for &i in &s.flow_indices {
+                prop_assert!(!seen[i], "flow {i} in two sessions");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b), "some flow in no session");
+    }
+
+    /// Sessions never mix clients or videos, and their time bounds cover
+    /// their member flows.
+    #[test]
+    fn sessions_are_homogeneous(flows in flows_strategy()) {
+        let ds = Dataset::from_records(DatasetName::UsCampus, flows);
+        for s in group_sessions(&ds, 1_000) {
+            for f in s.flows(&ds) {
+                prop_assert_eq!(f.client_ip, s.client_ip);
+                prop_assert_eq!(f.video_id, s.video_id);
+                prop_assert!(f.start_ms >= s.start_ms);
+                prop_assert!(f.end_ms <= s.end_ms);
+            }
+        }
+    }
+
+    /// A larger gap threshold can only merge sessions, never split them.
+    #[test]
+    fn session_count_monotone_in_gap(flows in flows_strategy(), t1 in 1u64..3_000, extra in 1u64..300_000) {
+        let ds = Dataset::from_records(DatasetName::UsCampus, flows);
+        let small = group_sessions(&ds, t1).len();
+        let large = group_sessions(&ds, t1 + extra).len();
+        prop_assert!(large <= small, "T={t1}: {small} sessions, T={}: {large}", t1 + extra);
+    }
+
+    /// Within a session, consecutive flows respect the gap rule: each flow
+    /// starts no later than `gap` after the latest end seen so far.
+    #[test]
+    fn session_gap_rule_holds(flows in flows_strategy(), gap in 1u64..5_000) {
+        let ds = Dataset::from_records(DatasetName::UsCampus, flows);
+        for s in group_sessions(&ds, gap) {
+            let flows = s.flows(&ds);
+            let mut max_end = flows[0].end_ms;
+            for f in &flows[1..] {
+                prop_assert!(
+                    f.start_ms <= max_end + gap,
+                    "gap violated: start {} vs max_end {max_end} + {gap}",
+                    f.start_ms
+                );
+                max_end = max_end.max(f.end_ms);
+            }
+        }
+    }
+
+    /// The delay model never violates the speed of light, for any pair of
+    /// valid coordinates and access kinds.
+    #[test]
+    fn delay_respects_physics(
+        lat1 in -89.0f64..89.0, lon1 in -179.0f64..179.0,
+        lat2 in -89.0f64..89.0, lon2 in -179.0f64..179.0,
+    ) {
+        let model = DelayModel::default();
+        let a = Endpoint::new(Coord::new(lat1, lon1).unwrap(), AccessKind::Campus);
+        let b = Endpoint::new(Coord::new(lat2, lon2).unwrap(), AccessKind::DataCenter);
+        let km = a.coord.distance_km(b.coord);
+        prop_assert!(model.floor_rtt_ms(&a, &b) >= min_rtt_ms(km));
+        // Symmetry.
+        prop_assert!((model.floor_rtt_ms(&a, &b) - model.floor_rtt_ms(&b, &a)).abs() < 1e-9);
+    }
+
+    /// The DNS resolver's capacity budget is exact: within any hour, at
+    /// most `cap` resolutions reach the preferred data center.
+    #[test]
+    fn dns_capacity_is_a_hard_budget(
+        cap in 1u64..20,
+        offsets in prop::collection::vec(0u64..(3 * HOUR_MS), 1..120),
+    ) {
+        let mut resolver = DnsResolver::new(vec![LdnsPolicy {
+            preferred: DataCenterId(0),
+            alternates: vec![DataCenterId(1)],
+            noise_prob: 0.0,
+            hourly_capacity: Some(cap),
+        }]);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let mut per_hour = std::collections::HashMap::new();
+        for t in offsets {
+            let d = resolver.resolve(LdnsId(0), t, &mut rng);
+            if d.dc == DataCenterId(0) {
+                *per_hour.entry(t / HOUR_MS).or_insert(0u64) += 1;
+            }
+        }
+        for (&hour, &n) in &per_hour {
+            prop_assert!(n <= cap, "hour {hour}: {n} > cap {cap}");
+        }
+    }
+
+    /// Content presence is monotone: replication adds availability and
+    /// never removes it, for arbitrary videos and data centers.
+    #[test]
+    fn replication_is_monotone(video_idx in 0u64..2_000_000, dc_pick in 0usize..33) {
+        let topo = Topology::standard();
+        let mut store = ContentStore::new(Default::default(), &topo);
+        let video = VideoId::from_index(video_idx);
+        let dcs: Vec<DataCenterId> = store.dcs().to_vec();
+        let dc = dcs[dc_pick % dcs.len()];
+        let before: Vec<bool> = dcs.iter().map(|&d| store.has(d, video)).collect();
+        store.replicate(dc, video);
+        for (i, &d) in dcs.iter().enumerate() {
+            let after = store.has(d, video);
+            prop_assert!(after >= before[i], "{d}: availability lost");
+            if d == dc {
+                prop_assert!(after, "replication target still missing content");
+            }
+        }
+    }
+
+    /// The origin invariant: every video is available somewhere, always.
+    #[test]
+    fn every_video_has_a_holder(video_idx in 0u64..u64::MAX) {
+        let topo = Topology::standard();
+        let store = ContentStore::new(Default::default(), &topo);
+        let video = VideoId::from_index(video_idx);
+        let origin = store.origin_of(video);
+        prop_assert!(store.has(origin, video));
+        prop_assert!(store.dcs().contains(&origin));
+    }
+}

@@ -1,0 +1,52 @@
+//! Scorecard robustness: the reproduction's claims must hold across seeds,
+//! not just at the reference one. A shape that only appears for one RNG
+//! stream is an artifact, not a result.
+
+use ytcdn_cdnsim::ScenarioConfig;
+use ytcdn_core::experiments::{ExperimentSuite, SuiteConfig};
+use ytcdn_core::scorecard::{render, scorecard};
+use ytcdn_core::stats::Cdf;
+use ytcdn_core::timeseries::nonpreferred_fraction_cdf;
+use ytcdn_core::AnalysisContext;
+use ytcdn_tstat::DatasetName;
+
+fn suite(seed: u64) -> ExperimentSuite {
+    ExperimentSuite::new(SuiteConfig {
+        scenario: ScenarioConfig::with_scale(0.02, seed),
+        full_landmarks: false,
+    })
+}
+
+#[test]
+fn scorecard_passes_across_seeds() {
+    for seed in [7, 1234] {
+        let s = suite(seed);
+        let checks = scorecard(&s);
+        let failing: Vec<_> = checks.iter().filter(|c| !c.pass()).cloned().collect();
+        // Allow at most one borderline miss per seed; systematic failure is
+        // a model bug.
+        assert!(
+            failing.len() <= 1,
+            "seed {seed}: {} failing checks\n{}",
+            failing.len(),
+            render(&failing)
+        );
+    }
+}
+
+#[test]
+fn hourly_nonpreferred_distribution_is_seed_stable() {
+    // The Figure 9 distribution's *shape* should barely move across seeds:
+    // quantify with the KS distance between two seeds' hourly CDFs.
+    let a = suite(21);
+    let b = suite(22);
+    for name in [DatasetName::Eu1Adsl, DatasetName::Eu2] {
+        let cdf = |s: &ExperimentSuite| -> Cdf {
+            let ds = s.dataset(name);
+            let ctx = AnalysisContext::from_ground_truth(s.scenario().world(), ds);
+            nonpreferred_fraction_cdf(&ctx, ds)
+        };
+        let ks = cdf(&a).ks_distance(&cdf(&b));
+        assert!(ks < 0.35, "{name}: KS distance across seeds {ks}");
+    }
+}
