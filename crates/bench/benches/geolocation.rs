@@ -31,14 +31,7 @@ fn bench_calibration(c: &mut Criterion) {
     for n in [25usize, 50, 100] {
         let spec = landmark_spec(n);
         g.bench_function(format!("landmarks={n}"), |b| {
-            b.iter(|| {
-                Cbg::calibrate(
-                    landmarks_with_counts(1, &spec),
-                    DelayModel::default(),
-                    3,
-                    7,
-                )
-            })
+            b.iter(|| Cbg::calibrate(landmarks_with_counts(1, &spec), DelayModel::default(), 3, 7))
         });
     }
     g.finish();

@@ -40,7 +40,9 @@ fn bench_delay_model(c: &mut Criterion) {
     let model = DelayModel::default();
     let a = Endpoint::new(db.expect("Turin").coord, AccessKind::Adsl);
     let bep = Endpoint::new(db.expect("Ashburn").coord, AccessKind::DataCenter);
-    c.bench_function("delay/floor_rtt", |b| b.iter(|| model.floor_rtt_ms(&a, &bep)));
+    c.bench_function("delay/floor_rtt", |b| {
+        b.iter(|| model.floor_rtt_ms(&a, &bep))
+    });
     let mut rng = StdRng::seed_from_u64(2);
     c.bench_function("delay/sample_rtt", |b| {
         b.iter(|| model.sample_rtt_ms(&a, &bep, &mut rng))

@@ -12,7 +12,10 @@
 use std::process::ExitCode;
 
 use ytcdn_cdnsim::ScenarioConfig;
-use ytcdn_core::experiments::{ExperimentSuite, SuiteConfig, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS};
+use ytcdn_core::experiments::{
+    ExperimentSuite, SuiteConfig, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS,
+};
+use ytcdn_telemetry::{Progress, Telemetry};
 
 struct Args {
     exp: Option<String>,
@@ -103,19 +106,27 @@ fn main() -> ExitCode {
         }
     }
 
-    eprintln!(
+    let progress = Progress::stderr();
+    progress.note(&format!(
         "building world and simulating 5 datasets (scale {}, seed {})…",
         args.scale, args.seed
+    ));
+    // Metrics-only telemetry: phase timings cost nothing measurable and the
+    // summary below shows where the wall time went. Reports on stdout are
+    // unaffected.
+    let suite = ExperimentSuite::with_telemetry(
+        SuiteConfig {
+            scenario: ScenarioConfig::with_scale(args.scale, args.seed),
+            full_landmarks: args.full_landmarks,
+        },
+        Telemetry::metrics_only(),
     );
-    let suite = ExperimentSuite::new(SuiteConfig {
-        scenario: ScenarioConfig::with_scale(args.scale, args.seed),
-        full_landmarks: args.full_landmarks,
-    });
 
     if args.scorecard {
         let checks = ytcdn_core::scorecard::scorecard(&suite);
         println!("{}", ytcdn_core::scorecard::render(&checks));
         let failed = checks.iter().filter(|c| !c.pass()).count();
+        phase_summary(&suite, &progress);
         return if failed == 0 {
             ExitCode::SUCCESS
         } else {
@@ -129,7 +140,10 @@ fn main() -> ExitCode {
     };
     for id in ids {
         let report = suite.run(id).expect("ids validated above");
-        println!("──── {id} {}", "─".repeat(60_usize.saturating_sub(id.len())));
+        println!(
+            "──── {id} {}",
+            "─".repeat(60_usize.saturating_sub(id.len()))
+        );
         println!("{report}");
         if args.plot {
             if let Some(series) = ytcdn_core::export::figure_series(&suite, id) {
@@ -144,17 +158,37 @@ fn main() -> ExitCode {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
-        eprintln!("wrote markdown report to {}", path.display());
+        progress.note(&format!("wrote markdown report to {}", path.display()));
     }
 
     if let Some(dir) = &args.csv_dir {
         match ytcdn_core::export::export_all(&suite, dir) {
-            Ok(paths) => eprintln!("wrote {} CSV files to {}", paths.len(), dir.display()),
+            Ok(paths) => progress.note(&format!(
+                "wrote {} CSV files to {}",
+                paths.len(),
+                dir.display()
+            )),
             Err(e) => {
                 eprintln!("CSV export failed: {e}");
                 return ExitCode::FAILURE;
             }
         }
     }
+    phase_summary(&suite, &progress);
     ExitCode::SUCCESS
+}
+
+/// Prints where the wall time went (build, per-dataset simulation, each
+/// experiment) on stderr, leaving stdout to the reports.
+fn phase_summary(suite: &ExperimentSuite, progress: &Progress) {
+    if !progress.is_enabled() {
+        return;
+    }
+    let Some(snapshot) = suite.telemetry().metrics_snapshot() else {
+        return;
+    };
+    progress.note("phase profile:");
+    for line in snapshot.render_table().lines() {
+        progress.note(line);
+    }
 }

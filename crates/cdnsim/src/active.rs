@@ -12,8 +12,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use ytcdn_netsim::{landmarks_with_counts, AccessKind, Endpoint, Landmark, Pinger};
 use ytcdn_geomodel::Continent;
+use ytcdn_netsim::{landmarks_with_counts, AccessKind, Endpoint, Landmark, Pinger};
 use ytcdn_tstat::VideoId;
 
 use crate::scenario::StandardScenario;

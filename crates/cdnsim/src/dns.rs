@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use ytcdn_telemetry::{Counter, DnsCauseKind, Event, Telemetry};
 use ytcdn_tstat::HOUR_MS;
 
 use crate::topology::DataCenterId;
@@ -65,6 +66,54 @@ pub enum DnsCause {
     Noise,
 }
 
+impl DnsCause {
+    /// The telemetry-layer label for this cause.
+    pub fn kind(self) -> DnsCauseKind {
+        match self {
+            DnsCause::Preferred => DnsCauseKind::Preferred,
+            DnsCause::LoadBalanced => DnsCauseKind::LoadBalanced,
+            DnsCause::Noise => DnsCauseKind::Noise,
+        }
+    }
+}
+
+/// Pre-resolved telemetry handles for the resolver's hot path: one counter
+/// per [`DnsCause`] plus the event bus.
+#[derive(Debug, Clone)]
+struct DnsTelemetry {
+    telemetry: Telemetry,
+    per_cause: [Counter; 3],
+}
+
+impl DnsTelemetry {
+    fn new(telemetry: Telemetry) -> Self {
+        let per_cause = [
+            telemetry.counter(DnsCauseKind::Preferred.counter_name()),
+            telemetry.counter(DnsCauseKind::LoadBalanced.counter_name()),
+            telemetry.counter(DnsCauseKind::Noise.counter_name()),
+        ];
+        Self {
+            telemetry,
+            per_cause,
+        }
+    }
+
+    fn observe(&self, ldns: LdnsId, t_ms: u64, decision: DnsDecision) {
+        let idx = match decision.cause {
+            DnsCause::Preferred => 0,
+            DnsCause::LoadBalanced => 1,
+            DnsCause::Noise => 2,
+        };
+        self.per_cause[idx].inc();
+        self.telemetry.emit(|| Event::DnsResolution {
+            t_ms,
+            ldns: ldns.0 as u64,
+            dc: decision.dc.0 as u64,
+            cause: decision.cause.kind(),
+        });
+    }
+}
+
 /// Stateful DNS resolver for one vantage network.
 ///
 /// Tracks per-(data center, hour) resolution counts to implement adaptive
@@ -95,6 +144,8 @@ pub enum DnsCause {
 pub struct DnsResolver {
     policies: Vec<LdnsPolicy>,
     hour_counts: HashMap<(DataCenterId, u64), u64>,
+    /// Present only when an enabled telemetry handle was attached.
+    tel: Option<DnsTelemetry>,
 }
 
 impl DnsResolver {
@@ -116,7 +167,15 @@ impl DnsResolver {
         Self {
             policies,
             hour_counts: HashMap::new(),
+            tel: None,
         }
+    }
+
+    /// Attaches a telemetry handle: every resolution emits an
+    /// [`Event::DnsResolution`] and bumps the per-cause counters. A
+    /// disabled handle detaches instrumentation again.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.tel = telemetry.is_enabled().then(|| DnsTelemetry::new(telemetry));
     }
 
     /// The policy table.
@@ -130,7 +189,20 @@ impl DnsResolver {
     /// # Panics
     ///
     /// Panics if `ldns` is out of range.
-    pub fn resolve<R: Rng + ?Sized>(&mut self, ldns: LdnsId, t_ms: u64, rng: &mut R) -> DnsDecision {
+    pub fn resolve<R: Rng + ?Sized>(
+        &mut self,
+        ldns: LdnsId,
+        t_ms: u64,
+        rng: &mut R,
+    ) -> DnsDecision {
+        let decision = self.decide(ldns, t_ms, rng);
+        if let Some(tel) = &self.tel {
+            tel.observe(ldns, t_ms, decision);
+        }
+        decision
+    }
+
+    fn decide<R: Rng + ?Sized>(&mut self, ldns: LdnsId, t_ms: u64, rng: &mut R) -> DnsDecision {
         let policy = &self.policies[ldns.0];
         // Background noise: pick a random alternate.
         if policy.noise_prob > 0.0 && rng.gen_bool(policy.noise_prob) {
@@ -222,9 +294,7 @@ mod tests {
         let mut r = DnsResolver::new(vec![policy(0.0, Some(300))]);
         let mut rng = StdRng::seed_from_u64(3);
         let local = (0..1000u64)
-            .filter(|i| {
-                r.resolve(LdnsId(0), i * (HOUR_MS / 1000), &mut rng).dc == DataCenterId(0)
-            })
+            .filter(|i| r.resolve(LdnsId(0), i * (HOUR_MS / 1000), &mut rng).dc == DataCenterId(0))
             .count();
         assert_eq!(local, 300);
     }
@@ -258,6 +328,49 @@ mod tests {
     #[should_panic(expected = "at least one LDNS")]
     fn empty_policies_rejected() {
         let _ = DnsResolver::new(vec![]);
+    }
+
+    #[test]
+    fn telemetry_counts_every_cause_and_matches_decisions() {
+        use ytcdn_telemetry::{RingBufferSink, Sink, Telemetry};
+
+        let ring = std::sync::Arc::new(RingBufferSink::new(100_000));
+        let tel = Telemetry::with_sink(std::sync::Arc::clone(&ring) as std::sync::Arc<dyn Sink>);
+        let mut r = DnsResolver::new(vec![policy(0.05, Some(500))]);
+        r.set_telemetry(tel.clone());
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 2_000u64;
+        let mut by_cause = std::collections::HashMap::new();
+        for i in 0..n {
+            let d = r.resolve(LdnsId(0), i * (HOUR_MS / 1000), &mut rng);
+            *by_cause.entry(d.cause).or_insert(0u64) += 1;
+        }
+        let snap = tel.metrics_snapshot().unwrap();
+        for (cause, count) in &by_cause {
+            assert_eq!(
+                snap.counter(cause.kind().counter_name()),
+                *count,
+                "{cause:?}"
+            );
+            assert!(*count > 0, "{cause:?} never exercised");
+        }
+        assert_eq!(ring.len(), n as usize, "one event per resolution");
+    }
+
+    #[test]
+    fn telemetry_does_not_change_decisions() {
+        let mut plain = DnsResolver::new(vec![policy(0.1, Some(100))]);
+        let mut instrumented = DnsResolver::new(vec![policy(0.1, Some(100))]);
+        instrumented.set_telemetry(ytcdn_telemetry::Telemetry::metrics_only());
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        for i in 0..5_000u64 {
+            let t = i * 1_000;
+            assert_eq!(
+                plain.resolve(LdnsId(0), t, &mut rng_a),
+                instrumented.resolve(LdnsId(0), t, &mut rng_b)
+            );
+        }
     }
 
     #[test]

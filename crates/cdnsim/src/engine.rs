@@ -18,6 +18,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use ytcdn_netsim::{AccessKind, DelayModel, Endpoint};
+use ytcdn_telemetry::{Counter, Event, Histogram, RedirectKind, Telemetry};
 use ytcdn_tstat::{Dataset, FlowRecord, Resolution, VideoId, HOUR_MS};
 
 use crate::catalog::{sample_resolution, VideoCatalog};
@@ -78,6 +79,62 @@ impl Default for EngineConfig {
     }
 }
 
+/// Pre-resolved telemetry handles for the engine's per-session hot path.
+/// Only constructed for an enabled [`Telemetry`]; a `None` field in the
+/// engine keeps the disabled cost to one branch per decision point.
+#[derive(Debug, Clone)]
+struct EngineTelemetry {
+    telemetry: Telemetry,
+    cache_miss: Counter,
+    miss_redirect: Counter,
+    wrong_guess: Counter,
+    overload_redirect: Counter,
+    replication: Counter,
+    sessions: Counter,
+    flows: Counter,
+    /// Servers contacted per session (1 = direct serve, 2–3 = redirects).
+    chain_hops: Histogram,
+}
+
+impl EngineTelemetry {
+    fn new(telemetry: Telemetry) -> Self {
+        Self {
+            cache_miss: telemetry.counter("engine.cache_miss"),
+            miss_redirect: telemetry.counter(RedirectKind::ContentMiss.counter_name()),
+            wrong_guess: telemetry.counter(RedirectKind::WrongGuess.counter_name()),
+            overload_redirect: telemetry.counter(RedirectKind::Overload.counter_name()),
+            replication: telemetry.counter("placement.replication"),
+            sessions: telemetry.counter("scenario.sessions"),
+            flows: telemetry.counter("scenario.flows"),
+            chain_hops: telemetry.histogram("engine.chain_hops"),
+            telemetry,
+        }
+    }
+
+    fn redirect(&self, t_ms: u64, kind: RedirectKind, from: DataCenterId, to: DataCenterId) {
+        match kind {
+            RedirectKind::ContentMiss => self.miss_redirect.inc(),
+            RedirectKind::WrongGuess => self.wrong_guess.inc(),
+            RedirectKind::Overload => self.overload_redirect.inc(),
+        }
+        self.telemetry.emit(|| Event::Redirect {
+            t_ms,
+            kind,
+            from_dc: from.0 as u64,
+            to_dc: to.0 as u64,
+        });
+    }
+
+    fn replicated(&self, t_ms: u64, dc: DataCenterId, video: VideoId) {
+        self.replication.inc();
+        self.telemetry.emit(|| Event::Replication {
+            t_ms,
+            dc: dc.0 as u64,
+            video_rank: video.index(),
+        });
+    }
+}
+
 /// Download throughput of an access technology, in bytes per millisecond.
 fn throughput_bytes_per_ms(access: AccessKind) -> f64 {
     match access {
@@ -105,6 +162,7 @@ pub struct Engine<'w> {
     rng: StdRng,
     outcome: SessionOutcome,
     records: Vec<FlowRecord>,
+    tel: Option<EngineTelemetry>,
 }
 
 impl<'w> Engine<'w> {
@@ -147,7 +205,21 @@ impl<'w> Engine<'w> {
             rng: StdRng::seed_from_u64(seed),
             outcome: SessionOutcome::default(),
             records: Vec::new(),
+            tel: None,
         }
+    }
+
+    /// Attaches a telemetry handle covering the engine's decision points
+    /// (DNS causes, redirect chains, cache misses, replications) — usually
+    /// one scoped to this vantage point's dataset name. Observability only:
+    /// the simulated decisions and the RNG stream are untouched, so the
+    /// produced dataset is byte-identical with or without telemetry.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        if telemetry.is_enabled() {
+            self.dns.set_telemetry(telemetry.clone());
+            self.tel = Some(EngineTelemetry::new(telemetry));
+        }
+        self
     }
 
     /// The per-server hourly capacity after scaling.
@@ -172,6 +244,10 @@ impl<'w> Engine<'w> {
         self.outcome.sessions = total;
         self.outcome.flows = self.records.len() as u64;
         self.outcome.replications = self.store.replications() as u64;
+        if let Some(tel) = &self.tel {
+            tel.sessions.add(self.outcome.sessions);
+            tel.flows.add(self.outcome.flows);
+        }
         let dataset = Dataset::from_records(self.vp.dataset, self.records);
         (dataset, self.outcome)
     }
@@ -185,12 +261,26 @@ impl<'w> Engine<'w> {
         let pool_draw: f64 = self.rng.gen_range(0.0..1.0);
         if pool_draw < self.vp.mix.p_legacy {
             self.outcome.legacy_sessions += 1;
-            self.legacy_session(t, client_ip, meta.id, meta.duration_s, resolution, ServerPool::LegacyYouTubeEu);
+            self.legacy_session(
+                t,
+                client_ip,
+                meta.id,
+                meta.duration_s,
+                resolution,
+                ServerPool::LegacyYouTubeEu,
+            );
             return;
         }
         if pool_draw < self.vp.mix.p_legacy + self.vp.mix.p_third {
             self.outcome.third_party_sessions += 1;
-            self.legacy_session(t, client_ip, meta.id, meta.duration_s, resolution, ServerPool::ThirdParty);
+            self.legacy_session(
+                t,
+                client_ip,
+                meta.id,
+                meta.duration_s,
+                resolution,
+                ServerPool::ThirdParty,
+            );
             return;
         }
 
@@ -203,6 +293,9 @@ impl<'w> Engine<'w> {
         }
 
         let hops = self.resolve_chain(decision.dc, meta.id, t);
+        if let Some(tel) = &self.tel {
+            tel.chain_hops.record(hops.len() as f64);
+        }
         let mut cursor = t;
 
         // Preliminary control exchanges only occur on direct serves; on a
@@ -270,7 +363,12 @@ impl<'w> Engine<'w> {
     /// Walks the server-selection chain for a session mapped to `dc0`,
     /// returning the contacted `(data center, server)` hops. All but the
     /// last answer with a redirect.
-    fn resolve_chain(&mut self, dc0: DataCenterId, video: VideoId, t: u64) -> Vec<(DataCenterId, Ipv4Addr)> {
+    fn resolve_chain(
+        &mut self,
+        dc0: DataCenterId,
+        video: VideoId,
+        t: u64,
+    ) -> Vec<(DataCenterId, Ipv4Addr)> {
         let hour = t / HOUR_MS;
         let server0 = self.server_in(dc0, video);
         self.note_arrival(server0, hour);
@@ -279,22 +377,26 @@ impl<'w> Engine<'w> {
             // Content miss: redirect until the video is found, then pull it
             // into the contacted data center.
             self.outcome.miss_redirects += 1;
+            if let Some(tel) = &self.tel {
+                tel.cache_miss.inc();
+                tel.telemetry.emit(|| Event::CacheMiss {
+                    t_ms: t,
+                    dc: dc0.0 as u64,
+                    video_rank: video.index(),
+                });
+            }
             let mut hops = vec![(dc0, server0)];
             // A miss at a *non-preferred* data center often bounces the
             // client to the replica closest to it — which is the network's
             // preferred data center when it holds the video. This is the
             // (non-preferred, preferred) pattern of Figure 10b.
             let home_pref = self.dns.policies()[0].preferred;
-            if dc0 != home_pref
-                && self.store.has(home_pref, video)
-                && self.rng.gen_bool(0.5)
-            {
+            if dc0 != home_pref && self.store.has(home_pref, video) && self.rng.gen_bool(0.5) {
                 let hs = self.server_in(home_pref, video);
                 self.note_arrival(hs, hour);
                 hops.push((home_pref, hs));
-                if !self.config.disable_replication {
-                    self.store.replicate(dc0, video);
-                }
+                self.observe_redirect(t, RedirectKind::ContentMiss, dc0, home_pref);
+                self.pull_through(t, dc0, video);
                 return hops;
             }
             let guess_missed = self.rng.gen_bool(self.config.guess_miss_prob);
@@ -304,9 +406,8 @@ impl<'w> Engine<'w> {
                     let gs = self.server_in(g, video);
                     self.note_arrival(gs, hour);
                     hops.push((g, gs));
-                    if !self.config.disable_replication {
-                        self.store.replicate(dc0, video);
-                    }
+                    self.observe_redirect(t, RedirectKind::ContentMiss, dc0, g);
+                    self.pull_through(t, dc0, video);
                     return hops;
                 }
                 // Wrong guess: one more control hop.
@@ -314,14 +415,15 @@ impl<'w> Engine<'w> {
                 let gs = self.server_in(g, video);
                 self.note_arrival(gs, hour);
                 hops.push((g, gs));
+                self.observe_redirect(t, RedirectKind::WrongGuess, dc0, g);
             }
             let origin = self.store.origin_of(video);
             let os = self.server_in(origin, video);
             self.note_arrival(os, hour);
+            let from = hops.last().expect("chain has at least one hop").0;
             hops.push((origin, os));
-            if !self.config.disable_replication {
-                self.store.replicate(dc0, video);
-            }
+            self.observe_redirect(t, RedirectKind::ContentMiss, from, origin);
+            self.pull_through(t, dc0, video);
             return hops;
         }
 
@@ -337,10 +439,30 @@ impl<'w> Engine<'w> {
             let target = self.overflow_target(dc0, video);
             let ts = self.server_in(target, video);
             self.note_arrival(ts, hour);
+            self.observe_redirect(t, RedirectKind::Overload, dc0, target);
             return vec![(dc0, server0), (target, ts)];
         }
 
         vec![(dc0, server0)]
+    }
+
+    fn observe_redirect(&self, t: u64, kind: RedirectKind, from: DataCenterId, to: DataCenterId) {
+        if let Some(tel) = &self.tel {
+            tel.redirect(t, kind, from, to);
+        }
+    }
+
+    /// Replicates after a miss (unless the ablation disables it) and counts
+    /// the pull-through exactly when the replica is new.
+    fn pull_through(&mut self, t: u64, dc: DataCenterId, video: VideoId) {
+        if self.config.disable_replication {
+            return;
+        }
+        if self.store.replicate(dc, video) {
+            if let Some(tel) = &self.tel {
+                tel.replicated(t, dc, video);
+            }
+        }
     }
 
     /// The server handling `video` within `dc`: popular content is on every
@@ -495,7 +617,10 @@ mod tests {
         let (ds, outcome) = s.run_with_outcome(DatasetName::Eu1Ftth);
         assert!(outcome.flows > 0);
         assert_eq!(ds.len() as u64, outcome.flows);
-        assert!(ds.records().windows(2).all(|w| w[0].start_ms <= w[1].start_ms));
+        assert!(ds
+            .records()
+            .windows(2)
+            .all(|w| w[0].start_ms <= w[1].start_ms));
         assert!(ds.iter().all(|r| r.is_well_formed()));
     }
 
@@ -512,7 +637,10 @@ mod tests {
         let s = small_scenario();
         let (ds, _) = s.run_with_outcome(DatasetName::UsCampus);
         let c = FlowClassifier::default();
-        let control = ds.iter().filter(|f| c.classify(f) == FlowClass::Control).count();
+        let control = ds
+            .iter()
+            .filter(|f| c.classify(f) == FlowClass::Control)
+            .count();
         let frac = control as f64 / ds.len() as f64;
         // Roughly the multi-flow-session share of Figure 6.
         assert!((0.10..0.35).contains(&frac), "control share {frac}");
@@ -538,7 +666,10 @@ mod tests {
             "EU2 should spill a large share: {o:?}"
         );
         let (_, o_us) = s.run_with_outcome(DatasetName::UsCampus);
-        assert_eq!(o_us.dns_load_balanced, 0, "US campus has no DNS capacity limit");
+        assert_eq!(
+            o_us.dns_load_balanced, 0,
+            "US campus has no DNS capacity limit"
+        );
     }
 
     #[test]
@@ -679,8 +810,7 @@ mod tests {
         // RTT accessor agrees with the world's view.
         let dc = world_l.preferred_dc(DatasetName::Eu1Adsl);
         assert!(
-            (engine_large.rtt_to_dc(dc) - world_l.rtt_to_dc(DatasetName::Eu1Adsl, dc)).abs()
-                < 1e-9
+            (engine_large.rtt_to_dc(dc) - world_l.rtt_to_dc(DatasetName::Eu1Adsl, dc)).abs() < 1e-9
         );
     }
 
@@ -695,10 +825,10 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = StandardScenario::build(ScenarioConfig::with_scale(0.005, 1))
-            .run(DatasetName::Eu1Ftth);
-        let b = StandardScenario::build(ScenarioConfig::with_scale(0.005, 2))
-            .run(DatasetName::Eu1Ftth);
+        let a =
+            StandardScenario::build(ScenarioConfig::with_scale(0.005, 1)).run(DatasetName::Eu1Ftth);
+        let b =
+            StandardScenario::build(ScenarioConfig::with_scale(0.005, 2)).run(DatasetName::Eu1Ftth);
         assert_ne!(a, b);
     }
 }

@@ -59,7 +59,7 @@ pub use catalog::{VideoCatalog, VideoMeta, VotdSchedule};
 pub use dns::{DnsDecision, DnsResolver, LdnsId};
 pub use engine::{Engine, SessionOutcome};
 pub use placement::ContentStore;
-pub use scenario::{ScenarioConfig, StandardScenario, World};
+pub use scenario::{run_span_name, ScenarioConfig, StandardScenario, World};
 pub use topology::{DataCenter, DataCenterId, ServerPool, Topology};
 pub use vantage::{SubnetConfig, VantagePoint};
 pub use workload::{diurnal_factor, WorkloadModel};

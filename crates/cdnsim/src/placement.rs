@@ -119,9 +119,10 @@ impl ContentStore {
     }
 
     /// Pulls `video` into `dc` (pull-through replication after a miss).
-    /// Idempotent.
-    pub fn replicate(&mut self, dc: DataCenterId, video: VideoId) {
-        self.replicated.insert((dc, video));
+    /// Idempotent; returns whether the replica is new (used by telemetry to
+    /// count replications the same way [`ContentStore::replications`] does).
+    pub fn replicate(&mut self, dc: DataCenterId, video: VideoId) -> bool {
+        self.replicated.insert((dc, video))
     }
 
     /// Number of replications performed during the run.

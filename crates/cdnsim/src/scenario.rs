@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use ytcdn_geomodel::Coord;
 use ytcdn_netsim::{AccessKind, DelayModel, Endpoint, Pinger, RttMeasurement};
+use ytcdn_telemetry::Telemetry;
 use ytcdn_tstat::{Dataset, DatasetName};
 
 use crate::catalog::{CatalogConfig, VideoCatalog, VotdSchedule};
@@ -153,7 +154,8 @@ impl World {
         let dc = self.topology.dc_of_ip(server)?;
         let target = self.topology.server_endpoint(server)?;
         let mut pinger = Pinger::new(self.delay, probes);
-        let mut m = pinger.ping_seeded(&vp.endpoint(), &target, seed ^ u64::from(u32::from(server)));
+        let mut m =
+            pinger.ping_seeded(&vp.endpoint(), &target, seed ^ u64::from(u32::from(server)));
         let penalty = vp.penalty_to(self.topology.dc(dc).city.name);
         m.min_ms += penalty;
         m.avg_ms += penalty;
@@ -233,6 +235,18 @@ impl World {
 pub struct StandardScenario {
     world: World,
     config: ScenarioConfig,
+    telemetry: Telemetry,
+}
+
+/// The phase-histogram / span name for one dataset's simulation run.
+pub fn run_span_name(name: DatasetName) -> &'static str {
+    match name {
+        DatasetName::UsCampus => "run.US-Campus",
+        DatasetName::Eu1Campus => "run.EU1-Campus",
+        DatasetName::Eu1Adsl => "run.EU1-ADSL",
+        DatasetName::Eu1Ftth => "run.EU1-FTTH",
+        DatasetName::Eu2 => "run.EU2",
+    }
 }
 
 impl StandardScenario {
@@ -240,6 +254,16 @@ impl StandardScenario {
     /// DNS policies derived from RTT ranking.
     pub fn build(config: ScenarioConfig) -> Self {
         Self::build_with_vantages(config, VantagePoint::standard_five())
+    }
+
+    /// [`StandardScenario::build`] with the build phase profiled under the
+    /// `scenario.build` span and the handle attached for later runs.
+    pub fn build_instrumented(config: ScenarioConfig, telemetry: Telemetry) -> Self {
+        let span = telemetry.span("scenario.build");
+        let mut scenario = Self::build(config);
+        drop(span);
+        scenario.set_telemetry(telemetry);
+        scenario
     }
 
     /// Builds the world with caller-modified vantage points (what-if
@@ -250,7 +274,10 @@ impl StandardScenario {
     /// Panics if `vantages` is empty or the catalog parameters are invalid
     /// (see [`VideoCatalog::new`]).
     pub fn build_with_vantages(config: ScenarioConfig, vantages: Vec<VantagePoint>) -> Self {
-        assert!(!vantages.is_empty(), "scenario needs at least one vantage point");
+        assert!(
+            !vantages.is_empty(),
+            "scenario needs at least one vantage point"
+        );
         let topology = Topology::standard();
         let votd = if config.votd_enabled {
             VotdSchedule::daily_for_week(config.catalog.num_videos / 2)
@@ -273,12 +300,14 @@ impl StandardScenario {
             let ranked = world.dcs_by_rtt(vp.dataset);
             let preferred = match vp.preferred_city_override {
                 None => ranked[0].0,
-                Some(city) => world
-                    .topology
-                    .analysis_dcs()
-                    .find(|d| d.city.name == city)
-                    .unwrap_or_else(|| panic!("override city {city} has no data center"))
-                    .id,
+                Some(city) => {
+                    world
+                        .topology
+                        .analysis_dcs()
+                        .find(|d| d.city.name == city)
+                        .unwrap_or_else(|| panic!("override city {city} has no data center"))
+                        .id
+                }
             };
             let alternates: Vec<DataCenterId> = ranked
                 .iter()
@@ -312,7 +341,24 @@ impl StandardScenario {
         }
         world.policies = policies;
 
-        Self { world, config }
+        Self {
+            world,
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle. Every subsequent run instruments its
+    /// engine (scoped to the dataset name) and records a `run.<dataset>`
+    /// phase span; determinism of the produced datasets is unaffected.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`StandardScenario::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The world handle.
@@ -345,6 +391,7 @@ impl StandardScenario {
         for _ in 0..=idx {
             seed = rand::Rng::gen::<u64>(&mut seeder);
         }
+        let span = self.telemetry.span(run_span_name(name));
         let engine = Engine::new(
             &self.world.topology,
             &self.world.catalog,
@@ -354,8 +401,19 @@ impl StandardScenario {
             self.fresh_store(),
             self.config.engine,
             seed,
-        );
-        engine.run()
+        )
+        .with_telemetry(self.telemetry.with_scope(name.as_str()));
+        let (dataset, outcome) = engine.run();
+        if let Some(us) = span.elapsed_us() {
+            // Per-dataset simulation throughput, sessions per wall-clock
+            // second (the ROADMAP's scaling headline number).
+            if us > 0 {
+                self.telemetry
+                    .gauge("scenario.sessions_per_sec")
+                    .set(outcome.sessions as f64 / (us as f64 / 1e6));
+            }
+        }
+        (dataset, outcome)
     }
 
     /// Simulates one dataset.
@@ -365,6 +423,7 @@ impl StandardScenario {
 
     /// Simulates all five datasets in Table I order.
     pub fn run_all(&self) -> Vec<Dataset> {
+        let _span = self.telemetry.span("scenario.run_all");
         DatasetName::ALL.iter().map(|&n| self.run(n)).collect()
     }
 
@@ -372,6 +431,7 @@ impl StandardScenario {
     /// [`StandardScenario::run_all`] — each dataset draws from its own seed
     /// stream — but ~4× faster at full scale.
     pub fn run_all_parallel(&self) -> Vec<Dataset> {
+        let _span = self.telemetry.span("scenario.run_all");
         std::thread::scope(|scope| {
             let handles: Vec<_> = DatasetName::ALL
                 .iter()
@@ -405,7 +465,11 @@ mod tests {
     fn eu1_preferred_is_milan() {
         let s = StandardScenario::build(ScenarioConfig::with_scale(0.001, 0));
         let w = s.world();
-        for name in [DatasetName::Eu1Campus, DatasetName::Eu1Adsl, DatasetName::Eu1Ftth] {
+        for name in [
+            DatasetName::Eu1Campus,
+            DatasetName::Eu1Adsl,
+            DatasetName::Eu1Ftth,
+        ] {
             let pref = w.preferred_dc(name);
             assert_eq!(w.topology().dc(pref).city.name, "Milan", "{name}");
         }
@@ -430,12 +494,7 @@ mod tests {
         let w = s.world();
         let vp = w.vantage(DatasetName::UsCampus);
         let pref = w.preferred_dc(DatasetName::UsCampus);
-        let pref_km = w
-            .topology()
-            .dc(pref)
-            .city
-            .coord
-            .distance_km(vp.city.coord);
+        let pref_km = w.topology().dc(pref).city.coord.distance_km(vp.city.coord);
         // At least 3 analysis DCs are geographically closer than the
         // preferred one (the paper: the five closest provide <2% of bytes).
         let closer = w
@@ -461,11 +520,13 @@ mod tests {
         let w = s.world();
         let pref = w.preferred_dc(DatasetName::Eu1Campus);
         let server = w.topology().dc(pref).servers[0];
-        let m = w
-            .ping_server(DatasetName::Eu1Campus, server, 5, 0)
-            .unwrap();
+        let m = w.ping_server(DatasetName::Eu1Campus, server, 5, 0).unwrap();
         let dc_rtt = w.rtt_to_dc(DatasetName::Eu1Campus, pref);
-        assert!((m.min_ms - dc_rtt).abs() < 15.0, "ping {} vs dc {dc_rtt}", m.min_ms);
+        assert!(
+            (m.min_ms - dc_rtt).abs() < 15.0,
+            "ping {} vs dc {dc_rtt}",
+            m.min_ms
+        );
     }
 
     #[test]
@@ -483,15 +544,58 @@ mod tests {
         let text = s.world().describe(DatasetName::Eu2);
         assert!(text.contains("EU2"), "{text}");
         assert!(text.contains("Madrid"), "{text}");
-        assert!(text.contains("capacity"), "EU2 policy shows capacity: {text}");
+        assert!(
+            text.contains("capacity"),
+            "EU2 policy shows capacity: {text}"
+        );
         let us = s.world().describe(DatasetName::UsCampus);
-        assert!(us.contains("LDNS 1"), "US campus has the divergent LDNS: {us}");
+        assert!(
+            us.contains("LDNS 1"),
+            "US campus has the divergent LDNS: {us}"
+        );
     }
 
     #[test]
     fn parallel_run_matches_sequential() {
         let s = StandardScenario::build(ScenarioConfig::with_scale(0.002, 3));
         assert_eq!(s.run_all(), s.run_all_parallel());
+    }
+
+    #[test]
+    fn telemetry_counters_match_ground_truth() {
+        let cfg = ScenarioConfig::with_scale(0.002, 7);
+        let plain = StandardScenario::build(cfg);
+        let (expected_ds, outcome) = plain.run_with_outcome(DatasetName::UsCampus);
+
+        let mut instrumented = StandardScenario::build(cfg);
+        instrumented.set_telemetry(Telemetry::metrics_only());
+        let (ds, _) = instrumented.run_with_outcome(DatasetName::UsCampus);
+        // Telemetry must not perturb the simulation.
+        assert_eq!(ds, expected_ds);
+
+        let snap = instrumented.telemetry().metrics_snapshot().unwrap();
+        assert_eq!(snap.counter("scenario.sessions"), outcome.sessions);
+        assert_eq!(snap.counter("scenario.flows"), outcome.flows);
+        assert_eq!(snap.counter("engine.cache_miss"), outcome.miss_redirects);
+        assert_eq!(
+            snap.counter("engine.redirect.content_miss"),
+            outcome.miss_redirects
+        );
+        assert_eq!(
+            snap.counter("engine.redirect.wrong_guess"),
+            outcome.double_redirects
+        );
+        assert_eq!(
+            snap.counter("engine.redirect.overload"),
+            outcome.overload_redirects
+        );
+        assert_eq!(snap.counter("placement.replication"), outcome.replications);
+        // The run span and throughput gauge were recorded.
+        assert_eq!(
+            snap.histograms[run_span_name(DatasetName::UsCampus)].count,
+            1
+        );
+        assert!(snap.gauges["scenario.sessions_per_sec"] > 0.0);
     }
 
     #[test]

@@ -115,53 +115,201 @@ pub struct DcSpec {
 /// the large well-known sites.
 pub const GOOGLE_DC_SPECS: &[DcSpec] = &[
     // --- United States (13) ---
-    DcSpec { city: "Ashburn", servers: 120, pool: ServerPool::Google },
-    DcSpec { city: "Mountain View", servers: 120, pool: ServerPool::Google },
-    DcSpec { city: "The Dalles", servers: 100, pool: ServerPool::Google },
-    DcSpec { city: "Council Bluffs", servers: 100, pool: ServerPool::Google },
-    DcSpec { city: "Lenoir", servers: 80, pool: ServerPool::Google },
-    DcSpec { city: "Moncks Corner", servers: 80, pool: ServerPool::Google },
-    DcSpec { city: "Atlanta", servers: 100, pool: ServerPool::Google },
-    DcSpec { city: "Dallas", servers: 80, pool: ServerPool::Google },
-    DcSpec { city: "Chicago", servers: 40, pool: ServerPool::Google },
-    DcSpec { city: "Indianapolis", servers: 24, pool: ServerPool::Google },
-    DcSpec { city: "Columbus", servers: 24, pool: ServerPool::Google },
-    DcSpec { city: "Detroit", servers: 24, pool: ServerPool::Google },
-    DcSpec { city: "St Louis", servers: 24, pool: ServerPool::Google },
+    DcSpec {
+        city: "Ashburn",
+        servers: 120,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Mountain View",
+        servers: 120,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "The Dalles",
+        servers: 100,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Council Bluffs",
+        servers: 100,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Lenoir",
+        servers: 80,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Moncks Corner",
+        servers: 80,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Atlanta",
+        servers: 100,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Dallas",
+        servers: 80,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Chicago",
+        servers: 40,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Indianapolis",
+        servers: 24,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Columbus",
+        servers: 24,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Detroit",
+        servers: 24,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "St Louis",
+        servers: 24,
+        pool: ServerPool::Google,
+    },
     // --- Europe (13 Google; the EU2 internal site makes 14) ---
-    DcSpec { city: "Milan", servers: 110, pool: ServerPool::Google },
-    DcSpec { city: "Paris", servers: 110, pool: ServerPool::Google },
-    DcSpec { city: "London", servers: 110, pool: ServerPool::Google },
-    DcSpec { city: "Frankfurt", servers: 100, pool: ServerPool::Google },
-    DcSpec { city: "Amsterdam", servers: 90, pool: ServerPool::Google },
-    DcSpec { city: "Groningen", servers: 80, pool: ServerPool::Google },
-    DcSpec { city: "St Ghislain", servers: 100, pool: ServerPool::Google },
-    DcSpec { city: "Dublin", servers: 60, pool: ServerPool::Google },
-    DcSpec { city: "Hamina", servers: 60, pool: ServerPool::Google },
-    DcSpec { city: "Stockholm", servers: 50, pool: ServerPool::Google },
-    DcSpec { city: "Zurich", servers: 40, pool: ServerPool::Google },
-    DcSpec { city: "Vienna", servers: 40, pool: ServerPool::Google },
-    DcSpec { city: "Warsaw", servers: 40, pool: ServerPool::Google },
+    DcSpec {
+        city: "Milan",
+        servers: 110,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Paris",
+        servers: 110,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "London",
+        servers: 110,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Frankfurt",
+        servers: 100,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Amsterdam",
+        servers: 90,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Groningen",
+        servers: 80,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "St Ghislain",
+        servers: 100,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Dublin",
+        servers: 60,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Hamina",
+        servers: 60,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Stockholm",
+        servers: 50,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Zurich",
+        servers: 40,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Vienna",
+        servers: 40,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Warsaw",
+        servers: 40,
+        pool: ServerPool::Google,
+    },
     // --- Rest of the world (6) ---
-    DcSpec { city: "Tokyo", servers: 60, pool: ServerPool::Google },
-    DcSpec { city: "Hong Kong", servers: 40, pool: ServerPool::Google },
-    DcSpec { city: "Singapore", servers: 40, pool: ServerPool::Google },
-    DcSpec { city: "Sydney", servers: 30, pool: ServerPool::Google },
-    DcSpec { city: "Sao Paulo", servers: 40, pool: ServerPool::Google },
-    DcSpec { city: "Taipei", servers: 30, pool: ServerPool::Google },
+    DcSpec {
+        city: "Tokyo",
+        servers: 60,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Hong Kong",
+        servers: 40,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Singapore",
+        servers: 40,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Sydney",
+        servers: 30,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Sao Paulo",
+        servers: 40,
+        pool: ServerPool::Google,
+    },
+    DcSpec {
+        city: "Taipei",
+        servers: 30,
+        pool: ServerPool::Google,
+    },
 ];
 
 /// Legacy YouTube-EU sites (AS 43515): many addresses, little traffic.
 pub const LEGACY_DC_SPECS: &[DcSpec] = &[
-    DcSpec { city: "London", servers: 250, pool: ServerPool::LegacyYouTubeEu },
-    DcSpec { city: "Amsterdam", servers: 250, pool: ServerPool::LegacyYouTubeEu },
-    DcSpec { city: "Mountain View", servers: 200, pool: ServerPool::LegacyYouTubeEu },
+    DcSpec {
+        city: "London",
+        servers: 250,
+        pool: ServerPool::LegacyYouTubeEu,
+    },
+    DcSpec {
+        city: "Amsterdam",
+        servers: 250,
+        pool: ServerPool::LegacyYouTubeEu,
+    },
+    DcSpec {
+        city: "Mountain View",
+        servers: 200,
+        pool: ServerPool::LegacyYouTubeEu,
+    },
 ];
 
 /// Third-party-hosted caches in transit ASes.
 pub const THIRD_PARTY_DC_SPECS: &[DcSpec] = &[
-    DcSpec { city: "Frankfurt", servers: 60, pool: ServerPool::ThirdParty },
-    DcSpec { city: "New York", servers: 60, pool: ServerPool::ThirdParty },
+    DcSpec {
+        city: "Frankfurt",
+        servers: 60,
+        pool: ServerPool::ThirdParty,
+    },
+    DcSpec {
+        city: "New York",
+        servers: 60,
+        pool: ServerPool::ThirdParty,
+    },
 ];
 
 /// The AS of the EU2 ISP (home AS of the EU2 dataset and of its internal
@@ -209,10 +357,10 @@ impl Topology {
         let mut internal_24s = eu2_internal_block.subdivide(24).expect("prefix 24 > 20");
 
         let add = |spec: &DcSpec,
-                       asn: Asn,
-                       s24s: &mut dyn Iterator<Item = Ipv4Block>,
-                       dcs: &mut Vec<DataCenter>,
-                       map: &mut HashMap<Ipv4Block, DataCenterId>| {
+                   asn: Asn,
+                   s24s: &mut dyn Iterator<Item = Ipv4Block>,
+                   dcs: &mut Vec<DataCenter>,
+                   map: &mut HashMap<Ipv4Block, DataCenterId>| {
             let id = DataCenterId(dcs.len());
             let city = db.expect(spec.city);
             let mut servers = Vec::with_capacity(spec.servers);
@@ -237,7 +385,13 @@ impl Topology {
         };
 
         for spec in GOOGLE_DC_SPECS {
-            add(spec, Asn::GOOGLE, &mut google_24s, &mut dcs, &mut slash24_to_dc);
+            add(
+                spec,
+                Asn::GOOGLE,
+                &mut google_24s,
+                &mut dcs,
+                &mut slash24_to_dc,
+            );
         }
         // The EU2 in-ISP data center: part of the paper's 33, but in the
         // ISP's own AS.
@@ -253,7 +407,13 @@ impl Topology {
             &mut slash24_to_dc,
         );
         for spec in LEGACY_DC_SPECS {
-            add(spec, Asn::YOUTUBE_EU, &mut legacy_24s, &mut dcs, &mut slash24_to_dc);
+            add(
+                spec,
+                Asn::YOUTUBE_EU,
+                &mut legacy_24s,
+                &mut dcs,
+                &mut slash24_to_dc,
+            );
         }
         add(
             &THIRD_PARTY_DC_SPECS[0],
@@ -323,7 +483,10 @@ impl Topology {
     /// the offset is derived from the address so it is stable.
     pub fn server_endpoint(&self, ip: Ipv4Addr) -> Option<Endpoint> {
         let dc = self.dc(self.dc_of_ip(ip)?);
-        Some(Endpoint::new(server_coord(dc.city.coord, ip), AccessKind::DataCenter))
+        Some(Endpoint::new(
+            server_coord(dc.city.coord, ip),
+            AccessKind::DataCenter,
+        ))
     }
 
     /// Ground-truth location of a server (for CBG validation).

@@ -404,7 +404,9 @@ mod tests {
         let vps = VantagePoint::standard_five();
         let ftth = &vps[3];
         let mut rng = StdRng::seed_from_u64(2);
-        let distinct: HashSet<_> = (0..20_000).map(|_| ftth.sample_client(&mut rng).1).collect();
+        let distinct: HashSet<_> = (0..20_000)
+            .map(|_| ftth.sample_client(&mut rng).1)
+            .collect();
         assert!(
             distinct.len() > ftth.total_clients() / 2,
             "only {} of {} hosts seen",

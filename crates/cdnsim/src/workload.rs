@@ -165,10 +165,7 @@ mod tests {
         }
         let night = hourly[4] as f64; // 04:00-05:00
         let evening = hourly[21] as f64; // 21:00-22:00
-        assert!(
-            evening > 5.0 * night,
-            "evening {evening} vs night {night}"
-        );
+        assert!(evening > 5.0 * night, "evening {evening} vs night {night}");
     }
 
     #[test]

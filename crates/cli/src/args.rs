@@ -20,8 +20,38 @@ USAGE:
   ytcdn world     [--scale S] [--seed N]
   ytcdn anonymize --trace PATH --out PATH [--seed KEY]
 
+Global flags (any subcommand):
+  --telemetry PATH    write structured events as JSON lines to PATH
+  --metrics-out PATH  write the final metrics snapshot as JSON to PATH
+  (either flag also prints a metrics table on stderr at exit)
+
 Datasets: US-Campus, EU1-Campus, EU1-ADSL, EU1-FTTH, EU2.
 Defaults: --scale 0.02, --seed 42, --landmarks 50.";
+
+/// Global observability options, orthogonal to the subcommand.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetryOpts {
+    /// Write structured JSONL events here (`--telemetry`).
+    pub events: Option<PathBuf>,
+    /// Write the final metrics snapshot (JSON) here (`--metrics-out`).
+    pub metrics: Option<PathBuf>,
+}
+
+impl TelemetryOpts {
+    /// Whether either flag was given.
+    pub fn enabled(&self) -> bool {
+        self.events.is_some() || self.metrics.is_some()
+    }
+}
+
+/// A fully parsed command line: the subcommand plus global options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// The subcommand.
+    pub command: Command,
+    /// Global telemetry options.
+    pub telemetry: TelemetryOpts,
+}
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -142,6 +172,7 @@ struct Flags {
     landmarks: usize,
     scenario: Option<String>,
     format: TraceFormat,
+    telemetry: TelemetryOpts,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, ParseError> {
@@ -154,6 +185,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, ParseError> {
         landmarks: 50,
         scenario: None,
         format: TraceFormat::default(),
+        telemetry: TelemetryOpts::default(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -196,6 +228,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, ParseError> {
                 flags.landmarks = k;
             }
             "--scenario" => flags.scenario = Some(value("--scenario value")?.clone()),
+            "--telemetry" => {
+                flags.telemetry.events = Some(PathBuf::from(value("--telemetry value")?));
+            }
+            "--metrics-out" => {
+                flags.telemetry.metrics = Some(PathBuf::from(value("--metrics-out value")?));
+            }
             "--format" => {
                 let v = value("--format value")?;
                 flags.format = match v.as_str() {
@@ -211,14 +249,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, ParseError> {
 }
 
 /// Parses a full argument vector (without the program name).
-pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let (sub, rest) = args.split_first().ok_or(ParseError::MissingSubcommand)?;
     match sub.as_str() {
         "--help" | "-h" | "help" => return Err(ParseError::Help),
         _ => {}
     }
     let flags = parse_flags(rest)?;
-    match sub.as_str() {
+    let telemetry = flags.telemetry.clone();
+    let command = match sub.as_str() {
         "generate" => Ok(Command::Generate {
             dataset: flags.dataset,
             scale: flags.scale,
@@ -255,7 +294,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             seed: flags.seed,
         }),
         other => Err(ParseError::UnknownSubcommand(other.to_owned())),
-    }
+    }?;
+    Ok(Invocation { command, telemetry })
 }
 
 #[cfg(test)]
@@ -266,9 +306,15 @@ mod tests {
         args.iter().map(|s| s.to_string()).collect()
     }
 
+    /// Parses and discards the global options (most tests only care about
+    /// the subcommand).
+    fn cmd(args: &[&str]) -> Command {
+        parse(&v(args)).unwrap().command
+    }
+
     #[test]
     fn parse_generate_single() {
-        let cmd = parse(&v(&[
+        let cmd = cmd(&[
             "generate",
             "--dataset",
             "EU1-ADSL",
@@ -276,8 +322,7 @@ mod tests {
             "0.05",
             "--out",
             "trace.jsonl",
-        ]))
-        .unwrap();
+        ]);
         assert_eq!(
             cmd,
             Command::Generate {
@@ -292,7 +337,7 @@ mod tests {
 
     #[test]
     fn parse_generate_text_format() {
-        let cmd = parse(&v(&["generate", "--format", "text", "--out", "dir"])).unwrap();
+        let cmd = cmd(&["generate", "--format", "text", "--out", "dir"]);
         assert!(matches!(
             cmd,
             Command::Generate {
@@ -314,7 +359,7 @@ mod tests {
 
     #[test]
     fn parse_analyze() {
-        let cmd = parse(&v(&["analyze", "--trace", "x.jsonl", "--seed", "7"])).unwrap();
+        let cmd = cmd(&["analyze", "--trace", "x.jsonl", "--seed", "7"]);
         assert_eq!(
             cmd,
             Command::Analyze {
@@ -327,7 +372,7 @@ mod tests {
 
     #[test]
     fn parse_geolocate_defaults() {
-        let cmd = parse(&v(&["geolocate", "--dataset", "EU2"])).unwrap();
+        let cmd = cmd(&["geolocate", "--dataset", "EU2"]);
         assert_eq!(
             cmd,
             Command::Geolocate {
@@ -341,8 +386,38 @@ mod tests {
 
     #[test]
     fn parse_whatif() {
-        let cmd = parse(&v(&["whatif", "--scenario", "feb2011"])).unwrap();
+        let cmd = cmd(&["whatif", "--scenario", "feb2011"]);
         assert!(matches!(cmd, Command::WhatIf { scenario, .. } if scenario == "feb2011"));
+    }
+
+    #[test]
+    fn parse_telemetry_flags() {
+        let inv = parse(&v(&[
+            "world",
+            "--telemetry",
+            "events.jsonl",
+            "--metrics-out",
+            "metrics.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            inv.telemetry,
+            TelemetryOpts {
+                events: Some(PathBuf::from("events.jsonl")),
+                metrics: Some(PathBuf::from("metrics.json")),
+            }
+        );
+        assert!(inv.telemetry.enabled());
+        // Off by default, and each flag requires a value.
+        assert!(!parse(&v(&["world"])).unwrap().telemetry.enabled());
+        assert_eq!(
+            parse(&v(&["world", "--telemetry"])).unwrap_err(),
+            ParseError::Missing("--telemetry value")
+        );
+        assert_eq!(
+            parse(&v(&["world", "--metrics-out"])).unwrap_err(),
+            ParseError::Missing("--metrics-out value")
+        );
     }
 
     #[test]
@@ -377,7 +452,7 @@ mod tests {
 
     #[test]
     fn parse_characterize() {
-        let cmd = parse(&v(&["characterize", "--trace", "x.log"])).unwrap();
+        let cmd = cmd(&["characterize", "--trace", "x.log"]);
         assert_eq!(
             cmd,
             Command::Characterize {
@@ -393,17 +468,22 @@ mod tests {
     #[test]
     fn parse_world_and_anonymize() {
         assert_eq!(
-            parse(&v(&["world", "--scale", "0.1"])).unwrap(),
+            cmd(&["world", "--scale", "0.1"]),
             Command::World {
                 scale: 0.1,
                 seed: 42
             }
         );
         assert_eq!(
-            parse(&v(&[
-                "anonymize", "--trace", "in.jsonl", "--out", "out.jsonl", "--seed", "9"
-            ]))
-            .unwrap(),
+            cmd(&[
+                "anonymize",
+                "--trace",
+                "in.jsonl",
+                "--out",
+                "out.jsonl",
+                "--seed",
+                "9"
+            ]),
             Command::Anonymize {
                 trace: PathBuf::from("in.jsonl"),
                 out: PathBuf::from("out.jsonl"),

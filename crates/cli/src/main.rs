@@ -16,10 +16,11 @@
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 mod args;
 
-use args::{Command, ParseError};
+use args::{Command, ParseError, TelemetryOpts};
 use ytcdn_cdnsim::{ScenarioConfig, StandardScenario};
 use ytcdn_core::patterns::classify_sessions;
 use ytcdn_core::perf::perf_report;
@@ -28,24 +29,86 @@ use ytcdn_core::whatif;
 use ytcdn_core::AnalysisContext;
 use ytcdn_geoloc::{cluster_by_city, Cbg};
 use ytcdn_geomodel::CityDb;
+use ytcdn_telemetry::{JsonlSink, Progress, Telemetry};
 use ytcdn_tstat::{Dataset, DatasetName};
+
+/// Everything a subcommand needs besides its own flags: the telemetry
+/// handle (disabled unless `--telemetry`/`--metrics-out` was given) and the
+/// stderr progress reporter. Stdout stays data-only.
+struct Ctx {
+    telemetry: Telemetry,
+    progress: Progress,
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match args::parse(&argv) {
-        Ok(cmd) => run(cmd),
+    let inv = match args::parse(&argv) {
+        Ok(inv) => inv,
         Err(ParseError::Help) => {
             eprintln!("{}", args::USAGE);
-            ExitCode::SUCCESS
+            return ExitCode::SUCCESS;
         }
         Err(e) => {
             eprintln!("error: {e}\n\n{}", args::USAGE);
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    };
+    let telemetry = match build_telemetry(&inv.telemetry) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ctx = Ctx {
+        telemetry,
+        progress: Progress::stderr(),
+    };
+    let code = run(inv.command, &ctx);
+    if let Err(e) = finish_telemetry(&inv.telemetry, &ctx.telemetry) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    code
+}
+
+/// The handle the invocation asked for: a JSONL event stream when
+/// `--telemetry PATH` is given, metrics-only when just `--metrics-out`,
+/// disabled otherwise.
+fn build_telemetry(opts: &TelemetryOpts) -> Result<Telemetry, String> {
+    match &opts.events {
+        Some(path) => {
+            let sink = JsonlSink::create(path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            Ok(Telemetry::with_sink(Arc::new(sink)))
+        }
+        None if opts.metrics.is_some() => Ok(Telemetry::metrics_only()),
+        None => Ok(Telemetry::disabled()),
     }
 }
 
-fn run(cmd: Command) -> ExitCode {
+/// Flushes the event sink, writes the metrics JSON, and prints the
+/// human-readable metrics table on stderr.
+fn finish_telemetry(opts: &TelemetryOpts, telemetry: &Telemetry) -> Result<(), String> {
+    if !opts.enabled() {
+        return Ok(());
+    }
+    telemetry
+        .flush()
+        .map_err(|e| format!("cannot flush telemetry: {e}"))?;
+    let Some(snapshot) = telemetry.metrics_snapshot() else {
+        return Ok(());
+    };
+    if let Some(path) = &opts.metrics {
+        let json = serde_json::to_string_pretty(&snapshot).expect("metrics snapshot serializes");
+        std::fs::write(path, json + "\n")
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    eprint!("{}", snapshot.render_table());
+    Ok(())
+}
+
+fn run(cmd: Command, ctx: &Ctx) -> ExitCode {
     match cmd {
         Command::Generate {
             dataset,
@@ -53,34 +116,34 @@ fn run(cmd: Command) -> ExitCode {
             seed,
             out,
             format,
-        } => generate(dataset, scale, seed, out, format),
-        Command::Analyze { trace, scale, seed } => analyze(&trace, scale, seed),
+        } => generate(dataset, scale, seed, out, format, ctx),
+        Command::Analyze { trace, scale, seed } => analyze(&trace, scale, seed, ctx),
         Command::Geolocate {
             dataset,
             scale,
             seed,
             landmarks,
-        } => geolocate(dataset, scale, seed, landmarks),
+        } => geolocate(dataset, scale, seed, landmarks, ctx),
         Command::WhatIf {
             scenario,
             scale,
             seed,
-        } => what_if(&scenario, scale, seed),
+        } => what_if(&scenario, scale, seed, ctx),
         Command::Characterize { trace } => characterize_trace(&trace),
-        Command::World { scale, seed } => describe_world(scale, seed),
-        Command::Anonymize { trace, out, seed } => anonymize_trace(&trace, &out, seed),
+        Command::World { scale, seed } => describe_world(scale, seed, ctx),
+        Command::Anonymize { trace, out, seed } => anonymize_trace(&trace, &out, seed, ctx),
     }
 }
 
-fn describe_world(scale: f64, seed: u64) -> ExitCode {
-    let s = scenario(scale, seed);
+fn describe_world(scale: f64, seed: u64, ctx: &Ctx) -> ExitCode {
+    let s = scenario(scale, seed, ctx);
     for name in DatasetName::ALL {
         println!("{}", s.world().describe(name));
     }
     ExitCode::SUCCESS
 }
 
-fn anonymize_trace(trace: &PathBuf, out: &PathBuf, seed: u64) -> ExitCode {
+fn anonymize_trace(trace: &PathBuf, out: &PathBuf, seed: u64, ctx: &Ctx) -> ExitCode {
     let ds = match read_trace(trace) {
         Ok(d) => d,
         Err(e) => {
@@ -96,21 +159,26 @@ fn anonymize_trace(trace: &PathBuf, out: &PathBuf, seed: u64) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = anon.write_jsonl(BufWriter::new(file)) {
+    let write = {
+        let _span = ctx.telemetry.span("export");
+        anon.write_jsonl(BufWriter::new(file))
+    };
+    if let Err(e) = write {
         eprintln!("cannot write {}: {e}", out.display());
         return ExitCode::FAILURE;
     }
-    eprintln!(
+    ctx.progress.note(&format!(
         "anonymized {} flows ({} distinct clients) into {}",
         anon.len(),
         anon.client_ips().len(),
         out.display()
-    );
+    ));
     ExitCode::SUCCESS
 }
 
 fn read_trace(trace: &PathBuf) -> Result<Dataset, String> {
-    let file = std::fs::File::open(trace).map_err(|e| format!("cannot open {}: {e}", trace.display()))?;
+    let file =
+        std::fs::File::open(trace).map_err(|e| format!("cannot open {}: {e}", trace.display()))?;
     let mut reader = BufReader::new(file);
     let is_text = {
         use std::io::BufRead as _;
@@ -152,8 +220,13 @@ fn characterize_trace(trace: &PathBuf) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn scenario(scale: f64, seed: u64) -> StandardScenario {
-    StandardScenario::build(ScenarioConfig::with_scale(scale, seed))
+/// Builds the standard scenario with the invocation's telemetry attached
+/// (build phase profiled, engines instrumented per dataset).
+fn scenario(scale: f64, seed: u64, ctx: &Ctx) -> StandardScenario {
+    StandardScenario::build_instrumented(
+        ScenarioConfig::with_scale(scale, seed),
+        ctx.telemetry.clone(),
+    )
 }
 
 fn generate(
@@ -162,8 +235,9 @@ fn generate(
     seed: u64,
     out: PathBuf,
     format: args::TraceFormat,
+    ctx: &Ctx,
 ) -> ExitCode {
-    let s = scenario(scale, seed);
+    let s = scenario(scale, seed, ctx);
     let ext = match format {
         args::TraceFormat::Jsonl => "jsonl",
         args::TraceFormat::Text => "log",
@@ -172,6 +246,7 @@ fn generate(
         Some(n) => vec![s.run(n)],
         None => s.run_all_parallel(),
     };
+    let export_span = ctx.telemetry.span("export");
     for ds in datasets {
         let name = ds.name();
         let path = if names_len(dataset) == 1 {
@@ -206,8 +281,10 @@ fn generate(
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
-        eprintln!("wrote {} ({} flows)", path.display(), ds.len());
+        ctx.progress
+            .note(&format!("wrote {} ({} flows)", path.display(), ds.len()));
     }
+    drop(export_span);
     ExitCode::SUCCESS
 }
 
@@ -219,7 +296,7 @@ fn names_len(dataset: Option<DatasetName>) -> usize {
     }
 }
 
-fn analyze(trace: &PathBuf, scale: f64, seed: u64) -> ExitCode {
+fn analyze(trace: &PathBuf, scale: f64, seed: u64, cli: &Ctx) -> ExitCode {
     let ds = match read_trace(trace) {
         Ok(d) => d,
         Err(e) => {
@@ -227,9 +304,10 @@ fn analyze(trace: &PathBuf, scale: f64, seed: u64) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let s = scenario(scale, seed);
+    let s = scenario(scale, seed, cli);
     println!("{}", ds.summary());
 
+    let _span = cli.telemetry.span("analysis.trace");
     let ctx = AnalysisContext::from_ground_truth(s.world(), &ds);
     println!(
         "preferred data center: {} (RTT {:.1} ms, {:.0} km), {:.1}% of video bytes",
@@ -265,13 +343,14 @@ fn analyze(trace: &PathBuf, scale: f64, seed: u64) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn geolocate(dataset: DatasetName, scale: f64, seed: u64, landmarks: usize) -> ExitCode {
-    let s = scenario(scale, seed);
+fn geolocate(dataset: DatasetName, scale: f64, seed: u64, landmarks: usize, ctx: &Ctx) -> ExitCode {
+    let s = scenario(scale, seed, ctx);
     let ds = s.run(dataset);
-    eprintln!(
+    ctx.progress.note(&format!(
         "calibrating CBG on {landmarks} landmarks, geolocating {} servers…",
         ds.server_ips().len()
-    );
+    ));
+    let _span = ctx.telemetry.span("analysis.geolocate");
     let spec = scaled_landmark_spec(landmarks);
     let cbg = Cbg::calibrate(
         ytcdn_netsim::landmarks_with_counts(seed, &spec),
@@ -310,7 +389,8 @@ fn scaled_landmark_spec(n: usize) -> Vec<(ytcdn_geomodel::Continent, usize)> {
     .collect()
 }
 
-fn what_if(name: &str, scale: f64, seed: u64) -> ExitCode {
+fn what_if(name: &str, scale: f64, seed: u64, ctx: &Ctx) -> ExitCode {
+    let _span = ctx.telemetry.span("analysis.whatif");
     let base = ScenarioConfig::with_scale(scale, seed);
     let outcomes: Vec<whatif::WhatIfOutcome> = match name {
         "feb2011" => {

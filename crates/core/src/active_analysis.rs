@@ -91,7 +91,11 @@ mod tests {
             "above-1 fraction {}",
             stats.above_one
         );
-        assert!(stats.above_ten > 0.05, "above-10 fraction {}", stats.above_ten);
+        assert!(
+            stats.above_ten > 0.05,
+            "above-10 fraction {}",
+            stats.above_ten
+        );
         assert!(stats.above_ten < stats.above_one);
     }
 

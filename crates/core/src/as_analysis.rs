@@ -173,7 +173,12 @@ mod tests {
     fn others_bucket_small() {
         for row in rows() {
             let o = row.share(WellKnownAs::Other);
-            assert!(o.bytes_pct < 5.0, "{}: other bytes {}", row.dataset, o.bytes_pct);
+            assert!(
+                o.bytes_pct < 5.0,
+                "{}: other bytes {}",
+                row.dataset,
+                o.bytes_pct
+            );
         }
     }
 

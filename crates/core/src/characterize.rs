@@ -82,7 +82,12 @@ pub fn characterize(dataset: &Dataset) -> Characterization {
     };
 
     let peak = per_hour.values().copied().max().unwrap_or(0);
-    let trough = per_hour.values().copied().filter(|&v| v > 0).min().unwrap_or(0);
+    let trough = per_hour
+        .values()
+        .copied()
+        .filter(|&v| v > 0)
+        .min()
+        .unwrap_or(0);
     let peak_to_trough = if trough == 0 {
         0.0
     } else {

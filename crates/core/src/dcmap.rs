@@ -13,8 +13,8 @@ use std::net::Ipv4Addr;
 use serde::{Deserialize, Serialize};
 
 use ytcdn_cdnsim::World;
-use ytcdn_geomodel::{CityDb, Continent, Coord};
 use ytcdn_geoloc::CityCluster;
+use ytcdn_geomodel::{CityDb, Continent, Coord};
 use ytcdn_netsim::Ipv4Block;
 use ytcdn_tstat::{Dataset, DatasetName, FlowClassifier, FlowRecord};
 
@@ -59,11 +59,8 @@ impl DcMap {
         let mut map = DcMap::default();
         for dc in world.topology().analysis_dcs() {
             let idx = map.metas.len();
-            map.metas.push((
-                dc.city.name.to_owned(),
-                dc.city.coord,
-                dc.city.continent,
-            ));
+            map.metas
+                .push((dc.city.name.to_owned(), dc.city.coord, dc.city.continent));
             for &ip in &dc.servers {
                 map.blocks.insert(Ipv4Block::slash24_of(ip), idx);
             }
@@ -77,7 +74,8 @@ impl DcMap {
         for cluster in clusters {
             let idx = map.metas.len();
             let city = cities.expect(&cluster.city_name);
-            map.metas.push((city.name.to_owned(), city.coord, city.continent));
+            map.metas
+                .push((city.name.to_owned(), city.coord, city.continent));
             for &ip in &cluster.servers {
                 map.blocks.insert(Ipv4Block::slash24_of(ip), idx);
             }
@@ -311,7 +309,11 @@ mod tests {
     #[test]
     fn preferred_matches_ground_truth() {
         let s = scenario();
-        for name in [DatasetName::UsCampus, DatasetName::Eu1Adsl, DatasetName::Eu2] {
+        for name in [
+            DatasetName::UsCampus,
+            DatasetName::Eu1Adsl,
+            DatasetName::Eu2,
+        ] {
             let ds = s.run(name);
             let ctx = AnalysisContext::from_ground_truth(s.world(), &ds);
             let truth = s.world().preferred_dc(name);

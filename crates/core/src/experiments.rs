@@ -8,19 +8,20 @@
 
 use std::fmt::Write as _;
 
-use ytcdn_cdnsim::{
-    ActiveConfig, ActiveExperiment, ScenarioConfig, StandardScenario,
-};
+use ytcdn_cdnsim::{ActiveConfig, ActiveExperiment, ScenarioConfig, StandardScenario};
 use ytcdn_geoloc::Cbg;
-use ytcdn_netsim::{landmarks_with_counts, planetlab_landmarks, WellKnownAs};
 use ytcdn_geomodel::Continent;
+use ytcdn_netsim::{landmarks_with_counts, planetlab_landmarks, WellKnownAs};
+use ytcdn_telemetry::Telemetry;
 use ytcdn_tstat::{Dataset, DatasetName, FlowClassifier, HOUR_MS};
 
 use crate::active_analysis::{most_illustrative_node, ratio_stats};
 use crate::as_analysis::{as_breakdown, WellKnownAsExt};
 use crate::dcmap::AnalysisContext;
 use crate::geo_analysis::{continent_counts, geolocate_servers, radius_cdfs, server_rtt_cdf};
-use crate::hotspot::{preferred_server_load, server_session_breakdown, top_nonpreferred_videos, video_timeseries};
+use crate::hotspot::{
+    preferred_server_load, server_session_breakdown, top_nonpreferred_videos, video_timeseries,
+};
 use crate::patterns::classify_sessions;
 use crate::preferred::{bytes_by_distance, bytes_by_rtt, closest_k_share};
 use crate::session::{flows_per_session, group_sessions};
@@ -50,6 +51,38 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
 /// characterization calibration check.
 pub const EXTENSION_EXPERIMENTS: &[&str] = &["ext-perf", "ext-characterize", "ext-feb2011"];
 
+/// The phase-histogram / span name for one experiment id, `None` for
+/// unknown ids. Metric keys must be `&'static str`, hence the table.
+pub fn experiment_span_name(id: &str) -> Option<&'static str> {
+    Some(match id {
+        "table1" => "exp.table1",
+        "table2" => "exp.table2",
+        "table3" => "exp.table3",
+        "fig2" => "exp.fig2",
+        "fig3" => "exp.fig3",
+        "fig4" => "exp.fig4",
+        "fig5" => "exp.fig5",
+        "fig6" => "exp.fig6",
+        "fig7" => "exp.fig7",
+        "fig8" => "exp.fig8",
+        "fig9" => "exp.fig9",
+        "fig10a" => "exp.fig10a",
+        "fig10b" => "exp.fig10b",
+        "fig11" => "exp.fig11",
+        "fig12" => "exp.fig12",
+        "fig13" => "exp.fig13",
+        "fig14" => "exp.fig14",
+        "fig15" => "exp.fig15",
+        "fig16" => "exp.fig16",
+        "fig17" => "exp.fig17",
+        "fig18" => "exp.fig18",
+        "ext-perf" => "exp.ext-perf",
+        "ext-characterize" => "exp.ext-characterize",
+        "ext-feb2011" => "exp.ext-feb2011",
+        _ => return None,
+    })
+}
+
 /// Simulates the five datasets once and regenerates every table and figure.
 pub struct ExperimentSuite {
     config: SuiteConfig,
@@ -57,29 +90,48 @@ pub struct ExperimentSuite {
     datasets: Vec<Dataset>,
     contexts: Vec<AnalysisContext>,
     cbg: std::cell::OnceCell<Cbg>,
+    telemetry: Telemetry,
 }
 
 impl ExperimentSuite {
     /// Builds the world and simulates all five datasets.
     pub fn new(config: SuiteConfig) -> Self {
-        let scenario = StandardScenario::build(config.scenario);
+        Self::with_telemetry(config, Telemetry::disabled())
+    }
+
+    /// [`ExperimentSuite::new`] with observability attached: the build and
+    /// simulation phases are profiled, the engines are instrumented, and
+    /// every [`ExperimentSuite::run`] call records an `exp.<id>` wall-time
+    /// histogram.
+    pub fn with_telemetry(config: SuiteConfig, telemetry: Telemetry) -> Self {
+        let scenario = StandardScenario::build_instrumented(config.scenario, telemetry.clone());
         let datasets = scenario.run_all_parallel();
-        let contexts = datasets
-            .iter()
-            .map(|ds| AnalysisContext::from_ground_truth(scenario.world(), ds))
-            .collect();
+        let contexts = {
+            let _span = telemetry.span("suite.contexts");
+            datasets
+                .iter()
+                .map(|ds| AnalysisContext::from_ground_truth(scenario.world(), ds))
+                .collect()
+        };
         Self {
             config,
             scenario,
             datasets,
             contexts,
             cbg: std::cell::OnceCell::new(),
+            telemetry,
         }
     }
 
     /// The scenario under analysis.
     pub fn scenario(&self) -> &StandardScenario {
         &self.scenario
+    }
+
+    /// The telemetry handle the suite was built with (disabled for
+    /// [`ExperimentSuite::new`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// A dataset by name.
@@ -126,6 +178,7 @@ impl ExperimentSuite {
 
     /// Runs one experiment by id (`"table1"` … `"fig18"`).
     pub fn run(&self, id: &str) -> Option<String> {
+        let _span = experiment_span_name(id).map(|name| self.telemetry.span(name));
         Some(match id {
             "table1" => self.table1(),
             "table2" => self.table2(),
@@ -292,9 +345,8 @@ impl ExperimentSuite {
     /// Figure 4: CDF of flow sizes (the control/video kink at 1000 B).
     pub fn fig4(&self) -> String {
         let classifier = FlowClassifier::default();
-        let mut out = String::from(
-            "Figure 4 — flow-size CDF (paper: bimodal with a kink at 1000 bytes)\n",
-        );
+        let mut out =
+            String::from("Figure 4 — flow-size CDF (paper: bimodal with a kink at 1000 bytes)\n");
         let _ = writeln!(
             out,
             "{:<11} {:>12} {:>14} {:>14} {:>12}",
@@ -309,9 +361,21 @@ impl ExperimentSuite {
                 "{:<11} {:>12.3} {:>14.0} {:>14.0} {:>12.0}",
                 ds.name().to_string(),
                 control.len() as f64 / ds.len() as f64,
-                if ctrl_cdf.is_empty() { 0.0 } else { ctrl_cdf.median() },
-                if vid_cdf.is_empty() { 0.0 } else { vid_cdf.median() },
-                if vid_cdf.is_empty() { 0.0 } else { vid_cdf.max() },
+                if ctrl_cdf.is_empty() {
+                    0.0
+                } else {
+                    ctrl_cdf.median()
+                },
+                if vid_cdf.is_empty() {
+                    0.0
+                } else {
+                    vid_cdf.median()
+                },
+                if vid_cdf.is_empty() {
+                    0.0
+                } else {
+                    vid_cdf.max()
+                },
             );
         }
         out
@@ -323,7 +387,11 @@ impl ExperimentSuite {
         let mut out = String::from(
             "Figure 5 — flows/session vs T, US-Campus (paper: T <= 10 s similar; pick T = 1 s)\n",
         );
-        let _ = writeln!(out, "{:<8} {:>10} {:>16}", "T[s]", "sessions", "single-flow frac");
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10} {:>16}",
+            "T[s]", "sessions", "single-flow frac"
+        );
         for t_s in [1u64, 5, 10, 60, 300] {
             let cdf = flows_per_session(ds, t_s * 1000);
             let _ = writeln!(
@@ -339,9 +407,8 @@ impl ExperimentSuite {
 
     /// Figure 6: flows per session at T = 1 s, all datasets.
     pub fn fig6(&self) -> String {
-        let mut out = String::from(
-            "Figure 6 — flows/session at T=1s (paper: 72.5-80.5% single-flow)\n",
-        );
+        let mut out =
+            String::from("Figure 6 — flows/session at T=1s (paper: 72.5-80.5% single-flow)\n");
         let _ = writeln!(
             out,
             "{:<11} {:>10} {:>9} {:>9} {:>9}",
@@ -416,7 +483,11 @@ impl ExperimentSuite {
         let mut out = String::from(
             "Figure 9 — hourly non-preferred fraction CDF (paper: EU2 median > 0.4; others low)\n",
         );
-        let _ = writeln!(out, "{:<11} {:>8} {:>8} {:>8}", "Dataset", "p25", "p50", "p90");
+        let _ = writeln!(
+            out,
+            "{:<11} {:>8} {:>8} {:>8}",
+            "Dataset", "p25", "p50", "p90"
+        );
         for (ds, ctx) in self.datasets.iter().zip(&self.contexts) {
             let cdf = nonpreferred_fraction_cdf(ctx, ds);
             let _ = writeln!(
@@ -451,8 +522,7 @@ impl ExperimentSuite {
                 ds.name().to_string(),
                 st.single_flow_fraction(),
                 st.one_flow.preferred as f64 / st.total.max(1) as f64,
-                single as f64 / st.total.max(1) as f64
-                    * st.one_flow_non_preferred_fraction(),
+                single as f64 / st.total.max(1) as f64 * st.one_flow_non_preferred_fraction(),
             );
         }
         out
@@ -494,7 +564,10 @@ impl ExperimentSuite {
         let mut out = String::from(
             "Figure 11 — EU2 local-DC fraction vs hourly load (paper: ~100% at night, ~30% at peak)\n",
         );
-        let _ = writeln!(out, "load/local-fraction correlation: {corr:.3} (paper: strongly negative)");
+        let _ = writeln!(
+            out,
+            "load/local-fraction correlation: {corr:.3} (paper: strongly negative)"
+        );
         let _ = writeln!(out, "{:<6} {:>8} {:>12}", "hour", "flows", "local frac");
         for s in samples.iter().take(48) {
             let _ = writeln!(
@@ -533,7 +606,10 @@ impl ExperimentSuite {
             let _ = writeln!(
                 out,
                 "{:<8} {:>14.3} {:>22.3} {:>8.1}",
-                s.name, s.share_of_all_flows, s.share_of_nonpreferred_flows, s.bias()
+                s.name,
+                s.share_of_all_flows,
+                s.share_of_nonpreferred_flows,
+                s.bias()
             );
         }
         out
@@ -600,8 +676,7 @@ impl ExperimentSuite {
         let ds = self.dataset(DatasetName::Eu1Adsl);
         let ctx = self.context(DatasetName::Eu1Adsl);
         let load = preferred_server_load(ctx, ds);
-        let overall_avg =
-            load.iter().map(|h| h.avg).sum::<f64>() / load.len().max(1) as f64;
+        let overall_avg = load.iter().map(|h| h.avg).sum::<f64>() / load.len().max(1) as f64;
         let peak = load
             .iter()
             .enumerate()
@@ -628,11 +703,7 @@ impl ExperimentSuite {
         let ds = self.dataset(DatasetName::Eu1Adsl);
         let ctx = self.context(DatasetName::Eu1Adsl);
         let load = preferred_server_load(ctx, ds);
-        let Some(hot) = load
-            .iter()
-            .max_by_key(|h| h.max)
-            .and_then(|h| h.max_server)
-        else {
+        let Some(hot) = load.iter().max_by_key(|h| h.max).and_then(|h| h.max_server) else {
             return "Figure 16 — no server load observed".into();
         };
         let sessions = group_sessions(ds, 1000);
@@ -648,7 +719,10 @@ impl ExperimentSuite {
         let mut out = String::from(
             "Figure 16 — sessions at the hot server (paper: redirections appear when load spikes)\n",
         );
-        let _ = writeln!(out, "server {hot}: {total} sessions, {redirected} redirected (pref → non-pref)");
+        let _ = writeln!(
+            out,
+            "server {hot}: {total} sessions, {redirected} redirected (pref → non-pref)"
+        );
         let _ = writeln!(out, "peak hour {peak_hour}:");
         let h = &breakdown[peak_hour];
         let _ = writeln!(
@@ -763,7 +837,11 @@ impl ExperimentSuite {
         );
         let _ = writeln!(out, "node {} (preferred {}):", node.node, node.preferred);
         for (i, s) in node.samples.iter().enumerate().take(12) {
-            let _ = writeln!(out, "  sample {:>2}: {:>8.1} ms  (dc {})", i, s.rtt_ms, s.dc);
+            let _ = writeln!(
+                out,
+                "  sample {:>2}: {:>8.1} ms  (dc {})",
+                i, s.rtt_ms, s.dc
+            );
         }
         out
     }
@@ -772,9 +850,8 @@ impl ExperimentSuite {
     pub fn fig18(&self) -> String {
         let traces = self.active_traces();
         let st = ratio_stats(&traces);
-        let mut out = String::from(
-            "Figure 18 — RTT1/RTT2 over nodes (paper: >40% above 1; ~20% above 10)\n",
-        );
+        let mut out =
+            String::from("Figure 18 — RTT1/RTT2 over nodes (paper: >40% above 1; ~20% above 10)\n");
         let _ = writeln!(
             out,
             "nodes={} above1={:.2} above10={:.2}",
@@ -827,6 +904,28 @@ mod tests {
             assert_eq!(s.dataset(name).name(), name);
             assert_eq!(s.context(name).dataset_name(), name);
         }
+    }
+
+    #[test]
+    fn experiment_spans_are_recorded() {
+        let s = ExperimentSuite::with_telemetry(
+            SuiteConfig {
+                scenario: ScenarioConfig::with_scale(0.004, 2),
+                full_landmarks: false,
+            },
+            Telemetry::metrics_only(),
+        );
+        s.run("table1").unwrap();
+        s.run("table1").unwrap();
+        let snap = s.telemetry().metrics_snapshot().unwrap();
+        assert_eq!(snap.histograms["exp.table1"].count, 2);
+        assert_eq!(snap.histograms["scenario.build"].count, 1);
+        assert_eq!(snap.histograms["scenario.run_all"].count, 1);
+        // Every known experiment id has a static span name.
+        for id in ALL_EXPERIMENTS.iter().chain(EXTENSION_EXPERIMENTS) {
+            assert!(experiment_span_name(id).is_some(), "{id}");
+        }
+        assert!(experiment_span_name("fig99").is_none());
     }
 
     #[test]

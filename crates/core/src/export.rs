@@ -16,7 +16,9 @@ use ytcdn_tstat::{DatasetName, HOUR_MS};
 use crate::active_analysis::{most_illustrative_node, ratio_cdf};
 use crate::experiments::ExperimentSuite;
 use crate::geo_analysis::radius_cdfs;
-use crate::hotspot::{preferred_server_load, server_session_breakdown, top_nonpreferred_videos, video_timeseries};
+use crate::hotspot::{
+    preferred_server_load, server_session_breakdown, top_nonpreferred_videos, video_timeseries,
+};
 use crate::patterns::classify_sessions;
 use crate::preferred::{bytes_by_distance, bytes_by_rtt};
 use crate::session::{flows_per_session, group_sessions};
@@ -84,11 +86,8 @@ pub fn figure_series(suite: &ExperimentSuite, id: &str) -> Option<Vec<Series>> {
     };
     Some(match id {
         "fig2" => per_dataset(&|n| {
-            let cdf = crate::geo_analysis::server_rtt_cdf(
-                suite.scenario().world(),
-                suite.dataset(n),
-                5,
-            );
+            let cdf =
+                crate::geo_analysis::server_rtt_cdf(suite.scenario().world(), suite.dataset(n), 5);
             Series::from_cdf(n.to_string(), &cdf)
         }),
         "fig3" => {
@@ -143,10 +142,14 @@ pub fn figure_series(suite: &ExperimentSuite, id: &str) -> Option<Vec<Series>> {
                         st.one_flow.non_preferred as f64 / tot,
                     );
                 } else {
-                    let n2 =
-                        (st.two_flow.pp + st.two_flow.pn + st.two_flow.np + st.two_flow.nn).max(1)
-                            as f64;
-                    push_bar(&mut out, "preferred,preferred", x, st.two_flow.pp as f64 / n2);
+                    let n2 = (st.two_flow.pp + st.two_flow.pn + st.two_flow.np + st.two_flow.nn)
+                        .max(1) as f64;
+                    push_bar(
+                        &mut out,
+                        "preferred,preferred",
+                        x,
+                        st.two_flow.pp as f64 / n2,
+                    );
                     push_bar(
                         &mut out,
                         "preferred,non-preferred",
@@ -179,9 +182,7 @@ pub fn figure_series(suite: &ExperimentSuite, id: &str) -> Option<Vec<Series>> {
                     name: "local fraction".into(),
                     points: samples
                         .iter()
-                        .filter_map(|s| {
-                            s.preferred_fraction().map(|f| (s.hour as f64, f))
-                        })
+                        .filter_map(|s| s.preferred_fraction().map(|f| (s.hour as f64, f)))
                         .collect(),
                 },
                 Series {
@@ -275,20 +276,20 @@ pub fn figure_series(suite: &ExperimentSuite, id: &str) -> Option<Vec<Series>> {
             let ds = suite.dataset(n);
             let ctx = suite.context(n);
             let load = preferred_server_load(ctx, ds);
-            let Some(hot) = load.iter().max_by_key(|h| h.max).and_then(|h| h.max_server)
-            else {
+            let Some(hot) = load.iter().max_by_key(|h| h.max).and_then(|h| h.max_server) else {
                 return Some(Vec::new());
             };
             let sessions = group_sessions(ds, 1000);
             let breakdown = server_session_breakdown(ctx, ds, &sessions, hot);
-            let series = |name: &str, f: &dyn Fn(&crate::hotspot::ServerSessionHour) -> u64| Series {
-                name: name.into(),
-                points: breakdown
-                    .iter()
-                    .enumerate()
-                    .map(|(h, b)| (h as f64, f(b) as f64))
-                    .collect(),
-            };
+            let series =
+                |name: &str, f: &dyn Fn(&crate::hotspot::ServerSessionHour) -> u64| Series {
+                    name: name.into(),
+                    points: breakdown
+                        .iter()
+                        .enumerate()
+                        .map(|(h, b)| (h as f64, f(b) as f64))
+                        .collect(),
+                };
             vec![
                 series("all preferred flows", &|b| b.all_preferred),
                 series("only the first flow is preferred", &|b| {
@@ -358,7 +359,10 @@ const CHART_GLYPHS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&'];
 pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
     let width = width.max(16);
     let height = height.max(4);
-    let points: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if points.is_empty() {
         return String::from("(no data)\n");
     }
@@ -394,9 +398,7 @@ pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
     out.push('+');
     out.extend(std::iter::repeat_n('-', width));
     out.push('\n');
-    out.push_str(&format!(
-        "x: {x0:.3} .. {x1:.3}   y: {y0:.3} .. {y1:.3}\n"
-    ));
+    out.push_str(&format!("x: {x0:.3} .. {x1:.3}   y: {y0:.3} .. {y1:.3}\n"));
     for (si, s) in series.iter().enumerate() {
         out.push_str(&format!(
             "  {} {}\n",

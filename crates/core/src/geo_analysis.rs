@@ -69,7 +69,10 @@ pub fn geolocate_servers(
     for ip in dataset.server_ips() {
         // Only servers the world knows (i.e. with a pingable endpoint).
         if world.topology().server_endpoint(ip).is_some() {
-            by_block.entry(Ipv4Block::slash24_of(ip)).or_default().push(ip);
+            by_block
+                .entry(Ipv4Block::slash24_of(ip))
+                .or_default()
+                .push(ip);
         }
     }
     let mut rng = StdRng::seed_from_u64(seed);

@@ -44,7 +44,11 @@ pub struct VideoHour {
 }
 
 /// Hourly request series for one video over the whole trace.
-pub fn video_timeseries(ctx: &AnalysisContext, dataset: &Dataset, video: VideoId) -> Vec<VideoHour> {
+pub fn video_timeseries(
+    ctx: &AnalysisContext,
+    dataset: &Dataset,
+    video: VideoId,
+) -> Vec<VideoHour> {
     let last_hour = dataset
         .records()
         .iter()
@@ -89,8 +93,7 @@ pub fn preferred_server_load(ctx: &AnalysisContext, dataset: &Dataset) -> Vec<Se
         .map(|r| r.start_ms / HOUR_MS)
         .max()
         .unwrap_or(0);
-    let mut per_hour: Vec<HashMap<Ipv4Addr, u64>> =
-        vec![HashMap::new(); last_hour as usize + 1];
+    let mut per_hour: Vec<HashMap<Ipv4Addr, u64>> = vec![HashMap::new(); last_hour as usize + 1];
     let pref_idx = ctx.preferred().index;
     for r in dataset.iter() {
         if ctx.dc_of(r) != Some(pref_idx) {
@@ -161,9 +164,7 @@ pub fn server_session_breakdown(
         let prefs: Option<Vec<bool>> = flows.iter().map(|f| ctx.is_preferred(f)).collect();
         match prefs {
             Some(p) if p.iter().all(|&x| x) => slot.all_preferred += 1,
-            Some(p) if p[0] && p[1..].iter().any(|&x| !x) => {
-                slot.first_preferred_then_non += 1
-            }
+            Some(p) if p[0] && p[1..].iter().any(|&x| !x) => slot.first_preferred_then_non += 1,
             _ => slot.others += 1,
         }
     }

@@ -254,15 +254,17 @@ mod tests {
         let hist = chain_pattern_histogram(&ctx, &ds, &sessions);
         // The histogram's totals reconstruct the coarse stats exactly.
         assert_eq!(hist.get("p").copied().unwrap_or(0), st.one_flow.preferred);
-        assert_eq!(hist.get("n").copied().unwrap_or(0), st.one_flow.non_preferred);
+        assert_eq!(
+            hist.get("n").copied().unwrap_or(0),
+            st.one_flow.non_preferred
+        );
         assert_eq!(hist.get("p,n").copied().unwrap_or(0), st.two_flow.pn);
         assert_eq!(hist.get("n,n").copied().unwrap_or(0), st.two_flow.nn);
         let total: u64 = hist.values().sum();
         assert_eq!(total, st.total);
         // The paper's remark: long sessions trend like 2-flow ones — the
         // dominant 3-flow pattern for EU1 starts at the preferred DC.
-        let three_flow: Vec<(&String, &u64)> =
-            hist.iter().filter(|(k, _)| k.len() == 5).collect();
+        let three_flow: Vec<(&String, &u64)> = hist.iter().filter(|(k, _)| k.len() == 5).collect();
         if let Some((top, _)) = three_flow.iter().max_by_key(|(_, &c)| c) {
             assert!(top.starts_with('p'), "dominant 3-flow pattern {top}");
         }

@@ -66,7 +66,10 @@ pub fn group_sessions(dataset: &Dataset, gap_ms: u64) -> Vec<Session> {
     // start time, so each bucket is too.
     let mut buckets: HashMap<(Ipv4Addr, VideoId), Vec<usize>> = HashMap::new();
     for (i, r) in dataset.records().iter().enumerate() {
-        buckets.entry((r.client_ip, r.video_id)).or_default().push(i);
+        buckets
+            .entry((r.client_ip, r.video_id))
+            .or_default()
+            .push(i);
     }
 
     let mut sessions = Vec::new();

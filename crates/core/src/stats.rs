@@ -146,7 +146,8 @@ impl FromIterator<f64> for Cdf {
 
 impl Extend<f64> for Cdf {
     fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
-        self.sorted.extend(iter.into_iter().filter(|v| v.is_finite()));
+        self.sorted
+            .extend(iter.into_iter().filter(|v| v.is_finite()));
         self.sorted.sort_by(f64::total_cmp);
     }
 }

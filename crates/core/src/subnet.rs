@@ -140,6 +140,8 @@ mod tests {
         let subnets = s.world().vantage(DatasetName::UsCampus).subnets.clone();
         let empty = Dataset::new(DatasetName::UsCampus);
         let sh = subnet_shares(&ctx, &empty, &subnets);
-        assert!(sh.iter().all(|s| s.share_of_all_flows == 0.0 && s.bias() == 0.0));
+        assert!(sh
+            .iter()
+            .all(|s| s.share_of_all_flows == 0.0 && s.bias() == 0.0));
     }
 }

@@ -137,7 +137,10 @@ mod tests {
         // Compare a deep-night hour with a peak hour on the same day.
         let night = samples[4].total() as f64;
         let evening = samples[21].total() as f64;
-        assert!(evening > 3.0 * night.max(1.0), "evening {evening} night {night}");
+        assert!(
+            evening > 3.0 * night.max(1.0),
+            "evening {evening} night {night}"
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ pub struct NonPreferredVideoStats {
 }
 
 /// Computes the Figure 13 statistics.
-pub fn nonpreferred_video_stats(ctx: &AnalysisContext, dataset: &Dataset) -> NonPreferredVideoStats {
+pub fn nonpreferred_video_stats(
+    ctx: &AnalysisContext,
+    dataset: &Dataset,
+) -> NonPreferredVideoStats {
     let counts = per_video_counts(ctx, dataset);
     let nonpref: Vec<(&VideoId, &VideoCounts)> = counts
         .iter()
@@ -83,11 +86,7 @@ pub fn nonpreferred_video_stats(ctx: &AnalysisContext, dataset: &Dataset) -> Non
         once_and_single as f64 / once.len() as f64
     };
     NonPreferredVideoStats {
-        max_count: cdf
-            .samples()
-            .last()
-            .copied()
-            .unwrap_or(0.0) as u64,
+        max_count: cdf.samples().last().copied().unwrap_or(0.0) as u64,
         cdf,
         exactly_once_fraction,
         exactly_once_and_single_access_fraction,
@@ -137,7 +136,11 @@ mod tests {
         // The VotD flash crowds produce videos with many non-preferred
         // downloads.
         let st = stats(DatasetName::Eu1Adsl);
-        assert!(st.max_count > 20, "max non-preferred count {}", st.max_count);
+        assert!(
+            st.max_count > 20,
+            "max non-preferred count {}",
+            st.max_count
+        );
         assert!(st.max_count as f64 > st.cdf.median() * 10.0);
     }
 

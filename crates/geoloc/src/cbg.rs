@@ -153,7 +153,12 @@ impl Cbg {
     /// Two-phase search: a coarse pass over the whole disk locates the
     /// feasible region, a refinement pass at 4× resolution over its
     /// bounding box tightens the centroid and the reported radius.
-    fn solve(&self, constraints: &[(Coord, f64)], scale: f64, relaxations: u32) -> Option<CbgResult> {
+    fn solve(
+        &self,
+        constraints: &[(Coord, f64)],
+        scale: f64,
+        relaxations: u32,
+    ) -> Option<CbgResult> {
         const GRID: i32 = 16; // (2·16+1)² = 1089 candidates per pass
         let (anchor, r0) = constraints[0];
         let r = r0 * scale;
@@ -171,7 +176,13 @@ impl Cbg {
             .fold(0.0, f64::max)
             + coarse_step;
         let fine_step = (coarse_radius / GRID as f64).max(coarse_step / 8.0);
-        let fine = grid_pass(constraints, scale, coarse_centroid, coarse_radius, fine_step);
+        let fine = grid_pass(
+            constraints,
+            scale,
+            coarse_centroid,
+            coarse_radius,
+            fine_step,
+        );
         let feasible = if fine.is_empty() { coarse } else { fine };
         let step_km = if feasible.len() == 1 {
             coarse_step
@@ -237,8 +248,8 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use ytcdn_geomodel::CityDb;
-    use ytcdn_netsim::{landmarks_with_counts, planetlab_landmarks, AccessKind};
     use ytcdn_geomodel::Continent;
+    use ytcdn_netsim::{landmarks_with_counts, planetlab_landmarks, AccessKind};
 
     fn small_cbg() -> Cbg {
         // A reduced landmark set keeps the tests fast while preserving

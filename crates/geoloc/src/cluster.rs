@@ -61,7 +61,9 @@ pub fn cluster_by_city(estimates: &[(Ipv4Addr, Coord)], cities: &CityDb) -> Vec<
         let centroid = Coord::centroid(members.iter().map(|&(_, c)| c))
             .expect("block groups are non-empty by construction");
         let (city, _) = cities.nearest(centroid);
-        let entry = by_city.entry(city.name).or_insert_with(|| (city, Vec::new()));
+        let entry = by_city
+            .entry(city.name)
+            .or_insert_with(|| (city, Vec::new()));
         entry.1.extend(members.iter().map(|&(ip, _)| ip));
     }
     let mut clusters: Vec<CityCluster> = by_city
@@ -134,7 +136,10 @@ mod tests {
         let cities = CityDb::builtin();
         let estimates = vec![
             ("74.125.1.1".parse().unwrap(), coord_of("Milan")),
-            ("74.125.2.1".parse().unwrap(), coord_of("Milan").offset_km(10.0, 5.0)),
+            (
+                "74.125.2.1".parse().unwrap(),
+                coord_of("Milan").offset_km(10.0, 5.0),
+            ),
         ];
         let clusters = cluster_by_city(&estimates, &cities);
         assert_eq!(clusters.len(), 1);
@@ -146,10 +151,7 @@ mod tests {
         let cities = CityDb::builtin();
         let mut estimates = vec![("74.125.9.1".parse().unwrap(), coord_of("Tokyo"))];
         for i in 0..5u8 {
-            estimates.push((
-                format!("74.125.1.{i}").parse().unwrap(),
-                coord_of("Milan"),
-            ));
+            estimates.push((format!("74.125.1.{i}").parse().unwrap(), coord_of("Milan")));
         }
         let clusters = cluster_by_city(&estimates, &cities);
         assert_eq!(clusters[0].city_name, "Milan");

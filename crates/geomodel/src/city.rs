@@ -213,7 +213,9 @@ impl CityDb {
 
     /// Iterates over cities in the given continent, in table order.
     pub fn in_continent(&self, continent: Continent) -> impl Iterator<Item = &'static City> + '_ {
-        WORLD_CITIES.iter().filter(move |c| c.continent == continent)
+        WORLD_CITIES
+            .iter()
+            .filter(move |c| c.continent == continent)
     }
 
     /// Number of cities in the database.

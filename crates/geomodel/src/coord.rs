@@ -80,8 +80,8 @@ impl Coord {
         let lat1 = self.lat.to_radians();
         let lon1 = self.lon.to_radians();
         let lat2 = (lat1.sin() * ang.cos() + lat1.cos() * ang.sin() * brg.cos()).asin();
-        let lon2 = lon1
-            + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
+        let lon2 =
+            lon1 + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
         // Normalize longitude into [-180, 180].
         let lon_deg = (lon2.to_degrees() + 540.0).rem_euclid(360.0) - 180.0;
         Coord {

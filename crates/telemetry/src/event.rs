@@ -1,0 +1,215 @@
+//! The structured event taxonomy.
+//!
+//! Every observable decision the simulator and analysis pipeline make is
+//! described by one [`Event`] variant. Events are deliberately defined in
+//! terms of plain integers and strings — not the simulator's own types — so
+//! this crate sits below every other crate in the workspace and the JSONL
+//! form is stable against refactors of the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a DNS resolution picked the data center it picked.
+///
+/// Mirrors the simulator's `DnsCause` ground truth (preferred mapping,
+/// adaptive load balancing, background mapping noise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum DnsCauseKind {
+    /// The LDNS's preferred data center answered.
+    Preferred,
+    /// Adaptive load balancing spilled the query to an alternate.
+    LoadBalanced,
+    /// Background mapping noise sent the query to a random alternate.
+    Noise,
+}
+
+impl DnsCauseKind {
+    /// All variants, in declaration order.
+    pub const ALL: [DnsCauseKind; 3] = [
+        DnsCauseKind::Preferred,
+        DnsCauseKind::LoadBalanced,
+        DnsCauseKind::Noise,
+    ];
+
+    /// The metrics-registry counter name for this cause.
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            DnsCauseKind::Preferred => "dns.cause.preferred",
+            DnsCauseKind::LoadBalanced => "dns.cause.load_balanced",
+            DnsCauseKind::Noise => "dns.cause.noise",
+        }
+    }
+}
+
+/// Why an application-layer redirect happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RedirectKind {
+    /// The contacted data center lacked the video; the client was sent to a
+    /// replica (possibly back to its preferred data center).
+    ContentMiss,
+    /// A content-miss redirect guessed the wrong holder first, producing a
+    /// 3-flow chain.
+    WrongGuess,
+    /// A saturated single-video cache host shed the request to another data
+    /// center holding the content.
+    Overload,
+}
+
+impl RedirectKind {
+    /// The metrics-registry counter name for this redirect kind.
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            RedirectKind::ContentMiss => "engine.redirect.content_miss",
+            RedirectKind::WrongGuess => "engine.redirect.wrong_guess",
+            RedirectKind::Overload => "engine.redirect.overload",
+        }
+    }
+}
+
+/// One structured telemetry event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+pub enum Event {
+    /// A DNS resolution was answered.
+    DnsResolution {
+        /// Simulated time of the query, ms since trace start.
+        t_ms: u64,
+        /// Index of the local DNS server within the vantage network.
+        ldns: u64,
+        /// Index of the data center the answer points at.
+        dc: u64,
+        /// Why this data center was chosen.
+        cause: DnsCauseKind,
+    },
+    /// A content server answered with a redirect instead of the video.
+    Redirect {
+        /// Simulated time of the session, ms since trace start.
+        t_ms: u64,
+        /// What triggered the redirect.
+        kind: RedirectKind,
+        /// The data center that redirected.
+        from_dc: u64,
+        /// The data center the client was sent to.
+        to_dc: u64,
+    },
+    /// A session hit a data center that does not hold the requested video
+    /// (pull-through cache miss).
+    CacheMiss {
+        /// Simulated time, ms since trace start.
+        t_ms: u64,
+        /// The data center that missed.
+        dc: u64,
+        /// Popularity rank of the video (lower = more popular).
+        video_rank: u64,
+    },
+    /// A video was pulled into a data center after a miss.
+    Replication {
+        /// Simulated time, ms since trace start.
+        t_ms: u64,
+        /// The data center the video was replicated into.
+        dc: u64,
+        /// Popularity rank of the video.
+        video_rank: u64,
+    },
+    /// A profiled phase (span) completed.
+    Phase {
+        /// Span name, e.g. `scenario.build` or `run.EU1-ADSL`.
+        name: String,
+        /// Wall-clock duration in microseconds.
+        wall_us: u64,
+    },
+}
+
+/// An event plus the scope (usually the dataset / vantage point) it was
+/// recorded under. This is the unit sinks receive and the JSONL line format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryRecord {
+    /// The scope label, e.g. `"EU1-ADSL"`; `None` for global events.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub scope: Option<String>,
+    /// The event itself.
+    #[serde(flatten)]
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cause_counter_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            DnsCauseKind::ALL.iter().map(|c| c.counter_name()).collect();
+        assert_eq!(names.len(), DnsCauseKind::ALL.len());
+    }
+
+    #[test]
+    fn events_round_trip_through_serde() {
+        let records = vec![
+            TelemetryRecord {
+                scope: Some("EU1-ADSL".to_owned()),
+                event: Event::DnsResolution {
+                    t_ms: 1234,
+                    ldns: 0,
+                    dc: 7,
+                    cause: DnsCauseKind::LoadBalanced,
+                },
+            },
+            TelemetryRecord {
+                scope: None,
+                event: Event::Redirect {
+                    t_ms: 99,
+                    kind: RedirectKind::WrongGuess,
+                    from_dc: 1,
+                    to_dc: 2,
+                },
+            },
+            TelemetryRecord {
+                scope: Some("EU2".to_owned()),
+                event: Event::CacheMiss {
+                    t_ms: 5,
+                    dc: 3,
+                    video_rank: 900_001,
+                },
+            },
+            TelemetryRecord {
+                scope: Some("EU2".to_owned()),
+                event: Event::Replication {
+                    t_ms: 5,
+                    dc: 3,
+                    video_rank: 900_001,
+                },
+            },
+            TelemetryRecord {
+                scope: None,
+                event: Event::Phase {
+                    name: "scenario.build".to_owned(),
+                    wall_us: 88_000,
+                },
+            },
+        ];
+        for rec in records {
+            let line = serde_json::to_string(&rec).unwrap();
+            let back: TelemetryRecord = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, rec, "{line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_line_is_flat_and_tagged() {
+        let rec = TelemetryRecord {
+            scope: Some("US-Campus".to_owned()),
+            event: Event::DnsResolution {
+                t_ms: 0,
+                ldns: 1,
+                dc: 4,
+                cause: DnsCauseKind::Preferred,
+            },
+        };
+        let line = serde_json::to_string(&rec).unwrap();
+        assert!(line.contains("\"event\":\"dns_resolution\""), "{line}");
+        assert!(line.contains("\"cause\":\"preferred\""), "{line}");
+        assert!(line.contains("\"scope\":\"US-Campus\""), "{line}");
+    }
+}

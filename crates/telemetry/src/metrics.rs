@@ -1,0 +1,520 @@
+//! The metrics registry: atomic counters, gauges, and fixed-bucket
+//! histograms with quantile estimation.
+//!
+//! Instrument sites resolve a metric once by `&'static str` name and then
+//! update it lock-free through a cheap cloneable handle; the registry's
+//! internal map is only locked on first resolution and on snapshot.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing counter. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (used by disabled telemetry).
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Default histogram bucket upper bounds: a 1–2–5 series spanning nine
+/// decades. Units are whatever the instrument site records — the workspace
+/// convention is microseconds for phase timings.
+pub fn default_bounds() -> Vec<f64> {
+    let mut bounds = Vec::with_capacity(27);
+    let mut decade = 1.0f64;
+    for _ in 0..9 {
+        for m in [1.0, 2.0, 5.0] {
+            bounds.push(m * decade);
+        }
+        decade *= 10.0;
+    }
+    bounds
+}
+
+/// A fixed-bucket histogram with lock-free recording.
+///
+/// Values above the last bound land in an overflow bucket; quantiles are
+/// estimated by linear interpolation inside the containing bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Strictly increasing bucket upper bounds.
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` cells; the last is the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of recorded values, accumulated in whole units.
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the workspace-default 1–2–5 bounds.
+    pub fn detached() -> Self {
+        Self::with_bounds(default_bounds())
+    }
+
+    /// A histogram with caller-chosen bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self(Arc::new(HistogramInner {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation. Negative values clamp to zero.
+    pub fn record(&self, value: f64) {
+        let v = value.max(0.0);
+        let inner = &self.0;
+        let idx = inner
+            .bounds
+            .partition_point(|&b| b < v)
+            .min(inner.bounds.len());
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v.round() as u64, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy of the histogram's state for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.0;
+        let buckets: Vec<u64> = inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        let snap = HistogramSnapshot {
+            bounds: inner.bounds.clone(),
+            buckets,
+            count,
+            sum: inner.sum.load(Ordering::Relaxed),
+        };
+        debug_assert_eq!(snap.buckets.len(), snap.bounds.len() + 1);
+        snap
+    }
+}
+
+/// Point-in-time copy of a histogram, with quantile estimation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one more entry than `bounds` (overflow last).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations (whole units).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the containing bucket. Returns 0 for an empty histogram; for
+    /// observations in the overflow bucket the last bound is returned (a
+    /// lower bound on the true quantile).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= target {
+                if i == self.bounds.len() {
+                    // Overflow bucket: no upper edge to interpolate toward.
+                    return self.bounds[self.bounds.len() - 1];
+                }
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                let within = (target - cum as f64) / c as f64;
+                return lower + (upper - lower) * within.clamp(0.0, 1.0);
+            }
+            cum = next;
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+}
+
+/// Registry of named metrics. Shared by cloning [`crate::Telemetry`].
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock is poisoned.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock is poisoned.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.gauges
+            .lock()
+            .expect("metrics registry poisoned")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name`, created with default bounds on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock is poisoned.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        self.histograms
+            .lock()
+            .expect("metrics registry poisoned")
+            .entry(name)
+            .or_insert_with(Histogram::detached)
+            .clone()
+    }
+
+    /// A serializable point-in-time copy of every metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a registry lock is poisoned.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(&k, v)| (k.to_owned(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(&k, v)| (k.to_owned(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(&k, v)| (k.to_owned(), HistogramReport::from_snapshot(&v.snapshot())))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A histogram in report form: quantiles precomputed, buckets kept for
+/// downstream tooling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramReport {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations (whole units).
+    pub sum: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (overflow last).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramReport {
+    fn from_snapshot(s: &HistogramSnapshot) -> Self {
+        Self {
+            count: s.count,
+            sum: s.sum,
+            mean: s.mean(),
+            p50: s.quantile(0.50),
+            p90: s.quantile(0.90),
+            p99: s.quantile(0.99),
+            bounds: s.bounds.clone(),
+            buckets: s.buckets.clone(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`MetricsRegistry`]; the `--metrics-out` JSON.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram reports by name.
+    pub histograms: BTreeMap<String, HistogramReport>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's value, or 0 when it was never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Renders the human-readable metrics table the CLI prints on stderr.
+    /// Histogram quantities are labeled in milliseconds (values are recorded
+    /// in microseconds by the span timers).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<34} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<34} {v:>12.2}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "phase timings [ms]:\n  {:<34} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                "span", "count", "mean", "p50", "p90", "p99"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<34} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                    name,
+                    h.count,
+                    h.mean / 1000.0,
+                    h.p50 / 1000.0,
+                    h.p90 / 1000.0,
+                    h.p99 / 1000.0
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("x");
+        c.inc();
+        c.add(4);
+        // Same name resolves to the same cell.
+        assert_eq!(reg.counter("x").get(), 5);
+        let g = reg.gauge("y");
+        g.set(2.5);
+        assert_eq!(reg.gauge("y").get(), 2.5);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let reg = std::sync::Arc::clone(&reg);
+                s.spawn(move || {
+                    // Resolve through the registry to exercise the map lock.
+                    let c = reg.counter("concurrent");
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                    reg.histogram("concurrent.h").record(1.0);
+                });
+            }
+        });
+        assert_eq!(reg.counter("concurrent").get(), threads * per_thread);
+        assert_eq!(reg.histogram("concurrent.h").count(), threads);
+    }
+
+    #[test]
+    fn default_bounds_are_strictly_increasing() {
+        let b = default_bounds();
+        assert_eq!(b.len(), 27);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(b[0], 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_values_correctly() {
+        let h = Histogram::with_bounds(vec![10.0, 100.0, 1000.0]);
+        for v in [5.0, 10.0, 11.0, 99.0, 100.0, 500.0, 5000.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Bounds are inclusive upper edges: v <= bound lands in the bucket.
+        assert_eq!(s.buckets, vec![2, 3, 1, 1]);
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 5725);
+    }
+
+    #[test]
+    fn quantiles_interpolate_uniform_data() {
+        let h = Histogram::detached();
+        for v in 1..=1000 {
+            h.record(v as f64);
+        }
+        let s = h.snapshot();
+        for (q, expected) in [(0.50, 500.0), (0.90, 900.0), (0.99, 990.0)] {
+            let got = s.quantile(q);
+            let err = (got - expected).abs() / expected;
+            assert!(err < 0.05, "q={q}: got {got}, want ~{expected}");
+        }
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert!(s.quantile(1.0) >= 1000.0 - 1e-9);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = Histogram::detached().snapshot();
+        assert_eq!(empty.quantile(0.5), 0.0);
+        // Everything in the overflow bucket: report the last bound.
+        let h = Histogram::with_bounds(vec![1.0, 2.0]);
+        h.record(100.0);
+        assert_eq!(h.snapshot().quantile(0.5), 2.0);
+    }
+
+    #[test]
+    fn snapshot_serializes_and_round_trips() {
+        let reg = MetricsRegistry::new();
+        reg.counter("dns.cause.preferred").add(42);
+        reg.gauge("scenario.sessions_per_sec").set(123.75);
+        reg.histogram("scenario.build").record(88_000.0);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counter("dns.cause.preferred"), 42);
+        assert_eq!(back.counter("never.touched"), 0);
+        let h = &back.histograms["scenario.build"];
+        assert_eq!(h.count, 1);
+        assert!(h.p50 > 0.0 && h.p50 <= 100_000.0);
+    }
+
+    #[test]
+    fn render_table_mentions_every_metric() {
+        let reg = MetricsRegistry::new();
+        reg.counter("engine.cache_miss").inc();
+        reg.gauge("scenario.sessions_per_sec").set(9.0);
+        reg.histogram("run.EU2").record(1500.0);
+        let table = reg.snapshot().render_table();
+        assert!(table.contains("engine.cache_miss"), "{table}");
+        assert!(table.contains("scenario.sessions_per_sec"), "{table}");
+        assert!(table.contains("run.EU2"), "{table}");
+        assert!(table.contains("p99"), "{table}");
+    }
+}

@@ -1,0 +1,57 @@
+//! A minimal progress reporter.
+//!
+//! Binaries in this workspace keep stdout machine-parseable (data only);
+//! every human-facing diagnostic goes through a [`Progress`] to stderr,
+//! where it can be silenced globally with the `YTCDN_QUIET` environment
+//! variable (any non-empty value) or per-instance with
+//! [`Progress::quiet`].
+
+/// Writes human-facing progress lines to stderr.
+#[derive(Debug, Clone, Copy)]
+pub struct Progress {
+    enabled: bool,
+}
+
+impl Default for Progress {
+    fn default() -> Self {
+        Self::stderr()
+    }
+}
+
+impl Progress {
+    /// A reporter that prints to stderr unless `YTCDN_QUIET` is set to a
+    /// non-empty value.
+    pub fn stderr() -> Self {
+        let quiet = std::env::var_os("YTCDN_QUIET").is_some_and(|v| !v.is_empty());
+        Self { enabled: !quiet }
+    }
+
+    /// A reporter that prints nothing.
+    pub fn quiet() -> Self {
+        Self { enabled: false }
+    }
+
+    /// Whether notes are printed.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Prints one diagnostic line to stderr.
+    pub fn note(&self, msg: &str) {
+        if self.enabled {
+            eprintln!("{msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_reporter_is_disabled() {
+        assert!(!Progress::quiet().is_enabled());
+        // Must not panic.
+        Progress::quiet().note("invisible");
+    }
+}

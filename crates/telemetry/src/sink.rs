@@ -1,0 +1,229 @@
+//! Pluggable event sinks.
+//!
+//! A [`Sink`] receives every [`TelemetryRecord`] emitted through an enabled
+//! [`crate::Telemetry`] handle. Three implementations cover the needs of the
+//! workspace: [`NullSink`] (metrics only, events discarded),
+//! [`RingBufferSink`] (tests and in-process inspection), and [`JsonlSink`]
+//! (one JSON object per line, the interchange form the README documents).
+
+use std::collections::VecDeque;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::TelemetryRecord;
+
+/// Destination for structured events. Implementations must be safe to share
+/// across the simulator's per-dataset threads.
+pub trait Sink: Send + Sync {
+    /// Consumes one record. Implementations must not panic on I/O failure
+    /// (telemetry must never take the simulation down); they should instead
+    /// drop the record and surface the problem via [`Sink::flush`].
+    fn record(&self, rec: &TelemetryRecord);
+
+    /// Flushes any buffered output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered while writing or flushing.
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards every event. The default sink: metrics and spans still work.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _rec: &TelemetryRecord) {}
+}
+
+/// Keeps the most recent `capacity` records in memory.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<TelemetryRecord>>,
+}
+
+impl RingBufferSink {
+    /// Creates a ring buffer holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer needs capacity > 0");
+        Self {
+            capacity,
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+        }
+    }
+
+    /// A snapshot of the buffered records, oldest first.
+    pub fn snapshot(&self) -> Vec<TelemetryRecord> {
+        self.buf
+            .lock()
+            .expect("ring buffer poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of records currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("ring buffer poisoned").len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for RingBufferSink {
+    fn record(&self, rec: &TelemetryRecord) {
+        let mut buf = self.buf.lock().expect("ring buffer poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(rec.clone());
+    }
+}
+
+/// Writes one JSON object per line to an arbitrary writer.
+///
+/// I/O errors are remembered and reported by [`Sink::flush`] rather than
+/// panicking mid-simulation.
+pub struct JsonlSink<W: Write + Send> {
+    inner: Mutex<JsonlState<W>>,
+}
+
+struct JsonlState<W> {
+    writer: W,
+    error: Option<io::Error>,
+}
+
+impl JsonlSink<BufWriter<std::fs::File>> {
+    /// Creates (truncating) a JSONL event log at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from creating the file.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        Self {
+            inner: Mutex::new(JsonlState {
+                writer,
+                error: None,
+            }),
+        }
+    }
+
+    /// Flushes and returns the underlying writer (test helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sink's lock is poisoned.
+    pub fn into_inner(self) -> W {
+        let mut state = self.inner.into_inner().expect("jsonl sink poisoned");
+        let _ = state.writer.flush();
+        state.writer
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&self, rec: &TelemetryRecord) {
+        let mut state = self.inner.lock().expect("jsonl sink poisoned");
+        if state.error.is_some() {
+            return;
+        }
+        let line = match serde_json::to_string(rec) {
+            Ok(l) => l,
+            Err(e) => {
+                state.error = Some(io::Error::new(io::ErrorKind::InvalidData, e));
+                return;
+            }
+        };
+        let res = state
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| state.writer.write_all(b"\n"));
+        if let Err(e) = res {
+            state.error = Some(e);
+        }
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        let mut state = self.inner.lock().expect("jsonl sink poisoned");
+        if let Some(e) = state.error.take() {
+            return Err(e);
+        }
+        state.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DnsCauseKind, Event};
+
+    fn rec(t_ms: u64) -> TelemetryRecord {
+        TelemetryRecord {
+            scope: Some("EU2".to_owned()),
+            event: Event::DnsResolution {
+                t_ms,
+                ldns: 0,
+                dc: 1,
+                cause: DnsCauseKind::Preferred,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent() {
+        let ring = RingBufferSink::new(3);
+        assert!(ring.is_empty());
+        for t in 0..5 {
+            ring.record(&rec(t));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(ring.len(), 3);
+        let times: Vec<u64> = snap
+            .iter()
+            .map(|r| match r.event {
+                Event::DnsResolution { t_ms, .. } => t_ms,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_lines() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.record(&rec(10));
+        sink.record(&rec(20));
+        sink.flush().unwrap();
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let parsed: Vec<TelemetryRecord> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(parsed, vec![rec(10), rec(20)]);
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let sink = NullSink;
+        sink.record(&rec(0));
+        sink.flush().unwrap();
+    }
+}

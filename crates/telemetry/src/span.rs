@@ -1,0 +1,88 @@
+//! Scoped span timers for phase profiling.
+//!
+//! A [`Span`] measures wall-clock time between creation and drop. On drop it
+//! records the elapsed microseconds into the histogram named after the span
+//! and emits an [`Event::Phase`] through the owning [`Telemetry`] handle.
+//! Spans on a disabled handle never read the clock.
+
+use std::time::Instant;
+
+use crate::event::Event;
+use crate::Telemetry;
+
+/// An in-flight phase measurement. Created by [`Telemetry::span`].
+#[must_use = "a span measures until it is dropped; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct Span {
+    telemetry: Telemetry,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    pub(crate) fn start(telemetry: &Telemetry, name: &'static str) -> Self {
+        let start = telemetry.is_enabled().then(Instant::now);
+        Self {
+            telemetry: telemetry.clone(),
+            name,
+            start,
+        }
+    }
+
+    /// Elapsed wall-clock microseconds, or `None` on a disabled handle.
+    pub fn elapsed_us(&self) -> Option<u64> {
+        self.start.map(|s| s.elapsed().as_micros() as u64)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let wall_us = start.elapsed().as_micros() as u64;
+        self.telemetry.histogram(self.name).record(wall_us as f64);
+        self.telemetry.emit(|| Event::Phase {
+            name: self.name.to_owned(),
+            wall_us,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::sink::RingBufferSink;
+
+    #[test]
+    fn span_records_histogram_and_event() {
+        let ring = Arc::new(RingBufferSink::new(16));
+        let tel = Telemetry::with_sink(Arc::clone(&ring) as Arc<dyn crate::Sink>);
+        {
+            let _span = tel.span("test.phase");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = tel.metrics_snapshot().expect("enabled");
+        let h = &snap.histograms["test.phase"];
+        assert_eq!(h.count, 1);
+        assert!(h.sum >= 1_000, "slept >=1ms, recorded {}us", h.sum);
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 1);
+        match &events[0].event {
+            Event::Phase { name, wall_us } => {
+                assert_eq!(name, "test.phase");
+                assert!(*wall_us >= 1_000);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let tel = Telemetry::disabled();
+        let span = tel.span("never");
+        assert_eq!(span.elapsed_us(), None);
+        drop(span);
+        assert!(tel.metrics_snapshot().is_none());
+    }
+}

@@ -36,17 +36,23 @@ impl DatasetName {
         DatasetName::Eu1Ftth,
         DatasetName::Eu2,
     ];
-}
 
-impl fmt::Display for DatasetName {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+    /// The paper's name for the dataset, as a static string (the form used
+    /// by [`fmt::Display`], CLI flags, and telemetry scopes).
+    pub fn as_str(self) -> &'static str {
+        match self {
             DatasetName::UsCampus => "US-Campus",
             DatasetName::Eu1Campus => "EU1-Campus",
             DatasetName::Eu1Adsl => "EU1-ADSL",
             DatasetName::Eu1Ftth => "EU1-FTTH",
             DatasetName::Eu2 => "EU2",
-        })
+        }
+    }
+}
+
+impl fmt::Display for DatasetName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 

@@ -1,0 +1,123 @@
+//! Stub `proptest` for offline type-checking. Provides just enough of the
+//! real crate's shape — the `proptest!` macro, `any`, range/tuple/vec
+//! strategies, and the `prop_assert*` macros — for the workspace's property
+//! tests to type-check. Strategy values come from `unimplemented!()`, so the
+//! tests must never be *run* against this stub.
+
+use std::marker::PhantomData;
+
+pub mod strategy {
+    pub trait Strategy {
+        type Value;
+        #[doc(hidden)]
+        fn __stub_value(&self) -> Self::Value {
+            unimplemented!("proptest stub")
+        }
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, _f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map(std::marker::PhantomData)
+        }
+    }
+
+    pub struct Map<S, F>(std::marker::PhantomData<(S, F)>);
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+    }
+
+    impl<T> Strategy for core::ops::Range<T> {
+        type Value = T;
+    }
+    impl<T> Strategy for core::ops::RangeInclusive<T> {
+        type Value = T;
+    }
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+    }
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+    }
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+    }
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy
+        for (A, B, C, D, E)
+    {
+        type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    }
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy, F: Strategy> Strategy
+        for (A, B, C, D, E, F)
+    {
+        type Value = (A::Value, B::Value, C::Value, D::Value, E::Value, F::Value);
+    }
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> strategy::Strategy for Any<T> {
+    type Value = T;
+}
+
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub mod collection {
+    use std::marker::PhantomData;
+
+    pub struct VecStrategy<S>(PhantomData<S>);
+
+    impl<S: crate::strategy::Strategy> crate::strategy::Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+    }
+
+    pub fn vec<S, R>(_element: S, _size: R) -> VecStrategy<S> {
+        VecStrategy(PhantomData)
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $(let $arg = $crate::strategy::Strategy::__stub_value(&($strat));)*
+                $body
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return;
+        }
+    };
+}

@@ -1,0 +1,89 @@
+//! Stub `rand` 0.8 for offline type-checking. Mirrors the trait surface this
+//! workspace uses (`Rng::{gen, gen_bool, gen_range}`, `SeedableRng::
+//! seed_from_u64`, `rngs::StdRng`, `distributions::Distribution`) with
+//! panicking bodies. Signatures match the real crate so the code that
+//! compiles here also compiles against real `rand`.
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        unimplemented!("rand stub")
+    }
+
+    fn gen_bool(&mut self, _p: f64) -> bool {
+        unimplemented!("rand stub")
+    }
+
+    fn gen_range<T, R>(&mut self, _range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        unimplemented!("rand stub")
+    }
+
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, _distr: D) -> T {
+        unimplemented!("rand stub")
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    #[derive(Debug, Clone)]
+    pub struct StdRng(());
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            unimplemented!("rand stub")
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(_state: u64) -> Self {
+            unimplemented!("rand stub")
+        }
+    }
+}
+
+pub mod distributions {
+    pub trait Distribution<T> {
+        fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct Standard;
+
+    impl<T> Distribution<T> for Standard {
+        fn sample<R: crate::Rng + ?Sized>(&self, _rng: &mut R) -> T {
+            unimplemented!("rand stub")
+        }
+    }
+
+    pub mod uniform {
+        pub trait SampleUniform {}
+
+        macro_rules! impl_sample_uniform {
+            ($($t:ty),* $(,)?) => {
+                $(impl SampleUniform for $t {})*
+            };
+        }
+        impl_sample_uniform!(
+            u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64
+        );
+
+        pub trait SampleRange<T> {}
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {}
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {}
+    }
+}

@@ -1,0 +1,21 @@
+//! Stub `serde` for offline type-checking. The traits carry no methods and
+//! blanket-implement for every type, so the (empty) stub derives and every
+//! `T: Serialize` bound in the workspace type-check without codegen.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints, tests. Requires network access (or
+# a primed cargo cache) for the real crates.io dependencies; in a fully
+# offline environment use scripts/offline-typecheck.sh instead.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check" >&2
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings" >&2
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test" >&2
+cargo test --workspace -q
+
+echo "check.sh: OK" >&2

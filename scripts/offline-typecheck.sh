@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Type-checks the whole workspace without network access.
+#
+# The workspace's crates.io dependencies (rand, serde, serde_json, proptest,
+# criterion) cannot be fetched in an offline environment, so plain
+# `cargo check` fails before compiling any of our code. This script copies
+# the workspace to a scratch directory, patches the crates.io dependencies
+# with the API stubs in devtools/stub-crates/, and runs
+# `cargo check --workspace --lib --bins --offline` there.
+#
+# This validates every lib, bin, test, and example target of our own code.
+# Benches are excluded (the criterion stub is empty) and nothing is *run*:
+# the stubs panic at runtime. It does not replace `cargo test` where the real
+# dependencies are available.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+scratch="$(mktemp -d "${TMPDIR:-/tmp}/ytcdn-typecheck.XXXXXX")"
+trap 'rm -rf "$scratch"' EXIT
+
+# Copy the workspace sources (not target/, not .git/).
+for entry in Cargo.toml crates tests examples devtools; do
+    cp -a "$repo/$entry" "$scratch/$entry"
+done
+
+cat >>"$scratch/Cargo.toml" <<'EOF'
+
+# Appended by scripts/offline-typecheck.sh: replace unreachable crates.io
+# dependencies with local API stubs.
+[patch.crates-io]
+rand = { path = "devtools/stub-crates/rand" }
+serde = { path = "devtools/stub-crates/serde" }
+serde_json = { path = "devtools/stub-crates/serde_json" }
+proptest = { path = "devtools/stub-crates/proptest" }
+criterion = { path = "devtools/stub-crates/criterion" }
+EOF
+
+echo "offline-typecheck: scratch workspace at $scratch" >&2
+cargo check --manifest-path "$scratch/Cargo.toml" --workspace \
+    --lib --bins --tests --examples --offline "$@"
+echo "offline-typecheck: OK" >&2

@@ -21,7 +21,11 @@ fn figures_17_and_18_shape() {
     // After the first sample, every later sample is served by the node's
     // preferred data center.
     for t in &traces {
-        assert!(t.samples[1..].iter().all(|s| s.dc == t.preferred), "{}", t.node);
+        assert!(
+            t.samples[1..].iter().all(|s| s.dc == t.preferred),
+            "{}",
+            t.node
+        );
     }
 
     // Figure 18: substantial >1 mass, heavy >10 tail, and a near-1 mass

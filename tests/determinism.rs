@@ -2,9 +2,12 @@
 //! analysis derived from it. This property is what makes the repository's
 //! EXPERIMENTS.md numbers checkable by a third party.
 
+use std::sync::Arc;
+
 use ytcdn_cdnsim::{ActiveConfig, ActiveExperiment, ScenarioConfig, StandardScenario};
 use ytcdn_core::session::group_sessions;
 use ytcdn_core::AnalysisContext;
+use ytcdn_telemetry::{DnsCauseKind, Event, JsonlSink, Sink, Telemetry};
 use ytcdn_tstat::DatasetName;
 
 #[test]
@@ -28,6 +31,61 @@ fn different_seeds_produce_different_traces_with_same_shape() {
     let sa = ctx_a.preferred_share_of_bytes();
     let sb = ctx_b.preferred_share_of_bytes();
     assert!((sa - sb).abs() < 0.05, "{sa} vs {sb}");
+}
+
+#[test]
+fn telemetry_does_not_perturb_datasets() {
+    // The telemetry layer observes decisions; it must never draw from or
+    // reorder the RNG stream. Byte-for-byte identical JSONL output with
+    // telemetry fully on (events + metrics) vs. fully off is the invariant
+    // the whole observability PR hangs on.
+    let cfg = ScenarioConfig::with_scale(0.004, 31);
+    let plain = StandardScenario::build(cfg).run_all();
+
+    let sink = Arc::new(JsonlSink::new(Vec::new()));
+    let telemetry = Telemetry::with_sink(Arc::clone(&sink) as Arc<dyn Sink>);
+    let mut instrumented = StandardScenario::build(cfg);
+    instrumented.set_telemetry(telemetry.clone());
+    let observed = instrumented.run_all();
+
+    for (a, b) in plain.iter().zip(&observed) {
+        let mut bytes_a = Vec::new();
+        let mut bytes_b = Vec::new();
+        a.write_jsonl(&mut bytes_a).unwrap();
+        b.write_jsonl(&mut bytes_b).unwrap();
+        assert_eq!(bytes_a, bytes_b, "{} not byte-identical", a.name());
+    }
+
+    // The instrumented run actually observed things: every DNS cause has a
+    // nonzero counter and at least one structured event on the wire.
+    let snap = telemetry.metrics_snapshot().unwrap();
+    for cause in DnsCauseKind::ALL {
+        assert!(
+            snap.counter(cause.counter_name()) > 0,
+            "no {} resolutions observed",
+            cause.counter_name()
+        );
+    }
+    assert!(snap.counter("engine.cache_miss") > 0);
+    assert!(snap.counter("placement.replication") > 0);
+    telemetry.flush().unwrap();
+    // Release every Telemetry handle so the sink can be unwrapped.
+    drop(instrumented);
+    drop(telemetry);
+    let events = Arc::try_unwrap(sink)
+        .unwrap_or_else(|_| panic!("sink still shared"))
+        .into_inner();
+    let text = String::from_utf8(events).unwrap();
+    assert!(!text.is_empty());
+    let mut dns_events = 0usize;
+    for line in text.lines() {
+        let rec: ytcdn_telemetry::TelemetryRecord = serde_json::from_str(line).unwrap();
+        if matches!(rec.event, Event::DnsResolution { .. }) {
+            dns_events += 1;
+            assert!(rec.scope.is_some(), "engine events carry a dataset scope");
+        }
+    }
+    assert!(dns_events > 0);
 }
 
 #[test]

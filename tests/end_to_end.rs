@@ -104,8 +104,8 @@ fn session_structure_matches_figure6() {
     let h = Harness::new();
     for ds in &h.datasets {
         let sessions = group_sessions(ds, 1_000);
-        let single = sessions.iter().filter(|s| s.flow_count() == 1).count() as f64
-            / sessions.len() as f64;
+        let single =
+            sessions.iter().filter(|s| s.flow_count() == 1).count() as f64 / sessions.len() as f64;
         // Paper: 72.5–80.5% single-flow sessions.
         assert!((0.68..0.88).contains(&single), "{}: {single}", ds.name());
         // Sessions never mix clients or videos.
@@ -253,5 +253,8 @@ fn control_flows_precede_video_flows_in_redirected_sessions() {
             checked += 1;
         }
     }
-    assert!(checked > 50, "too few redirect sessions to check: {checked}");
+    assert!(
+        checked > 50,
+        "too few redirect sessions to check: {checked}"
+    );
 }

@@ -16,11 +16,11 @@ use ytcdn_tstat::{Dataset, DatasetName, FlowRecord, Resolution, VideoId, HOUR_MS
 fn flows_strategy() -> impl Strategy<Value = Vec<FlowRecord>> {
     prop::collection::vec(
         (
-            0u8..4,          // client
-            0u64..6,         // video
-            0u64..100_000,   // start
-            1u64..30_000,    // duration
-            0u64..20_000_000 // bytes
+            0u8..4,           // client
+            0u64..6,          // video
+            0u64..100_000,    // start
+            1u64..30_000,     // duration
+            0u64..20_000_000, // bytes
         ),
         0..60,
     )
