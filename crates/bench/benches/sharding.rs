@@ -1,0 +1,67 @@
+//! Sharded-engine scaling benches: sequential vs K-sharded simulation of a
+//! single dataset, plus the sharding machinery's fixed costs (prepass +
+//! merge).
+//!
+//! The sharded engine's speedup claim lives here: on a multi-core host,
+//! `scenario/sharded_week/US-Campus/K` for K = available cores should beat
+//! `K=seq` by ≥2× at 8 shards (scale 1.0 — run with
+//! `cargo bench --bench sharding -- --sample-size 10` and expect minutes per
+//! measurement at full scale; the default bench scale keeps CI fast while
+//! still exercising every merge path). On a single-core container the K>1
+//! numbers simply match sequential plus the small prepass overhead — byte
+//! identity is the differential suite's job, wall-clock is measured where
+//! the cores are.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ytcdn_bench::bench_scenario;
+use ytcdn_cdnsim::{shard_hour_ranges, WorkloadModel};
+use ytcdn_tstat::DatasetName;
+
+/// Scale-1.0 weekly session total for US-Campus (Table I), used to bench
+/// the boundary computation at real volume without simulating it.
+const US_CAMPUS_WEEK: u64 = 663_000;
+
+fn bench_sharded_week(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let name = DatasetName::UsCampus;
+    let mut g = c.benchmark_group("scenario/sharded_week/US-Campus");
+    g.sample_size(10);
+    g.bench_function("seq", |b| b.iter(|| scenario.run(name)));
+    for shards in [2usize, 4, 8] {
+        g.bench_function(format!("K={shards}"), |b| {
+            b.iter(|| scenario.run_sharded(name, shards))
+        });
+    }
+    g.finish();
+}
+
+fn bench_all_datasets_sharded(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let mut g = c.benchmark_group("scenario/run_all");
+    g.sample_size(10);
+    g.bench_function("parallel_by_dataset", |b| {
+        b.iter(|| scenario.run_all_parallel())
+    });
+    g.bench_function("sharded_K=8", |b| b.iter(|| scenario.run_all_sharded(8)));
+    g.finish();
+}
+
+fn bench_shard_boundaries(c: &mut Criterion) {
+    let model = WorkloadModel::new(US_CAMPUS_WEEK, 0.0);
+    let mut g = c.benchmark_group("shard/hour_ranges");
+    for shards in [8usize, 168] {
+        g.bench_function(format!("K={shards}"), |b| {
+            b.iter(|| shard_hour_ranges(&model, shards))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sharded_week,
+    bench_all_datasets_sharded,
+    bench_shard_boundaries
+);
+criterion_main!(benches);

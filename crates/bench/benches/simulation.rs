@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use ytcdn_bench::{bench_scenario, BENCH_SEED};
-use ytcdn_cdnsim::{diurnal_factor, ScenarioConfig, StandardScenario, VideoCatalog};
+use ytcdn_cdnsim::{diurnal_factor, ScenarioConfig, SimRng, StandardScenario, VideoCatalog};
 use ytcdn_geomodel::CityDb;
 use ytcdn_netsim::{AccessKind, DelayModel, Endpoint};
 use ytcdn_tstat::DatasetName;
@@ -29,7 +29,7 @@ fn bench_dataset_simulation(c: &mut Criterion) {
 
 fn bench_catalog_sampling(c: &mut Criterion) {
     let catalog = VideoCatalog::standard();
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = SimRng::seed_from_u64(1);
     c.bench_function("catalog/sample", |b| {
         b.iter(|| catalog.sample(86_400_000, &mut rng))
     });

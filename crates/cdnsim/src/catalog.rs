@@ -10,10 +10,9 @@
 //! user-generated content, and a schedule of 24-hour promotion windows that
 //! multiply a chosen video's request rate.
 
-use rand::distributions::Distribution;
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::rng::SimRng;
 use ytcdn_tstat::{Resolution, VideoId, DAY_MS};
 
 /// Static per-video metadata.
@@ -201,7 +200,7 @@ impl VideoCatalog {
     /// With probability `votd_share` during a promotion window the promoted
     /// video is returned; otherwise a body video is drawn from the Zipf
     /// distribution by inverse-transform sampling.
-    pub fn sample<R: Rng + ?Sized>(&self, t_ms: u64, rng: &mut R) -> VideoMeta {
+    pub fn sample(&self, t_ms: u64, rng: &mut SimRng) -> VideoMeta {
         if let Some(w) = self.votd.active_at(t_ms) {
             if rng.gen_bool(self.config.votd_share) {
                 return self.meta_of(w.video);
@@ -212,7 +211,7 @@ impl VideoCatalog {
     }
 
     /// Draws a rank from the truncated Zipf body.
-    fn sample_rank<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+    fn sample_rank(&self, rng: &mut SimRng) -> u64 {
         // Inverse-transform on the continuous approximation of the zeta CDF,
         // then clamp. Accurate enough for workload generation and O(1).
         let s = self.config.zipf_exponent;
@@ -253,7 +252,7 @@ fn duration_of(id: VideoId) -> u32 {
 }
 
 /// Samples a 2010-era resolution mix (mostly 360p, rare HD).
-pub fn sample_resolution<R: Rng + ?Sized>(rng: &mut R) -> Resolution {
+pub fn sample_resolution(rng: &mut SimRng) -> Resolution {
     let u: f64 = rng.gen_range(0.0..1.0);
     match u {
         x if x < 0.15 => Resolution::R240,
@@ -264,19 +263,9 @@ pub fn sample_resolution<R: Rng + ?Sized>(rng: &mut R) -> Resolution {
     }
 }
 
-/// Re-export hook so `rand::distributions::Distribution` users can sample
-/// body ranks directly.
-impl Distribution<u64> for VideoCatalog {
-    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        self.sample_rank(rng)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use std::collections::HashMap;
 
     #[test]
@@ -305,7 +294,7 @@ mod tests {
             },
             VotdSchedule::none(),
         );
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let n = 50_000;
         let mut top10 = 0usize;
         let mut seen: HashMap<u64, u32> = HashMap::new();
@@ -337,7 +326,7 @@ mod tests {
             },
             VotdSchedule::none(),
         );
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SimRng::seed_from_u64(2);
         for _ in 0..10_000 {
             assert!(cat.sample(0, &mut rng).rank < 100);
         }
@@ -353,7 +342,7 @@ mod tests {
             },
             VotdSchedule::daily_for_week(5_000),
         );
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         let n = 20_000;
         let hits = (0..n)
             .filter(|_| cat.sample(1000, &mut rng).id.index() == 5_000)
@@ -372,7 +361,7 @@ mod tests {
             },
             VotdSchedule::daily_for_week(5_000),
         );
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = SimRng::seed_from_u64(4);
         // Day 3's video must not be boosted on day 0.
         let hits = (0..20_000)
             .filter(|_| cat.sample(0, &mut rng).id.index() == 5_003)
@@ -383,7 +372,7 @@ mod tests {
     #[test]
     fn durations_plausible() {
         let cat = VideoCatalog::standard();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SimRng::seed_from_u64(5);
         let mut sum = 0u64;
         let n = 5_000;
         for _ in 0..n {
@@ -404,7 +393,7 @@ mod tests {
 
     #[test]
     fn resolution_mix_mostly_360p() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = SimRng::seed_from_u64(6);
         let n = 20_000;
         let r360 = (0..n)
             .filter(|_| sample_resolution(&mut rng) == Resolution::R360)

@@ -18,10 +18,11 @@
 
 use std::collections::HashMap;
 
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use ytcdn_telemetry::{Counter, DnsCauseKind, Event, Telemetry};
+
+use crate::rng::SimRng;
 use ytcdn_tstat::HOUR_MS;
 
 use crate::topology::DataCenterId;
@@ -123,8 +124,7 @@ impl DnsTelemetry {
 ///
 /// ```
 /// use ytcdn_cdnsim::dns::{DnsResolver, LdnsPolicy, LdnsId, DnsCause};
-/// use ytcdn_cdnsim::DataCenterId;
-/// use rand::SeedableRng;
+/// use ytcdn_cdnsim::{DataCenterId, SimRng};
 ///
 /// let mut resolver = DnsResolver::new(vec![LdnsPolicy {
 ///     preferred: DataCenterId(0),
@@ -132,7 +132,7 @@ impl DnsTelemetry {
 ///     noise_prob: 0.0,
 ///     hourly_capacity: Some(2),
 /// }]);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = SimRng::seed_from_u64(0);
 /// // Two resolutions fit, the third spills.
 /// assert_eq!(resolver.resolve(LdnsId(0), 0, &mut rng).dc, DataCenterId(0));
 /// assert_eq!(resolver.resolve(LdnsId(0), 0, &mut rng).dc, DataCenterId(0));
@@ -189,12 +189,7 @@ impl DnsResolver {
     /// # Panics
     ///
     /// Panics if `ldns` is out of range.
-    pub fn resolve<R: Rng + ?Sized>(
-        &mut self,
-        ldns: LdnsId,
-        t_ms: u64,
-        rng: &mut R,
-    ) -> DnsDecision {
+    pub fn resolve(&mut self, ldns: LdnsId, t_ms: u64, rng: &mut SimRng) -> DnsDecision {
         let decision = self.decide(ldns, t_ms, rng);
         if let Some(tel) = &self.tel {
             tel.observe(ldns, t_ms, decision);
@@ -202,7 +197,7 @@ impl DnsResolver {
         decision
     }
 
-    fn decide<R: Rng + ?Sized>(&mut self, ldns: LdnsId, t_ms: u64, rng: &mut R) -> DnsDecision {
+    fn decide(&mut self, ldns: LdnsId, t_ms: u64, rng: &mut SimRng) -> DnsDecision {
         let policy = &self.policies[ldns.0];
         // Background noise: pick a random alternate.
         if policy.noise_prob > 0.0 && rng.gen_bool(policy.noise_prob) {
@@ -243,8 +238,6 @@ impl DnsResolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn policy(noise: f64, cap: Option<u64>) -> LdnsPolicy {
         LdnsPolicy {
@@ -258,7 +251,7 @@ mod tests {
     #[test]
     fn no_noise_no_capacity_always_preferred() {
         let mut r = DnsResolver::new(vec![policy(0.0, None)]);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SimRng::seed_from_u64(0);
         for t in (0..100).map(|i| i * 60_000) {
             let d = r.resolve(LdnsId(0), t, &mut rng);
             assert_eq!(d.dc, DataCenterId(0));
@@ -269,7 +262,7 @@ mod tests {
     #[test]
     fn noise_rate_approximated() {
         let mut r = DnsResolver::new(vec![policy(0.1, None)]);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let n = 20_000;
         let noisy = (0..n)
             .filter(|_| r.resolve(LdnsId(0), 0, &mut rng).cause == DnsCause::Noise)
@@ -281,7 +274,7 @@ mod tests {
     #[test]
     fn capacity_resets_each_hour() {
         let mut r = DnsResolver::new(vec![policy(0.0, Some(1))]);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SimRng::seed_from_u64(2);
         assert_eq!(r.resolve(LdnsId(0), 0, &mut rng).dc, DataCenterId(0));
         assert_eq!(r.resolve(LdnsId(0), 1, &mut rng).dc, DataCenterId(1));
         // New hour, fresh budget.
@@ -292,7 +285,7 @@ mod tests {
     fn local_fraction_tracks_capacity_over_load() {
         // Offered 1000/hour against capacity 300 → local fraction 30 %.
         let mut r = DnsResolver::new(vec![policy(0.0, Some(300))]);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         let local = (0..1000u64)
             .filter(|i| r.resolve(LdnsId(0), i * (HOUR_MS / 1000), &mut rng).dc == DataCenterId(0))
             .count();
@@ -308,7 +301,7 @@ mod tests {
             hourly_capacity: None,
         };
         let mut r = DnsResolver::new(vec![policy(0.0, None), net3]);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = SimRng::seed_from_u64(4);
         assert_eq!(r.resolve(LdnsId(0), 0, &mut rng).dc, DataCenterId(0));
         assert_eq!(r.resolve(LdnsId(1), 0, &mut rng).dc, DataCenterId(7));
     }
@@ -316,7 +309,7 @@ mod tests {
     #[test]
     fn absorbed_counter() {
         let mut r = DnsResolver::new(vec![policy(0.0, Some(10))]);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SimRng::seed_from_u64(5);
         for _ in 0..5 {
             r.resolve(LdnsId(0), 0, &mut rng);
         }
@@ -338,7 +331,7 @@ mod tests {
         let tel = Telemetry::with_sink(std::sync::Arc::clone(&ring) as std::sync::Arc<dyn Sink>);
         let mut r = DnsResolver::new(vec![policy(0.05, Some(500))]);
         r.set_telemetry(tel.clone());
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SimRng::seed_from_u64(9);
         let n = 2_000u64;
         let mut by_cause = std::collections::HashMap::new();
         for i in 0..n {
@@ -362,8 +355,8 @@ mod tests {
         let mut plain = DnsResolver::new(vec![policy(0.1, Some(100))]);
         let mut instrumented = DnsResolver::new(vec![policy(0.1, Some(100))]);
         instrumented.set_telemetry(ytcdn_telemetry::Telemetry::metrics_only());
-        let mut rng_a = StdRng::seed_from_u64(21);
-        let mut rng_b = StdRng::seed_from_u64(21);
+        let mut rng_a = SimRng::seed_from_u64(21);
+        let mut rng_b = SimRng::seed_from_u64(21);
         for i in 0..5_000u64 {
             let t = i * 1_000;
             assert_eq!(

@@ -9,24 +9,36 @@
 //! (Section VII-C, "alleviating hot-spots due to popular videos"). The
 //! engine emits the [`FlowRecord`]s a Tstat probe at the network edge would
 //! log.
+//!
+//! # Determinism and sharding
+//!
+//! Every session draws from its own [`SimRng`] stream keyed by the global
+//! session ordinal, and the arrival schedule is generated per week-hour
+//! (see [`WorkloadModel`]); no draw depends on how many sessions ran before
+//! on the same thread. Combined with the fact that all mutable state except
+//! content replication is keyed by (entity, hour), this lets the sharded
+//! runner in [`crate::shard`] split the week across threads and still
+//! produce byte-identical output.
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::ops::Range;
+use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use ytcdn_netsim::{AccessKind, DelayModel, Endpoint};
 use ytcdn_telemetry::{Counter, Event, Histogram, RedirectKind, Telemetry};
 use ytcdn_tstat::{Dataset, FlowRecord, Resolution, VideoId, HOUR_MS};
 
-use crate::catalog::{sample_resolution, VideoCatalog};
-use crate::dns::{DnsCause, DnsResolver, LdnsPolicy};
-use crate::placement::ContentStore;
+use crate::catalog::{sample_resolution, VideoCatalog, VideoMeta};
+use crate::dns::{DnsCause, DnsDecision, DnsResolver, LdnsPolicy};
+use crate::placement::{ContentStore, PlacementConfig};
+use crate::rng::{stream, SimRng};
+use crate::shard::{ReplicationSchedule, StoreAccess};
 use crate::topology::{DataCenterId, ServerPool, Topology};
 use crate::vantage::VantagePoint;
-use crate::workload::WorkloadModel;
+use crate::workload::{WorkloadModel, WEEK_HOURS};
 
 /// Ground-truth counters of what happened during a run. The analysis layer
 /// must *infer* these effects from the flow log alone; tests compare the
@@ -54,6 +66,25 @@ pub struct SessionOutcome {
     pub third_party_sessions: u64,
     /// Videos pulled into a data center during the run.
     pub replications: u64,
+}
+
+impl SessionOutcome {
+    /// Accumulates another outcome into this one (field-wise sum). The
+    /// sharded runner merges per-shard outcomes with this; for it to equal
+    /// the sequential outcome, every field must be a plain sum over
+    /// sessions — keep it that way when adding fields.
+    pub fn absorb(&mut self, o: SessionOutcome) {
+        self.sessions += o.sessions;
+        self.flows += o.flows;
+        self.miss_redirects += o.miss_redirects;
+        self.double_redirects += o.double_redirects;
+        self.overload_redirects += o.overload_redirects;
+        self.dns_noise += o.dns_noise;
+        self.dns_load_balanced += o.dns_load_balanced;
+        self.legacy_sessions += o.legacy_sessions;
+        self.third_party_sessions += o.third_party_sessions;
+        self.replications += o.replications;
+    }
 }
 
 /// Tunables that are not per-vantage-point.
@@ -146,6 +177,165 @@ fn throughput_bytes_per_ms(access: AccessKind) -> f64 {
     }
 }
 
+/// The engine's view of content placement.
+///
+/// Replication is the only simulation state that crosses hour boundaries, so
+/// it is the only thing a shard cannot own outright. A sequential run
+/// mutates the live store; a shard worker instead *reads* the store's
+/// evolution from the merged [`ReplicationSchedule`]: a video is present in
+/// a data center once the schedule says it was pulled there by a session
+/// with a smaller global ordinal than the current one.
+enum StoreView {
+    /// The mutable store of a sequential run.
+    Live(ContentStore),
+    /// A shard's copy-on-advance reconstruction.
+    Timeline {
+        /// The initial placement; never mutated.
+        base: ContentStore,
+        /// Global (data center, video) → first-pull ordinal map.
+        schedule: Arc<ReplicationSchedule>,
+        /// Ordinal of the session currently simulating.
+        cursor: u64,
+        /// Pulls whose first-miss ordinal belongs to this shard; summing
+        /// these across shards reproduces the sequential replication count.
+        owned: u64,
+    },
+}
+
+impl StoreView {
+    fn set_cursor(&mut self, ordinal: u64) {
+        if let StoreView::Timeline { cursor, .. } = self {
+            *cursor = ordinal;
+        }
+    }
+
+    fn has(&self, dc: DataCenterId, video: VideoId) -> bool {
+        match self {
+            StoreView::Live(s) => s.has(dc, video),
+            StoreView::Timeline {
+                base,
+                schedule,
+                cursor,
+                ..
+            } => {
+                base.has(dc, video)
+                    || schedule
+                        .pulled_at(dc, video)
+                        .is_some_and(|ord| ord < *cursor)
+            }
+        }
+    }
+
+    /// Registers a pull-through; returns whether a replica is new *now*.
+    fn pull(&mut self, dc: DataCenterId, video: VideoId) -> bool {
+        match self {
+            StoreView::Live(s) => s.replicate(dc, video),
+            StoreView::Timeline {
+                schedule,
+                cursor,
+                owned,
+                ..
+            } => {
+                // A miss under the timeline view can only happen at exactly
+                // the ordinal the merge pass assigned to this pair.
+                debug_assert_eq!(schedule.pulled_at(dc, video), Some(*cursor));
+                if schedule.pulled_at(dc, video) == Some(*cursor) {
+                    *owned += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn replications(&self) -> u64 {
+        match self {
+            StoreView::Live(s) => s.replications() as u64,
+            StoreView::Timeline { owned, .. } => *owned,
+        }
+    }
+
+    fn config(&self) -> &PlacementConfig {
+        match self {
+            StoreView::Live(s) => s.config(),
+            StoreView::Timeline { base, .. } => base.config(),
+        }
+    }
+
+    fn origin_of(&self, video: VideoId) -> DataCenterId {
+        match self {
+            StoreView::Live(s) => s.origin_of(video),
+            StoreView::Timeline { base, .. } => base.origin_of(video),
+        }
+    }
+
+    fn guess_holder(&self, video: VideoId, not: DataCenterId) -> DataCenterId {
+        match self {
+            StoreView::Live(s) => s.guess_holder(video, not),
+            StoreView::Timeline { base, .. } => base.guess_holder(video, not),
+        }
+    }
+
+    fn into_live(self) -> ContentStore {
+        match self {
+            StoreView::Live(s) => s,
+            StoreView::Timeline { base, .. } => base,
+        }
+    }
+}
+
+/// Which pool serves a session, decided by the prelude draws.
+pub(crate) enum SessionRoute {
+    /// Served by a non-Google pool (legacy YouTube-EU or third party).
+    Pool(ServerPool),
+    /// Mapped to a Google data center by DNS.
+    Google(DnsDecision),
+}
+
+/// Everything decided about a session before any flow is emitted.
+pub(crate) struct SessionPrelude {
+    pub client_ip: Ipv4Addr,
+    pub meta: VideoMeta,
+    pub resolution: Resolution,
+    pub route: SessionRoute,
+}
+
+/// Draws a session's prelude: client, video, resolution, and routing.
+///
+/// This is the *shared prefix* of the full simulation and the shard
+/// prepass: both consume exactly these RNG words (in this order) and drive
+/// the DNS resolver's hourly-capacity state identically, which is what
+/// makes the prepass's (data center, video) access log agree with what the
+/// full engine will do.
+pub(crate) fn draw_session_prelude(
+    vp: &VantagePoint,
+    catalog: &VideoCatalog,
+    dns: &mut DnsResolver,
+    t: u64,
+    rng: &mut SimRng,
+) -> SessionPrelude {
+    let (subnet_idx, client_ip) = vp.sample_client(rng);
+    let meta = catalog.sample(t, rng);
+    let resolution = sample_resolution(rng);
+    // A slice of sessions is still served by non-Google pools.
+    let pool_draw: f64 = rng.gen_range(0.0..1.0);
+    let route = if pool_draw < vp.mix.p_legacy {
+        SessionRoute::Pool(ServerPool::LegacyYouTubeEu)
+    } else if pool_draw < vp.mix.p_legacy + vp.mix.p_third {
+        SessionRoute::Pool(ServerPool::ThirdParty)
+    } else {
+        let ldns = vp.subnets[subnet_idx].ldns;
+        SessionRoute::Google(dns.resolve(ldns, t, rng))
+    };
+    SessionPrelude {
+        client_ip,
+        meta,
+        resolution,
+        route,
+    }
+}
+
 /// Simulates one vantage point for one week.
 pub struct Engine<'w> {
     topo: &'w Topology,
@@ -153,13 +343,13 @@ pub struct Engine<'w> {
     vp: &'w VantagePoint,
     config: EngineConfig,
     dns: DnsResolver,
-    store: ContentStore,
+    store: StoreView,
     /// Arrivals per (server, hour); the application-layer overload signal.
     arrivals: HashMap<(Ipv4Addr, u64), u32>,
     /// Floor RTT (incl. peering penalty) from the vantage point to each DC.
     rtt_to_dc: Vec<f64>,
     server_cap: u32,
-    rng: StdRng,
+    seed: u64,
     outcome: SessionOutcome,
     records: Vec<FlowRecord>,
     tel: Option<EngineTelemetry>,
@@ -198,11 +388,11 @@ impl<'w> Engine<'w> {
             vp,
             config,
             dns: DnsResolver::new(policies),
-            store,
+            store: StoreView::Live(store),
             arrivals: HashMap::new(),
             rtt_to_dc,
             server_cap,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
             outcome: SessionOutcome::default(),
             records: Vec::new(),
             tel: None,
@@ -212,13 +402,26 @@ impl<'w> Engine<'w> {
     /// Attaches a telemetry handle covering the engine's decision points
     /// (DNS causes, redirect chains, cache misses, replications) — usually
     /// one scoped to this vantage point's dataset name. Observability only:
-    /// the simulated decisions and the RNG stream are untouched, so the
+    /// the simulated decisions and the RNG streams are untouched, so the
     /// produced dataset is byte-identical with or without telemetry.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         if telemetry.is_enabled() {
             self.dns.set_telemetry(telemetry.clone());
             self.tel = Some(EngineTelemetry::new(telemetry));
         }
+        self
+    }
+
+    /// Converts this engine into a shard worker: content placement evolves
+    /// by replaying `schedule` instead of mutating a live store. The
+    /// engine's current store becomes the (immutable) initial placement.
+    pub(crate) fn with_replication_timeline(mut self, schedule: Arc<ReplicationSchedule>) -> Self {
+        self.store = StoreView::Timeline {
+            base: self.store.into_live(),
+            schedule,
+            cursor: 0,
+            owned: 0,
+        };
         self
     }
 
@@ -233,66 +436,109 @@ impl<'w> Engine<'w> {
         self.rtt_to_dc[dc.0]
     }
 
-    /// Runs the full week and returns the dataset plus ground truth.
-    pub fn run(mut self) -> (Dataset, SessionOutcome) {
+    /// The arrival model this engine simulates.
+    pub(crate) fn workload(&self) -> WorkloadModel {
         let total = (self.vp.sessions_per_week as f64 * self.config.scale).round() as u64;
-        let workload = WorkloadModel::new(total, 0.0);
-        let times = workload.session_times(&mut self.rng);
-        for t in times {
-            self.simulate_session(t);
+        WorkloadModel::new(total, 0.0)
+    }
+
+    /// Runs the full week and returns the dataset plus ground truth.
+    pub fn run(self) -> (Dataset, SessionOutcome) {
+        let name = self.vp.dataset;
+        let (records, outcome) = self.run_hours(0..WEEK_HOURS);
+        (Dataset::from_records(name, records), outcome)
+    }
+
+    /// Simulates the sessions of week-hours `hours` and returns the raw
+    /// flow records (session order, unsorted) plus this slice's outcome.
+    ///
+    /// Sequential runs pass the whole week; shard workers pass their slice.
+    /// All per-hour state (DNS capacity counters, server arrival counters)
+    /// starts empty and stays within `hours`, so a worker needs nothing
+    /// from the hours before its slice except the replication timeline.
+    pub(crate) fn run_hours(mut self, hours: Range<u64>) -> (Vec<FlowRecord>, SessionOutcome) {
+        let model = self.workload();
+        let mut ordinal: u64 = (0..hours.start)
+            .map(|h| model.hour_count(self.seed, h))
+            .sum();
+        for hour in hours {
+            for t in model.hour_times(self.seed, hour) {
+                self.store.set_cursor(ordinal);
+                let mut rng = SimRng::for_stream(self.seed, &[stream::SESSION, ordinal]);
+                self.simulate_session(t, &mut rng);
+                ordinal += 1;
+            }
         }
-        self.outcome.sessions = total;
         self.outcome.flows = self.records.len() as u64;
-        self.outcome.replications = self.store.replications() as u64;
+        self.outcome.replications = self.store.replications();
         if let Some(tel) = &self.tel {
             tel.sessions.add(self.outcome.sessions);
             tel.flows.add(self.outcome.flows);
         }
-        let dataset = Dataset::from_records(self.vp.dataset, self.records);
-        (dataset, self.outcome)
+        (self.records, self.outcome)
     }
 
-    fn simulate_session(&mut self, t: u64) {
-        let (subnet_idx, client_ip) = self.vp.sample_client(&mut self.rng);
-        let meta = self.catalog.sample(t, &mut self.rng);
-        let resolution = sample_resolution(&mut self.rng);
-
-        // A slice of sessions is still served by non-Google pools.
-        let pool_draw: f64 = self.rng.gen_range(0.0..1.0);
-        if pool_draw < self.vp.mix.p_legacy {
-            self.outcome.legacy_sessions += 1;
-            self.legacy_session(
-                t,
-                client_ip,
-                meta.id,
-                meta.duration_s,
-                resolution,
-                ServerPool::LegacyYouTubeEu,
-            );
-            return;
+    /// Pass 1 of a sharded run: replays only the session *preludes* of
+    /// `hours`, recording the (data center, video) pair each Google-routed
+    /// session contacts first. Must run on an engine without telemetry
+    /// (the full pass emits the events; this one would double-count).
+    pub(crate) fn prepass_hours(mut self, hours: Range<u64>) -> Vec<StoreAccess> {
+        debug_assert!(self.tel.is_none(), "prepass must be un-instrumented");
+        let model = self.workload();
+        let mut ordinal: u64 = (0..hours.start)
+            .map(|h| model.hour_count(self.seed, h))
+            .sum();
+        let mut accesses = Vec::new();
+        for hour in hours {
+            for t in model.hour_times(self.seed, hour) {
+                let mut rng = SimRng::for_stream(self.seed, &[stream::SESSION, ordinal]);
+                let p = draw_session_prelude(self.vp, self.catalog, &mut self.dns, t, &mut rng);
+                if let SessionRoute::Google(decision) = p.route {
+                    accesses.push(StoreAccess {
+                        ordinal,
+                        t_ms: t,
+                        dc: decision.dc,
+                        video: p.meta.id,
+                    });
+                }
+                ordinal += 1;
+            }
         }
-        if pool_draw < self.vp.mix.p_legacy + self.vp.mix.p_third {
-            self.outcome.third_party_sessions += 1;
-            self.legacy_session(
-                t,
-                client_ip,
-                meta.id,
-                meta.duration_s,
-                resolution,
-                ServerPool::ThirdParty,
-            );
-            return;
-        }
+        accesses
+    }
 
-        let ldns = self.vp.subnets[subnet_idx].ldns;
-        let decision = self.dns.resolve(ldns, t, &mut self.rng);
+    fn simulate_session(&mut self, t: u64, rng: &mut SimRng) {
+        self.outcome.sessions += 1;
+        let p = draw_session_prelude(self.vp, self.catalog, &mut self.dns, t, rng);
+        let decision = match p.route {
+            SessionRoute::Pool(pool) => {
+                match pool {
+                    ServerPool::LegacyYouTubeEu => self.outcome.legacy_sessions += 1,
+                    _ => self.outcome.third_party_sessions += 1,
+                }
+                self.legacy_session(
+                    t,
+                    p.client_ip,
+                    p.meta.id,
+                    p.meta.duration_s,
+                    p.resolution,
+                    pool,
+                    rng,
+                );
+                return;
+            }
+            SessionRoute::Google(decision) => decision,
+        };
         match decision.cause {
             DnsCause::Noise => self.outcome.dns_noise += 1,
             DnsCause::LoadBalanced => self.outcome.dns_load_balanced += 1,
             DnsCause::Preferred => {}
         }
 
-        let hops = self.resolve_chain(decision.dc, meta.id, t);
+        let client_ip = p.client_ip;
+        let meta = p.meta;
+        let resolution = p.resolution;
+        let hops = self.resolve_chain(decision.dc, meta.id, t, rng);
         if let Some(tel) = &self.tel {
             tel.chain_hops.record(hops.len() as f64);
         }
@@ -301,7 +547,7 @@ impl<'w> Engine<'w> {
         // Preliminary control exchanges only occur on direct serves; on a
         // redirect the first contact already is a control flow.
         if hops.len() == 1 {
-            let k: f64 = self.rng.gen_range(0.0..1.0);
+            let k: f64 = rng.gen_range(0.0..1.0);
             let prelim = if k < self.vp.mix.p_ctrl2 {
                 2
             } else if k < self.vp.mix.p_ctrl2 + self.vp.mix.p_ctrl1 {
@@ -310,22 +556,22 @@ impl<'w> Engine<'w> {
                 0
             };
             for _ in 0..prelim {
-                cursor = self.emit_control(cursor, client_ip, hops[0], meta.id, resolution);
+                cursor = self.emit_control(cursor, client_ip, hops[0], meta.id, resolution, rng);
             }
         }
 
         // Control flow at every intermediate hop, video at the last.
         for &hop in &hops[..hops.len() - 1] {
-            cursor = self.emit_control(cursor, client_ip, hop, meta.id, resolution);
+            cursor = self.emit_control(cursor, client_ip, hop, meta.id, resolution, rng);
         }
         let serving = *hops.last().expect("chain has at least one hop");
         // Watch behaviour calibrated to the paper's Table I volumes:
         // a modest fraction of views run to completion, most abandon early,
         // and datasets differ in mean consumption (watch_scale).
-        let watch_frac = if self.rng.gen_bool(0.10) {
+        let watch_frac = if rng.gen_bool(0.10) {
             1.0
         } else {
-            self.rng.gen_range(0.02..0.45)
+            rng.gen_range(0.02..0.45)
         } * self.vp.mix.watch_scale;
         let end = self.emit_video(
             cursor,
@@ -335,19 +581,20 @@ impl<'w> Engine<'w> {
             meta.duration_s,
             resolution,
             watch_frac,
+            rng,
         );
 
         // Later user interaction with the same video (seek / resolution
         // change): a separate flow seconds-to-minutes later, which only
         // session grouping with a large gap threshold merges (Figure 5).
-        if self.rng.gen_bool(self.vp.mix.p_follow) {
-            let gap = self.rng.gen_range(2_000..240_000);
-            let new_res = if self.rng.gen_bool(0.5) {
-                sample_resolution(&mut self.rng)
+        if rng.gen_bool(self.vp.mix.p_follow) {
+            let gap = rng.gen_range(2_000u64..240_000);
+            let new_res = if rng.gen_bool(0.5) {
+                sample_resolution(rng)
             } else {
                 resolution
             };
-            let frac = self.rng.gen_range(0.05..0.5);
+            let frac = rng.gen_range(0.05..0.5);
             self.emit_video(
                 end + gap,
                 client_ip,
@@ -356,6 +603,7 @@ impl<'w> Engine<'w> {
                 meta.duration_s,
                 new_res,
                 frac,
+                rng,
             );
         }
     }
@@ -368,9 +616,10 @@ impl<'w> Engine<'w> {
         dc0: DataCenterId,
         video: VideoId,
         t: u64,
+        rng: &mut SimRng,
     ) -> Vec<(DataCenterId, Ipv4Addr)> {
         let hour = t / HOUR_MS;
-        let server0 = self.server_in(dc0, video);
+        let server0 = self.server_in(dc0, video, rng);
         self.note_arrival(server0, hour);
 
         if !self.store.has(dc0, video) {
@@ -391,19 +640,19 @@ impl<'w> Engine<'w> {
             // preferred data center when it holds the video. This is the
             // (non-preferred, preferred) pattern of Figure 10b.
             let home_pref = self.dns.policies()[0].preferred;
-            if dc0 != home_pref && self.store.has(home_pref, video) && self.rng.gen_bool(0.5) {
-                let hs = self.server_in(home_pref, video);
+            if dc0 != home_pref && self.store.has(home_pref, video) && rng.gen_bool(0.5) {
+                let hs = self.server_in(home_pref, video, rng);
                 self.note_arrival(hs, hour);
                 hops.push((home_pref, hs));
                 self.observe_redirect(t, RedirectKind::ContentMiss, dc0, home_pref);
                 self.pull_through(t, dc0, video);
                 return hops;
             }
-            let guess_missed = self.rng.gen_bool(self.config.guess_miss_prob);
+            let guess_missed = rng.gen_bool(self.config.guess_miss_prob);
             if guess_missed {
                 let g = self.store.guess_holder(video, dc0);
                 if self.store.has(g, video) {
-                    let gs = self.server_in(g, video);
+                    let gs = self.server_in(g, video, rng);
                     self.note_arrival(gs, hour);
                     hops.push((g, gs));
                     self.observe_redirect(t, RedirectKind::ContentMiss, dc0, g);
@@ -412,13 +661,13 @@ impl<'w> Engine<'w> {
                 }
                 // Wrong guess: one more control hop.
                 self.outcome.double_redirects += 1;
-                let gs = self.server_in(g, video);
+                let gs = self.server_in(g, video, rng);
                 self.note_arrival(gs, hour);
                 hops.push((g, gs));
                 self.observe_redirect(t, RedirectKind::WrongGuess, dc0, g);
             }
             let origin = self.store.origin_of(video);
-            let os = self.server_in(origin, video);
+            let os = self.server_in(origin, video, rng);
             self.note_arrival(os, hour);
             let from = hops.last().expect("chain has at least one hop").0;
             hops.push((origin, os));
@@ -437,7 +686,7 @@ impl<'w> Engine<'w> {
             // mapping can create the paper's hot spots.
             self.outcome.overload_redirects += 1;
             let target = self.overflow_target(dc0, video);
-            let ts = self.server_in(target, video);
+            let ts = self.server_in(target, video, rng);
             self.note_arrival(ts, hour);
             self.observe_redirect(t, RedirectKind::Overload, dc0, target);
             return vec![(dc0, server0), (target, ts)];
@@ -458,7 +707,7 @@ impl<'w> Engine<'w> {
         if self.config.disable_replication {
             return;
         }
-        if self.store.replicate(dc, video) {
+        if self.store.pull(dc, video) {
             if let Some(tel) = &self.tel {
                 tel.replicated(t, dc, video);
             }
@@ -467,10 +716,10 @@ impl<'w> Engine<'w> {
 
     /// The server handling `video` within `dc`: popular content is on every
     /// machine (load-balanced), tail content is pinned to one cache host.
-    fn server_in(&mut self, dc: DataCenterId, video: VideoId) -> Ipv4Addr {
+    fn server_in(&mut self, dc: DataCenterId, video: VideoId, rng: &mut SimRng) -> Ipv4Addr {
         let dc = self.topo.dc(dc);
         if video.index() < self.store.config().popular_below_rank {
-            dc.random_server(&mut self.rng)
+            dc.random_server(rng)
         } else {
             dc.server_for_video(video)
         }
@@ -497,6 +746,7 @@ impl<'w> Engine<'w> {
         self.store.origin_of(video)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn emit_control(
         &mut self,
         t: u64,
@@ -504,10 +754,11 @@ impl<'w> Engine<'w> {
         hop: (DataCenterId, Ipv4Addr),
         video: VideoId,
         resolution: Resolution,
+        rng: &mut SimRng,
     ) -> u64 {
         let rtt = self.rtt_to_dc[hop.0 .0];
-        let dur = (2.0 * rtt) as u64 + self.rng.gen_range(20..120);
-        let bytes = self.rng.gen_range(80..900);
+        let dur = (2.0 * rtt) as u64 + rng.gen_range(20u64..120);
+        let bytes = rng.gen_range(80u64..900);
         self.records.push(FlowRecord {
             client_ip,
             server_ip: hop.1,
@@ -519,7 +770,7 @@ impl<'w> Engine<'w> {
         });
         // Gap before the next flow of the session: well under the paper's
         // 1-second grouping threshold.
-        t + dur + self.rng.gen_range(50..500)
+        t + dur + rng.gen_range(50u64..500)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -532,12 +783,13 @@ impl<'w> Engine<'w> {
         duration_s: u32,
         resolution: Resolution,
         watch_frac: f64,
+        rng: &mut SimRng,
     ) -> u64 {
-        let jitter = self.rng.gen_range(0.9..1.1);
+        let jitter = rng.gen_range(0.9..1.1);
         let bytes = ((duration_s as f64 * resolution.bytes_per_sec() as f64 * watch_frac * jitter)
             as u64)
             .max(10_000);
-        let tput = throughput_bytes_per_ms(self.vp.access) * self.rng.gen_range(0.6..1.3);
+        let tput = throughput_bytes_per_ms(self.vp.access) * rng.gen_range(0.6..1.3);
         let dur = ((bytes as f64 / tput) as u64).max(200);
         let end = t + dur;
         self.records.push(FlowRecord {
@@ -555,6 +807,7 @@ impl<'w> Engine<'w> {
     /// A session served by the legacy YouTube-EU pool or a third-party
     /// cache: one flow, usually small, from a uniformly random server of a
     /// (continent-biased) random site.
+    #[allow(clippy::too_many_arguments)]
     fn legacy_session(
         &mut self,
         t: u64,
@@ -563,6 +816,7 @@ impl<'w> Engine<'w> {
         duration_s: u32,
         resolution: Resolution,
         pool: ServerPool,
+        rng: &mut SimRng,
     ) {
         let sites: Vec<_> = self.topo.dcs_in_pool(pool).collect();
         debug_assert!(!sites.is_empty());
@@ -577,7 +831,7 @@ impl<'w> Engine<'w> {
             })
             .collect();
         let total: f64 = weights.iter().sum();
-        let mut pick = self.rng.gen_range(0.0..total);
+        let mut pick = rng.gen_range(0.0..total);
         let mut site = sites[sites.len() - 1];
         for (d, w) in sites.iter().zip(&weights) {
             if pick < *w {
@@ -586,8 +840,8 @@ impl<'w> Engine<'w> {
             }
             pick -= w;
         }
-        let (site_id, server) = (site.id, site.random_server(&mut self.rng));
-        let frac = self.rng.gen_range(0.02..0.25) * self.vp.mix.legacy_bytes_scale / 0.15
+        let (site_id, server) = (site.id, site.random_server(rng));
+        let frac = rng.gen_range(0.02..0.25) * self.vp.mix.legacy_bytes_scale / 0.15
             * self.vp.mix.watch_scale;
         self.emit_video(
             t,
@@ -597,6 +851,7 @@ impl<'w> Engine<'w> {
             duration_s,
             resolution,
             frac.min(1.0),
+            rng,
         );
     }
 }

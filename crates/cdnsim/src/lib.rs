@@ -22,7 +22,11 @@
 //! * per-vantage-point diurnal workloads scaled from the paper's Table I
 //!   ([`workload`], [`vantage`]);
 //! * the standard five-dataset scenario and the controlled active
-//!   experiment of Section VII-C ([`scenario`], [`active`]).
+//!   experiment of Section VII-C ([`scenario`], [`active`]);
+//! * deterministic within-dataset parallelism: splittable per-session RNG
+//!   streams ([`rng`]) and hour-sliced shard execution whose output is
+//!   byte-identical to the sequential engine for any shard count
+//!   ([`shard`]).
 //!
 //! The output is a set of [`ytcdn_tstat::Dataset`]s — exactly what a Tstat
 //! probe at the network edge would have recorded — plus a [`World`] handle
@@ -49,7 +53,9 @@ pub mod catalog;
 pub mod dns;
 pub mod engine;
 pub mod placement;
+pub mod rng;
 pub mod scenario;
+pub mod shard;
 pub mod topology;
 pub mod vantage;
 pub mod workload;
@@ -59,7 +65,9 @@ pub use catalog::{VideoCatalog, VideoMeta, VotdSchedule};
 pub use dns::{DnsDecision, DnsResolver, LdnsId};
 pub use engine::{Engine, SessionOutcome};
 pub use placement::ContentStore;
+pub use rng::SimRng;
 pub use scenario::{run_span_name, ScenarioConfig, StandardScenario, World};
+pub use shard::{shard_hour_ranges, ReplicationSchedule};
 pub use topology::{DataCenter, DataCenterId, ServerPool, Topology};
 pub use vantage::{SubnetConfig, VantagePoint};
-pub use workload::{diurnal_factor, WorkloadModel};
+pub use workload::{diurnal_factor, WorkloadModel, WEEK_HOURS};

@@ -6,8 +6,6 @@
 //! infers) — and [`StandardScenario::run_all`] simulates the simultaneous
 //! week-long collection of the paper's Section III-B.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use ytcdn_geomodel::Coord;
@@ -19,6 +17,7 @@ use crate::catalog::{CatalogConfig, VideoCatalog, VotdSchedule};
 use crate::dns::LdnsPolicy;
 use crate::engine::{Engine, EngineConfig, SessionOutcome};
 use crate::placement::{ContentStore, PlacementConfig};
+use crate::rng::{stream, SimRng};
 use crate::topology::{DataCenterId, Topology};
 use crate::vantage::VantagePoint;
 
@@ -376,22 +375,28 @@ impl StandardScenario {
         ContentStore::new(self.config.placement, &self.world.topology)
     }
 
-    /// Simulates one dataset, returning the flow log and the ground truth.
-    pub fn run_with_outcome(&self, name: DatasetName) -> (Dataset, SessionOutcome) {
-        let idx = self
-            .world
+    /// The vantage-point index of a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario does not include `name`.
+    fn vantage_idx(&self, name: DatasetName) -> usize {
+        self.world
             .vantages
             .iter()
             .position(|v| v.dataset == name)
-            .unwrap_or_else(|| panic!("vantage point {name} not in scenario"));
+            .unwrap_or_else(|| panic!("vantage point {name} not in scenario"))
+    }
+
+    /// The per-dataset engine seed derived from the master seed.
+    fn dataset_seed(&self, idx: usize) -> u64 {
+        SimRng::for_stream(self.config.seed, &[stream::SCENARIO, idx as u64]).next_u64()
+    }
+
+    /// Builds a fresh engine for one dataset; `instrumented` attaches the
+    /// scenario's telemetry scoped to the dataset name.
+    fn make_engine(&self, idx: usize, instrumented: bool) -> Engine<'_> {
         let vp = &self.world.vantages[idx];
-        // Derive a per-dataset seed stream from the master seed.
-        let mut seeder = StdRng::seed_from_u64(self.config.seed);
-        let mut seed = 0;
-        for _ in 0..=idx {
-            seed = rand::Rng::gen::<u64>(&mut seeder);
-        }
-        let span = self.telemetry.span(run_span_name(name));
         let engine = Engine::new(
             &self.world.topology,
             &self.world.catalog,
@@ -400,25 +405,73 @@ impl StandardScenario {
             self.world.policies[idx].clone(),
             self.fresh_store(),
             self.config.engine,
-            seed,
-        )
-        .with_telemetry(self.telemetry.with_scope(name.as_str()));
-        let (dataset, outcome) = engine.run();
+            self.dataset_seed(idx),
+        );
+        if instrumented {
+            engine.with_telemetry(self.telemetry.with_scope(vp.dataset.as_str()))
+        } else {
+            engine
+        }
+    }
+
+    /// Records the per-dataset simulation throughput gauge, sessions per
+    /// wall-clock second (the ROADMAP's scaling headline number).
+    fn record_throughput(&self, span: ytcdn_telemetry::Span, outcome: &SessionOutcome) {
         if let Some(us) = span.elapsed_us() {
-            // Per-dataset simulation throughput, sessions per wall-clock
-            // second (the ROADMAP's scaling headline number).
             if us > 0 {
                 self.telemetry
                     .gauge("scenario.sessions_per_sec")
                     .set(outcome.sessions as f64 / (us as f64 / 1e6));
             }
         }
+    }
+
+    /// Simulates one dataset, returning the flow log and the ground truth.
+    pub fn run_with_outcome(&self, name: DatasetName) -> (Dataset, SessionOutcome) {
+        let idx = self.vantage_idx(name);
+        let span = self.telemetry.span(run_span_name(name));
+        let (dataset, outcome) = self.make_engine(idx, true).run();
+        self.record_throughput(span, &outcome);
+        (dataset, outcome)
+    }
+
+    /// Simulates one dataset with its week sharded across `shards` worker
+    /// threads (clamped to `[1, 168]`). Byte-identical to
+    /// [`StandardScenario::run_with_outcome`] at the same seed — see
+    /// [`crate::shard`] for the algorithm and its determinism argument —
+    /// and telemetry counters still sum to the sequential values, with
+    /// per-shard `scenario.shard.{prepass,merge,sim}` spans and merge
+    /// metrics (`shard.pulls_scheduled`, `shard.boundary_fills`) on top.
+    pub fn run_with_outcome_sharded(
+        &self,
+        name: DatasetName,
+        shards: usize,
+    ) -> (Dataset, SessionOutcome) {
+        let idx = self.vantage_idx(name);
+        let span = self.telemetry.span(run_span_name(name));
+        let model = self.make_engine(idx, false).workload();
+        let base_store = self.fresh_store();
+        let (records, outcome) = crate::shard::run_sharded(
+            shards,
+            &model,
+            &base_store,
+            self.config.engine.disable_replication,
+            &self.telemetry,
+            |instrumented| self.make_engine(idx, instrumented),
+        );
+        let dataset = Dataset::from_records(name, records);
+        self.record_throughput(span, &outcome);
         (dataset, outcome)
     }
 
     /// Simulates one dataset.
     pub fn run(&self, name: DatasetName) -> Dataset {
         self.run_with_outcome(name).0
+    }
+
+    /// Simulates one dataset sharded across `shards` worker threads.
+    pub fn run_sharded(&self, name: DatasetName, shards: usize) -> Dataset {
+        self.run_with_outcome_sharded(name, shards).0
     }
 
     /// Simulates all five datasets in Table I order.
@@ -431,7 +484,7 @@ impl StandardScenario {
     /// [`StandardScenario::run_all`] — each dataset draws from its own seed
     /// stream — but ~4× faster at full scale.
     pub fn run_all_parallel(&self) -> Vec<Dataset> {
-        let _span = self.telemetry.span("scenario.run_all");
+        let _span = self.telemetry.span("scenario.run_all_parallel");
         std::thread::scope(|scope| {
             let handles: Vec<_> = DatasetName::ALL
                 .iter()
@@ -442,6 +495,20 @@ impl StandardScenario {
                 .map(|h| h.join().expect("dataset simulation thread panicked"))
                 .collect()
         })
+    }
+
+    /// Simulates all five datasets, each sharded across `shards` worker
+    /// threads. Identical output to [`StandardScenario::run_all`]. Datasets
+    /// run one after another so the worker count never exceeds `shards`;
+    /// with more cores than datasets this beats
+    /// [`StandardScenario::run_all_parallel`], whose parallelism is capped
+    /// at the five datasets (and in practice at the largest one).
+    pub fn run_all_sharded(&self, shards: usize) -> Vec<Dataset> {
+        let _span = self.telemetry.span("scenario.run_all_sharded");
+        DatasetName::ALL
+            .iter()
+            .map(|&n| self.run_sharded(n, shards))
+            .collect()
     }
 }
 
@@ -559,6 +626,55 @@ mod tests {
     fn parallel_run_matches_sequential() {
         let s = StandardScenario::build(ScenarioConfig::with_scale(0.002, 3));
         assert_eq!(s.run_all(), s.run_all_parallel());
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential() {
+        let s = StandardScenario::build(ScenarioConfig::with_scale(0.002, 3));
+        let (seq, seq_outcome) = s.run_with_outcome(DatasetName::Eu2);
+        for shards in [1, 3, 8] {
+            let (sharded, outcome) = s.run_with_outcome_sharded(DatasetName::Eu2, shards);
+            assert_eq!(sharded, seq, "shards={shards}");
+            assert_eq!(outcome, seq_outcome, "shards={shards}");
+        }
+        assert_eq!(s.run_all(), s.run_all_sharded(4));
+    }
+
+    #[test]
+    fn run_all_variants_record_their_own_spans() {
+        // `run_all_parallel` used to reuse `run_all`'s span name, making the
+        // two indistinguishable in metrics; pin that each variant has its
+        // own.
+        let mut s = StandardScenario::build(ScenarioConfig::with_scale(0.001, 1));
+        s.set_telemetry(Telemetry::metrics_only());
+        s.run_all();
+        s.run_all_parallel();
+        s.run_all_sharded(2);
+        let snap = s.telemetry().metrics_snapshot().unwrap();
+        for name in [
+            "scenario.run_all",
+            "scenario.run_all_parallel",
+            "scenario.run_all_sharded",
+        ] {
+            assert_eq!(snap.histograms[name].count, 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn sharded_run_records_shard_spans_and_merge_metrics() {
+        let mut s = StandardScenario::build(ScenarioConfig::with_scale(0.002, 7));
+        s.set_telemetry(Telemetry::metrics_only());
+        let (_, outcome) = s.run_with_outcome_sharded(DatasetName::UsCampus, 4);
+        let snap = s.telemetry().metrics_snapshot().unwrap();
+        // One prepass and one simulation span per shard, one merge total.
+        assert_eq!(snap.histograms["scenario.shard.prepass"].count, 4);
+        assert_eq!(snap.histograms["scenario.shard.sim"].count, 4);
+        assert_eq!(snap.histograms["scenario.shard.merge"].count, 1);
+        assert_eq!(snap.counter("shard.pulls_scheduled"), outcome.replications);
+        // Engine counters are recorded exactly once per session even though
+        // the prepass replays every prelude.
+        assert_eq!(snap.counter("scenario.sessions"), outcome.sessions);
+        assert_eq!(snap.counter("scenario.flows"), outcome.flows);
     }
 
     #[test]

@@ -11,12 +11,13 @@ use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use ytcdn_geomodel::{City, CityDb, Continent, Coord};
 use ytcdn_netsim::{AccessKind, AsRegistry, Asn, BlockAllocator, Endpoint, Ipv4Block};
 use ytcdn_tstat::VideoId;
+
+use crate::rng::SimRng;
 
 /// Index of a data center within a [`Topology`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -94,7 +95,7 @@ impl DataCenter {
     }
 
     /// A uniformly random server (used by pools without per-video mapping).
-    pub fn random_server<R: Rng + ?Sized>(&self, rng: &mut R) -> Ipv4Addr {
+    pub fn random_server(&self, rng: &mut SimRng) -> Ipv4Addr {
         self.servers[rng.gen_range(0..self.servers.len())]
     }
 }
@@ -507,8 +508,6 @@ fn server_coord(city: Coord, ip: Ipv4Addr) -> Coord {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use ytcdn_geomodel::Continent;
     use ytcdn_netsim::WellKnownAs;
 
@@ -626,7 +625,7 @@ mod tests {
     fn random_server_is_member() {
         let topo = Topology::standard();
         let dc = &topo.dcs()[3];
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SimRng::seed_from_u64(0);
         for _ in 0..50 {
             let s = dc.random_server(&mut rng);
             assert!(dc.servers.contains(&s));

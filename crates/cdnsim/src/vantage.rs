@@ -8,7 +8,6 @@
 
 use std::collections::HashMap;
 
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use ytcdn_geomodel::{City, CityDb};
@@ -16,6 +15,7 @@ use ytcdn_netsim::{AccessKind, Asn, Endpoint, Ipv4Block};
 use ytcdn_tstat::DatasetName;
 
 use crate::dns::LdnsId;
+use crate::rng::SimRng;
 
 /// An internal subnet of a monitored network.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -121,7 +121,7 @@ impl VantagePoint {
     /// Subnets are drawn by weight; within a subnet, client activity is
     /// heavy-tailed (a minority of hosts produce most sessions, as in any
     /// real edge network) while still touching every host eventually.
-    pub fn sample_client<R: Rng + ?Sized>(&self, rng: &mut R) -> (usize, std::net::Ipv4Addr) {
+    pub fn sample_client(&self, rng: &mut SimRng) -> (usize, std::net::Ipv4Addr) {
         let total_w: f64 = self.subnets.iter().map(|s| s.weight).sum();
         let mut pick = rng.gen_range(0.0..total_w);
         let mut idx = self.subnets.len() - 1;
@@ -304,8 +304,6 @@ impl VantagePoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use std::collections::HashSet;
 
     #[test]
@@ -378,7 +376,7 @@ mod tests {
     fn sampled_clients_stay_in_subnet_blocks() {
         let vps = VantagePoint::standard_five();
         let us = &vps[0];
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SimRng::seed_from_u64(0);
         for _ in 0..2_000 {
             let (idx, ip) = us.sample_client(&mut rng);
             assert!(us.subnets[idx].block.contains(ip));
@@ -389,7 +387,7 @@ mod tests {
     fn client_sampling_respects_weights() {
         let vps = VantagePoint::standard_five();
         let us = &vps[0];
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let n = 50_000;
         let mut counts = vec![0usize; us.subnets.len()];
         for _ in 0..n {
@@ -403,7 +401,7 @@ mod tests {
     fn client_sampling_touches_many_hosts() {
         let vps = VantagePoint::standard_five();
         let ftth = &vps[3];
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SimRng::seed_from_u64(2);
         let distinct: HashSet<_> = (0..20_000)
             .map(|_| ftth.sample_client(&mut rng).1)
             .collect();

@@ -5,9 +5,9 @@
 //! evening peak. [`diurnal_factor`] is that profile; [`WorkloadModel`] turns
 //! it into per-hour session counts for a simulated week.
 
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::rng::{stream, SimRng};
 use ytcdn_tstat::HOUR_MS;
 
 /// Hours in a simulated week.
@@ -74,24 +74,51 @@ impl WorkloadModel {
         self.total_sessions as f64 * self.hour_weight(hour) / total_weight
     }
 
-    /// Generates all session start times (ms since trace start), sorted.
+    /// The generator for week-hour `hour`'s arrivals under `seed`.
     ///
-    /// Counts per hour are the expectation with stochastic rounding, so the
-    /// weekly total concentrates tightly around `total_sessions`.
-    pub fn session_times<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
-        let total_weight: f64 = (0..WEEK_HOURS).map(|h| self.hour_weight(h)).sum();
+    /// Each hour gets its own derived stream so that any worker can
+    /// regenerate any hour's arrivals without replaying the hours before
+    /// it — the foundation of the sharded engine's determinism.
+    fn hour_rng(seed: u64, hour: u64) -> SimRng {
+        SimRng::for_stream(seed, &[stream::WORKLOAD, hour])
+    }
+
+    /// The session count of week-hour `hour` under `seed`: the expectation
+    /// with stochastic rounding, so the weekly total concentrates tightly
+    /// around `total_sessions`.
+    ///
+    /// This is the *first* draw of the hour's stream, so it can be computed
+    /// for all 168 hours in O(hours) — shards use this to derive global
+    /// session ordinals without generating other shards' start times.
+    pub fn hour_count(&self, seed: u64, hour: u64) -> u64 {
+        let expect = self.expected_in_hour(hour);
+        let mut n = expect.floor() as u64;
+        if Self::hour_rng(seed, hour).gen_bool((expect - expect.floor()).clamp(0.0, 1.0)) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Generates week-hour `hour`'s session start times (ms since trace
+    /// start), sorted. Always `hour_count(seed, hour)` entries.
+    pub fn hour_times(&self, seed: u64, hour: u64) -> Vec<u64> {
+        let expect = self.expected_in_hour(hour);
+        let mut rng = Self::hour_rng(seed, hour);
+        let mut n = expect.floor() as u64;
+        if rng.gen_bool((expect - expect.floor()).clamp(0.0, 1.0)) {
+            n += 1;
+        }
+        let base = hour * HOUR_MS;
+        let mut times: Vec<u64> = (0..n).map(|_| base + rng.gen_range(0..HOUR_MS)).collect();
+        times.sort_unstable();
+        times
+    }
+
+    /// Generates all session start times (ms since trace start), sorted.
+    pub fn session_times(&self, seed: u64) -> Vec<u64> {
         let mut times = Vec::with_capacity(self.total_sessions as usize + WEEK_HOURS as usize);
         for hour in 0..WEEK_HOURS {
-            let expect = self.total_sessions as f64 * self.hour_weight(hour) / total_weight;
-            let mut n = expect.floor() as u64;
-            if rng.gen_bool((expect - expect.floor()).clamp(0.0, 1.0)) {
-                n += 1;
-            }
-            let base = hour * HOUR_MS;
-            let mut hour_times: Vec<u64> =
-                (0..n).map(|_| base + rng.gen_range(0..HOUR_MS)).collect();
-            hour_times.sort_unstable();
-            times.extend(hour_times);
+            times.extend(self.hour_times(seed, hour));
         }
         times
     }
@@ -100,8 +127,6 @@ impl WorkloadModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn factor_bounds() {
@@ -139,8 +164,7 @@ mod tests {
     #[test]
     fn session_total_close_to_target() {
         let wm = WorkloadModel::new(50_000, 0.0);
-        let mut rng = StdRng::seed_from_u64(0);
-        let times = wm.session_times(&mut rng);
+        let times = wm.session_times(0);
         let n = times.len() as f64;
         assert!((49_000.0..51_000.0).contains(&n), "got {n}");
     }
@@ -148,17 +172,29 @@ mod tests {
     #[test]
     fn times_sorted_and_within_week() {
         let wm = WorkloadModel::new(10_000, 0.0);
-        let mut rng = StdRng::seed_from_u64(1);
-        let times = wm.session_times(&mut rng);
+        let times = wm.session_times(1);
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
         assert!(times.iter().all(|&t| t < WEEK_HOURS * HOUR_MS));
     }
 
     #[test]
+    fn hour_views_agree_with_full_generation() {
+        let wm = WorkloadModel::new(5_000, 0.0);
+        let seed = 0xAB;
+        let mut concat = Vec::new();
+        for hour in 0..WEEK_HOURS {
+            let times = wm.hour_times(seed, hour);
+            assert_eq!(times.len() as u64, wm.hour_count(seed, hour), "hour {hour}");
+            assert!(times.iter().all(|&t| t / HOUR_MS == hour));
+            concat.extend(times);
+        }
+        assert_eq!(concat, wm.session_times(seed));
+    }
+
+    #[test]
     fn day_night_ratio_visible() {
         let wm = WorkloadModel::new(100_000, 0.0);
-        let mut rng = StdRng::seed_from_u64(2);
-        let times = wm.session_times(&mut rng);
+        let times = wm.session_times(2);
         let mut hourly = [0u64; 24];
         for t in times {
             hourly[((t / HOUR_MS) % 24) as usize] += 1;

@@ -10,10 +10,11 @@ pub const USAGE: &str = "\
 ytcdn — the YouTube CDN reproduction toolkit
 
 USAGE:
-  ytcdn generate  [--dataset NAME] [--scale S] [--seed N] [--format jsonl|text] --out PATH
+  ytcdn generate  [--dataset NAME] [--scale S] [--seed N] [--shards K]
+                  [--format jsonl|text] --out PATH
                   (PATH is a file for one dataset, a directory for all five)
   ytcdn analyze   --trace PATH [--scale S] [--seed N]
-  ytcdn geolocate --dataset NAME [--landmarks K] [--scale S] [--seed N]
+  ytcdn geolocate --dataset NAME [--landmarks K] [--scale S] [--seed N] [--shards K]
   ytcdn whatif    --scenario feb2011|fixed-peering|no-votd|eu2-capacity|popularity
                   [--scale S] [--seed N]
   ytcdn characterize --trace PATH
@@ -26,7 +27,9 @@ Global flags (any subcommand):
   (either flag also prints a metrics table on stderr at exit)
 
 Datasets: US-Campus, EU1-Campus, EU1-ADSL, EU1-FTTH, EU2.
-Defaults: --scale 0.02, --seed 42, --landmarks 50.";
+Defaults: --scale 0.02, --seed 42, --landmarks 50,
+          --shards = available CPUs (sharding is deterministic: any K
+          produces byte-identical output; --shards 1 runs sequentially).";
 
 /// Global observability options, orthogonal to the subcommand.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -68,6 +71,8 @@ pub enum Command {
         out: PathBuf,
         /// Output format.
         format: TraceFormat,
+        /// Worker threads per dataset (`None` = available CPUs).
+        shards: Option<usize>,
     },
     /// Analyze a trace file.
     Analyze {
@@ -88,6 +93,8 @@ pub enum Command {
         seed: u64,
         /// Number of CBG landmarks.
         landmarks: usize,
+        /// Worker threads for the simulation (`None` = available CPUs).
+        shards: Option<usize>,
     },
     /// Evaluate a counterfactual.
     WhatIf {
@@ -172,6 +179,7 @@ struct Flags {
     landmarks: usize,
     scenario: Option<String>,
     format: TraceFormat,
+    shards: Option<usize>,
     telemetry: TelemetryOpts,
 }
 
@@ -185,6 +193,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, ParseError> {
         landmarks: 50,
         scenario: None,
         format: TraceFormat::default(),
+        shards: None,
         telemetry: TelemetryOpts::default(),
     };
     let mut it = args.iter();
@@ -228,6 +237,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, ParseError> {
                 flags.landmarks = k;
             }
             "--scenario" => flags.scenario = Some(value("--scenario value")?.clone()),
+            "--shards" => {
+                let v = value("--shards value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ParseError::Invalid("shards", v.clone()))?;
+                if n == 0 {
+                    return Err(ParseError::Invalid("shards", v.clone()));
+                }
+                flags.shards = Some(n);
+            }
             "--telemetry" => {
                 flags.telemetry.events = Some(PathBuf::from(value("--telemetry value")?));
             }
@@ -264,6 +283,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
             seed: flags.seed,
             out: flags.out.ok_or(ParseError::Missing("--out"))?,
             format: flags.format,
+            shards: flags.shards,
         }),
         "analyze" => Ok(Command::Analyze {
             trace: flags.trace.ok_or(ParseError::Missing("--trace"))?,
@@ -275,6 +295,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
             scale: flags.scale,
             seed: flags.seed,
             landmarks: flags.landmarks,
+            shards: flags.shards,
         }),
         "whatif" => Ok(Command::WhatIf {
             scenario: flags.scenario.ok_or(ParseError::Missing("--scenario"))?,
@@ -331,7 +352,41 @@ mod tests {
                 seed: 42,
                 out: PathBuf::from("trace.jsonl"),
                 format: TraceFormat::Jsonl,
+                shards: None,
             }
+        );
+    }
+
+    #[test]
+    fn parse_shards() {
+        let gen = cmd(&["generate", "--shards", "8", "--out", "dir"]);
+        assert!(matches!(
+            gen,
+            Command::Generate {
+                shards: Some(8),
+                ..
+            }
+        ));
+        let geo = cmd(&["geolocate", "--dataset", "EU2", "--shards", "2"]);
+        assert!(matches!(
+            geo,
+            Command::Geolocate {
+                shards: Some(2),
+                ..
+            }
+        ));
+        // Zero and garbage are rejected; the value is required.
+        assert!(matches!(
+            parse(&v(&["generate", "--shards", "0", "--out", "d"])).unwrap_err(),
+            ParseError::Invalid("shards", _)
+        ));
+        assert!(matches!(
+            parse(&v(&["generate", "--shards", "many", "--out", "d"])).unwrap_err(),
+            ParseError::Invalid("shards", _)
+        ));
+        assert_eq!(
+            parse(&v(&["generate", "--shards"])).unwrap_err(),
+            ParseError::Missing("--shards value")
         );
     }
 
@@ -380,6 +435,7 @@ mod tests {
                 scale: 0.02,
                 seed: 42,
                 landmarks: 50,
+                shards: None,
             }
         );
     }

@@ -116,14 +116,24 @@ fn run(cmd: Command, ctx: &Ctx) -> ExitCode {
             seed,
             out,
             format,
-        } => generate(dataset, scale, seed, out, format, ctx),
+            shards,
+        } => generate(
+            dataset,
+            scale,
+            seed,
+            out,
+            format,
+            resolve_shards(shards),
+            ctx,
+        ),
         Command::Analyze { trace, scale, seed } => analyze(&trace, scale, seed, ctx),
         Command::Geolocate {
             dataset,
             scale,
             seed,
             landmarks,
-        } => geolocate(dataset, scale, seed, landmarks, ctx),
+            shards,
+        } => geolocate(dataset, scale, seed, landmarks, resolve_shards(shards), ctx),
         Command::WhatIf {
             scenario,
             scale,
@@ -220,6 +230,12 @@ fn characterize_trace(trace: &PathBuf) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `--shards` default: one worker per available CPU. The shard count only
+/// affects wall-clock time — output is byte-identical for any value.
+fn resolve_shards(flag: Option<usize>) -> usize {
+    flag.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 /// Builds the standard scenario with the invocation's telemetry attached
 /// (build phase profiled, engines instrumented per dataset).
 fn scenario(scale: f64, seed: u64, ctx: &Ctx) -> StandardScenario {
@@ -235,6 +251,7 @@ fn generate(
     seed: u64,
     out: PathBuf,
     format: args::TraceFormat,
+    shards: usize,
     ctx: &Ctx,
 ) -> ExitCode {
     let s = scenario(scale, seed, ctx);
@@ -243,8 +260,10 @@ fn generate(
         args::TraceFormat::Text => "log",
     };
     let datasets: Vec<Dataset> = match dataset {
-        Some(n) => vec![s.run(n)],
-        None => s.run_all_parallel(),
+        Some(n) if shards == 1 => vec![s.run(n)],
+        Some(n) => vec![s.run_sharded(n, shards)],
+        None if shards == 1 => s.run_all(),
+        None => s.run_all_sharded(shards),
     };
     let export_span = ctx.telemetry.span("export");
     for ds in datasets {
@@ -343,9 +362,20 @@ fn analyze(trace: &PathBuf, scale: f64, seed: u64, cli: &Ctx) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn geolocate(dataset: DatasetName, scale: f64, seed: u64, landmarks: usize, ctx: &Ctx) -> ExitCode {
+fn geolocate(
+    dataset: DatasetName,
+    scale: f64,
+    seed: u64,
+    landmarks: usize,
+    shards: usize,
+    ctx: &Ctx,
+) -> ExitCode {
     let s = scenario(scale, seed, ctx);
-    let ds = s.run(dataset);
+    let ds = if shards == 1 {
+        s.run(dataset)
+    } else {
+        s.run_sharded(dataset, shards)
+    };
     ctx.progress.note(&format!(
         "calibrating CBG on {landmarks} landmarks, geolocating {} servers…",
         ds.server_ips().len()

@@ -78,15 +78,35 @@ pub mod collection {
     }
 }
 
+/// Run-time configuration knobs (case count etc.); ignored by the stub.
+#[derive(Default)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+pub mod test_runner {
+    pub use crate::ProptestConfig as Config;
+}
+
 pub mod prelude {
     pub use crate as prop;
     pub use crate::any;
     pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }
 
 #[macro_export]
 macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { $($rest)* }
+    };
     ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*

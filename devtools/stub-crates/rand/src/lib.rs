@@ -1,8 +1,15 @@
-//! Stub `rand` 0.8 for offline type-checking. Mirrors the trait surface this
-//! workspace uses (`Rng::{gen, gen_bool, gen_range}`, `SeedableRng::
+//! Stub `rand` 0.8 for offline builds. Mirrors the trait surface this
+//! workspace uses (`Rng::{gen, gen_bool, gen_range, sample}`, `SeedableRng::
 //! seed_from_u64`, `rngs::StdRng`, `distributions::Distribution`) with
-//! panicking bodies. Signatures match the real crate so the code that
-//! compiles here also compiles against real `rand`.
+//! signatures matching the real crate, so code that compiles here also
+//! compiles against real `rand`.
+//!
+//! Unlike a type-check-only stub, the bodies are *functional*: `StdRng` is a
+//! SplitMix64 generator, so test suites can actually run offline. The value
+//! stream intentionally makes no attempt to match real `rand` 0.8 — only
+//! suites whose assertions are independent of the exact `rand` values (the
+//! simulation path draws from the in-tree `SimRng` and never touches this
+//! crate at runtime) may be exercised against this stub.
 
 pub trait RngCore {
     fn next_u64(&mut self) -> u64;
@@ -13,23 +20,24 @@ pub trait Rng: RngCore {
     where
         distributions::Standard: distributions::Distribution<T>,
     {
-        unimplemented!("rand stub")
+        use distributions::Distribution as _;
+        distributions::Standard.sample(self)
     }
 
-    fn gen_bool(&mut self, _p: f64) -> bool {
-        unimplemented!("rand stub")
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
     }
 
-    fn gen_range<T, R>(&mut self, _range: R) -> T
+    fn gen_range<T, R>(&mut self, range: R) -> T
     where
         T: distributions::uniform::SampleUniform,
         R: distributions::uniform::SampleRange<T>,
     {
-        unimplemented!("rand stub")
+        range.sample_single(self)
     }
 
-    fn sample<T, D: distributions::Distribution<T>>(&mut self, _distr: D) -> T {
-        unimplemented!("rand stub")
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
     }
 }
 
@@ -39,19 +47,37 @@ pub trait SeedableRng: Sized {
     fn seed_from_u64(state: u64) -> Self;
 }
 
+/// A uniform `f64` in `[0, 1)` from a raw word (53 mantissa bits).
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 pub mod rngs {
+    /// SplitMix64: a Weyl sequence on the golden gamma through an
+    /// avalanching finalizer. Deterministic and platform-independent.
     #[derive(Debug, Clone)]
-    pub struct StdRng(());
+    pub struct StdRng {
+        state: u64,
+    }
+
+    const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
 
     impl crate::RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
-            unimplemented!("rand stub")
+            self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+            mix(self.state)
         }
     }
 
     impl crate::SeedableRng for StdRng {
-        fn seed_from_u64(_state: u64) -> Self {
-            unimplemented!("rand stub")
+        fn seed_from_u64(state: u64) -> Self {
+            Self { state: mix(state) }
         }
     }
 }
@@ -64,26 +90,106 @@ pub mod distributions {
     #[derive(Debug, Clone, Copy)]
     pub struct Standard;
 
-    impl<T> Distribution<T> for Standard {
-        fn sample<R: crate::Rng + ?Sized>(&self, _rng: &mut R) -> T {
-            unimplemented!("rand stub")
+    macro_rules! impl_standard_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            crate::unit_f64(rng.next_u64())
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            crate::unit_f64(rng.next_u64()) as f32
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
         }
     }
 
     pub mod uniform {
-        pub trait SampleUniform {}
-
-        macro_rules! impl_sample_uniform {
-            ($($t:ty),* $(,)?) => {
-                $(impl SampleUniform for $t {})*
-            };
+        pub trait SampleUniform: Sized {
+            /// Uniform draw in `[low, high)`; `high_inclusive` widens the
+            /// span by one step for `RangeInclusive`.
+            fn sample_span<R: crate::RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                high_inclusive: bool,
+                rng: &mut R,
+            ) -> Self;
         }
-        impl_sample_uniform!(
-            u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64
-        );
 
-        pub trait SampleRange<T> {}
-        impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {}
-        impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {}
+        macro_rules! impl_sample_uniform_int {
+            ($($t:ty),* $(,)?) => {$(
+                impl SampleUniform for $t {
+                    fn sample_span<R: crate::RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        high_inclusive: bool,
+                        rng: &mut R,
+                    ) -> Self {
+                        assert!(
+                            if high_inclusive { low <= high } else { low < high },
+                            "gen_range: empty range"
+                        );
+                        let span = (high as i128 - low as i128 + high_inclusive as i128) as u128;
+                        if span == 0 {
+                            // Inclusive range covering the whole domain.
+                            return rng.next_u64() as $t;
+                        }
+                        let hi = ((rng.next_u64() as u128).wrapping_mul(span) >> 64) as i128;
+                        (low as i128 + hi) as $t
+                    }
+                }
+            )*};
+        }
+        impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! impl_sample_uniform_float {
+            ($($t:ty),* $(,)?) => {$(
+                impl SampleUniform for $t {
+                    fn sample_span<R: crate::RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        _high_inclusive: bool,
+                        rng: &mut R,
+                    ) -> Self {
+                        assert!(low < high, "gen_range: empty range");
+                        let u = crate::unit_f64(rng.next_u64()) as $t;
+                        (low + u * (high - low)).min(high)
+                    }
+                }
+            )*};
+        }
+        impl_sample_uniform_float!(f32, f64);
+
+        pub trait SampleRange<T> {
+            fn sample_single<R: crate::RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+            fn sample_single<R: crate::RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_span(self.start, self.end, false, rng)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+            fn sample_single<R: crate::RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (low, high) = self.into_inner();
+                T::sample_span(low, high, true, rng)
+            }
+        }
     }
 }

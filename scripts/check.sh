@@ -15,4 +15,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test" >&2
 cargo test --workspace -q
 
+# Shards matrix: the CLI must emit byte-identical traces at --shards 1
+# (sequential engine) and --shards <max> (fully sharded). The in-process
+# differential suite covers K ∈ {1,2,4,7,16}; this leg covers the CLI
+# plumbing and whatever available_parallelism happens to be on this host.
+echo "==> --shards differential smoke (1 vs max)" >&2
+smoke="$(mktemp -d "${TMPDIR:-/tmp}/ytcdn-smoke.XXXXXX")"
+trap 'rm -rf "$smoke"' EXIT
+max="$(nproc 2>/dev/null || echo 4)"
+for shards in 1 "$max"; do
+    cargo run --quiet --release -p ytcdn-cli -- generate \
+        --dataset EU2 --scale 0.002 --seed 7 --shards "$shards" \
+        --format text --out "$smoke/eu2-$shards.log"
+done
+cmp "$smoke/eu2-1.log" "$smoke/eu2-$max.log" \
+    || { echo "check.sh: --shards $max output differs from sequential" >&2; exit 1; }
+
 echo "check.sh: OK" >&2

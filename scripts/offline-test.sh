@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Runs the stub-safe test suites without network access.
+#
+# Same scratch-workspace trick as scripts/offline-typecheck.sh, but the
+# suites are *executed*. The stub `rand` is a real (SplitMix64) generator
+# with a value stream that differs from crates.io `rand`, so only suites
+# whose assertions don't depend on exact `rand` values are run:
+#
+#   * the cdnsim unit tests — the whole simulation path draws from the
+#     in-tree SimRng, never from `rand`;
+#   * the sharding differential harness and the golden Table I snapshots —
+#     these pin simulation output, which is rand-free by design (that is
+#     exactly what makes the goldens portable).
+#
+# Extra cargo-test arguments are passed through, e.g.
+#   scripts/offline-test.sh -- --nocapture
+#
+# This narrows, not replaces, `cargo test --workspace` where the real
+# dependencies are available.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+scratch="$(mktemp -d "${TMPDIR:-/tmp}/ytcdn-test.XXXXXX")"
+trap 'rm -rf "$scratch"' EXIT
+
+for entry in Cargo.toml crates tests examples devtools; do
+    cp -a "$repo/$entry" "$scratch/$entry"
+done
+
+cat >>"$scratch/Cargo.toml" <<'EOF'
+
+# Appended by scripts/offline-test.sh: replace unreachable crates.io
+# dependencies with local API stubs.
+[patch.crates-io]
+rand = { path = "devtools/stub-crates/rand" }
+serde = { path = "devtools/stub-crates/serde" }
+serde_json = { path = "devtools/stub-crates/serde_json" }
+proptest = { path = "devtools/stub-crates/proptest" }
+criterion = { path = "devtools/stub-crates/criterion" }
+EOF
+
+echo "offline-test: scratch workspace at $scratch" >&2
+# Two invocations: cargo's target-selection flags (--lib/--test) are global
+# across -p flags, and ytcdn-core's *lib* tests are not stub-safe (they use
+# proptest, whose stub is typecheck-only).
+cargo test --manifest-path "$scratch/Cargo.toml" --offline --release \
+    -p ytcdn-cdnsim --lib "$@"
+cargo test --manifest-path "$scratch/Cargo.toml" --offline --release \
+    -p ytcdn-core --test sharding_differential --test golden_tables "$@"
+echo "offline-test: OK" >&2

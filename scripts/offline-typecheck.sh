@@ -8,10 +8,10 @@
 # with the API stubs in devtools/stub-crates/, and runs
 # `cargo check --workspace --lib --bins --offline` there.
 #
-# This validates every lib, bin, test, and example target of our own code.
-# Benches are excluded (the criterion stub is empty) and nothing is *run*:
-# the stubs panic at runtime. It does not replace `cargo test` where the real
-# dependencies are available.
+# This validates every lib, bin, test, example, and bench target of our own
+# code. Nothing is *run* here; scripts/offline-test.sh executes the suites
+# whose behaviour is independent of the stubbed value streams. Neither
+# replaces `cargo test` where the real dependencies are available.
 
 set -euo pipefail
 
@@ -38,5 +38,5 @@ EOF
 
 echo "offline-typecheck: scratch workspace at $scratch" >&2
 cargo check --manifest-path "$scratch/Cargo.toml" --workspace \
-    --lib --bins --tests --examples --offline "$@"
+    --lib --bins --tests --examples --benches --offline "$@"
 echo "offline-typecheck: OK" >&2

@@ -136,7 +136,7 @@ fn dns_noise_of_one_always_diverts() {
         noise_prob: 1.0,
         hourly_capacity: None,
     }]);
-    let mut rng = StdRng::seed_from_u64(6);
+    let mut rng = ytcdn_cdnsim::SimRng::seed_from_u64(6);
     for _ in 0..50 {
         let d = r.resolve(LdnsId(0), 0, &mut rng);
         assert_ne!(d.dc, DataCenterId(0));

@@ -4,7 +4,10 @@
 use proptest::prelude::*;
 
 use ytcdn_cdnsim::dns::{DnsResolver, LdnsId, LdnsPolicy};
-use ytcdn_cdnsim::{ContentStore, DataCenterId, Topology};
+use ytcdn_cdnsim::{
+    shard_hour_ranges, ContentStore, DataCenterId, ScenarioConfig, SimRng, StandardScenario,
+    Topology, WorkloadModel, WEEK_HOURS,
+};
 use ytcdn_core::session::group_sessions;
 use ytcdn_geomodel::{min_rtt_ms, Coord};
 use ytcdn_netsim::{AccessKind, DelayModel, Endpoint};
@@ -129,7 +132,7 @@ proptest! {
             noise_prob: 0.0,
             hourly_capacity: Some(cap),
         }]);
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let mut per_hour = std::collections::HashMap::new();
         for t in offsets {
             let d = resolver.resolve(LdnsId(0), t, &mut rng);
@@ -171,5 +174,83 @@ proptest! {
         let origin = store.origin_of(video);
         prop_assert!(store.has(origin, video));
         prop_assert!(store.dcs().contains(&origin));
+    }
+
+    /// Shard boundaries always partition the week into contiguous,
+    /// non-empty hour ranges, for any workload shape and shard count
+    /// (including degenerate totals and out-of-range counts).
+    #[test]
+    fn shard_ranges_partition_any_week(
+        total in 0u64..2_000_000,
+        offset in -12.0f64..12.0,
+        shards in 0usize..400,
+    ) {
+        let model = WorkloadModel::new(total, offset);
+        let ranges = shard_hour_ranges(&model, shards);
+        prop_assert_eq!(ranges.len(), shards.clamp(1, WEEK_HOURS as usize));
+        prop_assert_eq!(ranges[0].start, 0);
+        prop_assert_eq!(ranges.last().unwrap().end, WEEK_HOURS);
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start, "gap or overlap between shards");
+        }
+        prop_assert!(ranges.iter().all(|r| r.start < r.end), "empty shard range");
+    }
+}
+
+// Whole-scenario shard properties: each case simulates a vantage point both
+// ways, so run far fewer cases than the structural properties above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The cache state after the sharded merge equals the sequential run's.
+    /// The flow log is a complete observer of the content store: any
+    /// divergence in replica placement flips some session's hit into a miss
+    /// (or vice versa) and changes its redirect chain, so byte-identical
+    /// datasets plus an identical replication count pin the store evolution
+    /// exactly.
+    #[test]
+    fn sharded_cache_state_matches_sequential(seed in 0u64..10_000, shards in 1usize..40) {
+        let s = StandardScenario::build(ScenarioConfig::with_scale(0.0008, seed));
+        let (seq, seq_outcome) = s.run_with_outcome(DatasetName::Eu1Adsl);
+        let (sharded, outcome) = s.run_with_outcome_sharded(DatasetName::Eu1Adsl, shards);
+        prop_assert_eq!(sharded, seq);
+        prop_assert_eq!(outcome, seq_outcome);
+    }
+
+    /// The replication count is shard-count-invariant: the merge pass
+    /// schedules the same pulls no matter where the boundaries fall.
+    #[test]
+    fn replication_count_is_shard_invariant(
+        seed in 0u64..10_000,
+        k1 in 1usize..168,
+        k2 in 1usize..168,
+    ) {
+        let s = StandardScenario::build(ScenarioConfig::with_scale(0.0008, seed));
+        let (_, o1) = s.run_with_outcome_sharded(DatasetName::Eu1Campus, k1);
+        let (_, o2) = s.run_with_outcome_sharded(DatasetName::Eu1Campus, k2);
+        prop_assert_eq!(o1.replications, o2.replications);
+    }
+
+    /// No session's flows straddle two shards' outputs out of order: session
+    /// grouping over the sharded dataset reconstructs exactly the sequential
+    /// sessions, flow index for flow index.
+    #[test]
+    fn sessions_never_straddle_shard_outputs(
+        seed in 0u64..10_000,
+        shards in 2usize..32,
+        gap in 1u64..5_000,
+    ) {
+        let s = StandardScenario::build(ScenarioConfig::with_scale(0.0008, seed));
+        let seq = s.run(DatasetName::UsCampus);
+        let sharded = s.run_sharded(DatasetName::UsCampus, shards);
+        let a = group_sessions(&seq, gap);
+        let b = group_sessions(&sharded, gap);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.flow_indices, &y.flow_indices);
+            prop_assert_eq!(x.client_ip, y.client_ip);
+            prop_assert_eq!(x.video_id, y.video_id);
+            prop_assert_eq!((x.start_ms, x.end_ms), (y.start_ms, y.end_ms));
+        }
     }
 }
