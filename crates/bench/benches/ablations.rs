@@ -10,6 +10,9 @@
 //!
 //! Each ablation prints its measured effect once and benches the run cost.
 
+// Narrated output to stdout is the point of this target.
+#![allow(clippy::print_stdout)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use ytcdn_bench::{BENCH_SCALE, BENCH_SEED};

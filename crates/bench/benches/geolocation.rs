@@ -1,13 +1,13 @@
 //! Geolocation benches: CBG calibration and localization cost, and the
 //! accuracy-vs-landmark-count ablation the paper's landmark choice implies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+// Narrated output to stdout is the point of this target.
+#![allow(clippy::print_stdout)]
 
+use criterion::{criterion_group, criterion_main, Criterion};
 use ytcdn_geoloc::Cbg;
 use ytcdn_geomodel::{CityDb, Continent};
-use ytcdn_netsim::{landmarks_with_counts, AccessKind, DelayModel, Endpoint};
+use ytcdn_netsim::{landmarks_with_counts, AccessKind, DelayModel, Endpoint, NoiseRng};
 
 fn landmark_spec(n: usize) -> Vec<(Continent, usize)> {
     // Shrink the paper's distribution proportionally.
@@ -51,14 +51,14 @@ fn bench_localize(c: &mut Criterion) {
             3,
             7,
         );
-        let mut check_rng = StdRng::seed_from_u64(5);
+        let mut check_rng = NoiseRng::seed_from_u64(5);
         let r = cbg.localize(&target, &mut check_rng);
         println!(
             "cbg/localize landmarks={n}: radius {:.0} km, error {:.0} km",
             r.radius_km,
             r.estimate.distance_km(target.coord)
         );
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = NoiseRng::seed_from_u64(9);
         g.bench_function(format!("landmarks={n}"), |b| {
             b.iter(|| cbg.localize(&target, &mut rng))
         });

@@ -2,13 +2,10 @@
 //! DNS resolution, catalog sampling, and the delay model.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use ytcdn_bench::{bench_scenario, BENCH_SEED};
 use ytcdn_cdnsim::{diurnal_factor, ScenarioConfig, SimRng, StandardScenario, VideoCatalog};
 use ytcdn_geomodel::CityDb;
-use ytcdn_netsim::{AccessKind, DelayModel, Endpoint};
+use ytcdn_netsim::{AccessKind, DelayModel, Endpoint, NoiseRng};
 use ytcdn_tstat::DatasetName;
 
 fn bench_world_build(c: &mut Criterion) {
@@ -43,7 +40,7 @@ fn bench_delay_model(c: &mut Criterion) {
     c.bench_function("delay/floor_rtt", |b| {
         b.iter(|| model.floor_rtt_ms(&a, &bep))
     });
-    let mut rng = StdRng::seed_from_u64(2);
+    let mut rng = NoiseRng::seed_from_u64(2);
     c.bench_function("delay/sample_rtt", |b| {
         b.iter(|| model.sample_rtt_ms(&a, &bep, &mut rng))
     });

@@ -2,6 +2,9 @@
 //! end to end from an already-simulated world. The printed report of each
 //! experiment comes from the same code path as the `repro` binary.
 
+// Narrated output to stdout is the point of this target.
+#![allow(clippy::print_stdout)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use ytcdn_bench::bench_suite;

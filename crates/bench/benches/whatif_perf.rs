@@ -2,6 +2,9 @@
 //! the paper's motivating "what-if" use case should itself be fast enough
 //! to sweep.
 
+// Narrated output to stdout is the point of this target.
+#![allow(clippy::print_stdout)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use ytcdn_bench::{bench_scenario, BENCH_SCALE, BENCH_SEED};

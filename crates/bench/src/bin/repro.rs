@@ -9,6 +9,10 @@
 //! cargo run --release -p ytcdn-bench --bin repro -- --scale 1.0 --full-landmarks
 //! ```
 
+#![forbid(unsafe_code)]
+// Regenerated tables and figures go to stdout: that is this binary's product.
+#![allow(clippy::print_stdout)]
+
 use std::process::ExitCode;
 
 use ytcdn_cdnsim::ScenarioConfig;

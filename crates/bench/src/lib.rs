@@ -3,6 +3,8 @@
 //! Benches and the `repro` binary all build worlds through these functions
 //! so scale and seeding stay consistent.
 
+#![forbid(unsafe_code)]
+
 use ytcdn_cdnsim::{ScenarioConfig, StandardScenario};
 use ytcdn_core::experiments::{ExperimentSuite, SuiteConfig};
 

@@ -8,12 +8,10 @@
 //! the node's preferred data center and later samples are near (Figures 17
 //! and 18).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use ytcdn_geomodel::Continent;
-use ytcdn_netsim::{landmarks_with_counts, AccessKind, Endpoint, Landmark, Pinger};
+use ytcdn_netsim::{landmarks_with_counts, AccessKind, Endpoint, Landmark, NoiseRng, Pinger};
 use ytcdn_tstat::VideoId;
 
 use crate::scenario::StandardScenario;
@@ -167,7 +165,7 @@ impl ActiveExperiment {
         }
         timeline.sort_unstable();
 
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xACED);
+        let mut rng = NoiseRng::seed_from_u64(self.config.seed ^ 0xACED);
         let pinger = Pinger::new(delay, 3);
         let mut traces: Vec<NodeTrace> = self
             .nodes

@@ -13,6 +13,10 @@
 //! servers; `whatif` evaluates the counterfactuals of
 //! [`ytcdn_core::whatif`].
 
+#![forbid(unsafe_code)]
+// Tables and analysis results go to stdout: that is this binary's product.
+#![allow(clippy::print_stdout)]
+
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
 use std::process::ExitCode;

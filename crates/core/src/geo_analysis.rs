@@ -9,14 +9,12 @@
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use ytcdn_cdnsim::World;
 use ytcdn_geoloc::{Cbg, CbgResult};
 use ytcdn_geomodel::{CityDb, Continent, Coord, Table3Bucket};
-use ytcdn_netsim::Ipv4Block;
+use ytcdn_netsim::{Ipv4Block, NoiseRng};
 use ytcdn_tstat::Dataset;
 
 /// The Figure 2 curve: min-RTT from the vantage point to every distinct
@@ -75,7 +73,7 @@ pub fn geolocate_servers(
                 .push(ip);
         }
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = NoiseRng::seed_from_u64(seed);
     by_block
         .into_values()
         .map(|ips| {

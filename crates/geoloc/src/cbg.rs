@@ -16,11 +16,10 @@
 //! variant: radii can only be slightly loose, and a relaxation loop handles
 //! the rare under-estimate that makes the intersection empty.
 
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use ytcdn_geomodel::{Coord, FIBER_KM_PER_MS};
-use ytcdn_netsim::{DelayModel, Endpoint, Landmark, Pinger};
+use ytcdn_netsim::{DelayModel, Endpoint, Landmark, NoiseRng, Pinger};
 
 /// Result of localizing one target.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -68,7 +67,7 @@ impl Cbg {
     pub fn calibrate(landmarks: Vec<Landmark>, model: DelayModel, probes: u32, seed: u64) -> Self {
         assert!(landmarks.len() >= 3, "CBG needs at least 3 landmarks");
         let pinger = Pinger::new(model, probes);
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let mut rng = NoiseRng::seed_from_u64(seed);
         let m = slope_ms_per_km();
         let intercepts = landmarks
             .iter()
@@ -108,7 +107,7 @@ impl Cbg {
     /// The endpoint's coordinates are used only to *generate* the RTT
     /// measurements through the delay model — exactly the information a real
     /// probe would obtain — never read directly by the solver.
-    pub fn localize<R: Rng + ?Sized>(&self, target: &Endpoint, rng: &mut R) -> CbgResult {
+    pub fn localize(&self, target: &Endpoint, rng: &mut NoiseRng) -> CbgResult {
         let pinger = Pinger::new(self.model, self.probes);
         let m = slope_ms_per_km();
         // Distance upper bound per landmark.
@@ -245,8 +244,6 @@ fn grid_pass(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use ytcdn_geomodel::CityDb;
     use ytcdn_geomodel::Continent;
     use ytcdn_netsim::{landmarks_with_counts, planetlab_landmarks, AccessKind};
@@ -274,7 +271,7 @@ mod tests {
     #[test]
     fn localizes_european_target_to_right_area() {
         let cbg = small_cbg();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = NoiseRng::seed_from_u64(1);
         let target = dc_at("Paris");
         let r = cbg.localize(&target, &mut rng);
         let err = r.estimate.distance_km(target.coord);
@@ -284,7 +281,7 @@ mod tests {
     #[test]
     fn localizes_us_target_to_right_area() {
         let cbg = small_cbg();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = NoiseRng::seed_from_u64(2);
         let target = dc_at("Chicago");
         let r = cbg.localize(&target, &mut rng);
         let err = r.estimate.distance_km(target.coord);
@@ -294,7 +291,7 @@ mod tests {
     #[test]
     fn transcontinental_confusion_does_not_happen() {
         let cbg = small_cbg();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = NoiseRng::seed_from_u64(3);
         for city in ["Tokyo", "Sao Paulo", "Sydney"] {
             let target = dc_at(city);
             let r = cbg.localize(&target, &mut rng);
@@ -306,7 +303,7 @@ mod tests {
     #[test]
     fn radius_reflects_estimate_quality() {
         let cbg = small_cbg();
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = NoiseRng::seed_from_u64(4);
         // A target in dense landmark territory gets a tighter region than
         // one in sparse territory.
         let dense = cbg.localize(&dc_at("Frankfurt"), &mut rng);
@@ -333,8 +330,8 @@ mod tests {
     fn deterministic_given_same_rng_seed() {
         let cbg = small_cbg();
         let t = dc_at("Madrid");
-        let a = cbg.localize(&t, &mut StdRng::seed_from_u64(7));
-        let b = cbg.localize(&t, &mut StdRng::seed_from_u64(7));
+        let a = cbg.localize(&t, &mut NoiseRng::seed_from_u64(7));
+        let b = cbg.localize(&t, &mut NoiseRng::seed_from_u64(7));
         assert_eq!(a, b);
     }
 
@@ -352,8 +349,8 @@ mod tests {
         let big = Cbg::calibrate(planetlab_landmarks(5), DelayModel::default(), 3, 5);
         let small = small_cbg();
         let t = dc_at("Milan");
-        let rb = big.localize(&t, &mut StdRng::seed_from_u64(8));
-        let rs = small.localize(&t, &mut StdRng::seed_from_u64(8));
+        let rb = big.localize(&t, &mut NoiseRng::seed_from_u64(8));
+        let rs = small.localize(&t, &mut NoiseRng::seed_from_u64(8));
         let eb = rb.estimate.distance_km(t.coord);
         let es = rs.estimate.distance_km(t.coord);
         assert!(eb < es + 300.0, "big {eb} vs small {es}");

@@ -7,11 +7,10 @@
 //! We implement it both as a comparison point for CBG (the paper's choice)
 //! and as a fast pre-filter.
 
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use ytcdn_geomodel::Coord;
-use ytcdn_netsim::{DelayModel, Endpoint, Landmark, Pinger};
+use ytcdn_netsim::{DelayModel, Endpoint, Landmark, NoiseRng, Pinger};
 
 /// Result of a shortest-ping localization.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -31,11 +30,11 @@ pub struct ShortestPingResult {
 /// ```
 /// use ytcdn_geoloc::ShortestPing;
 /// use ytcdn_geomodel::CityDb;
-/// use ytcdn_netsim::{planetlab_landmarks, AccessKind, DelayModel, Endpoint};
+/// use ytcdn_netsim::{planetlab_landmarks, AccessKind, DelayModel, Endpoint, NoiseRng};
 ///
 /// let sp = ShortestPing::new(planetlab_landmarks(1), DelayModel::default(), 3);
 /// let target = Endpoint::new(CityDb::builtin().expect("Berlin").coord, AccessKind::DataCenter);
-/// let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+/// let mut rng = NoiseRng::seed_from_u64(5);
 /// let r = sp.localize(&target, &mut rng);
 /// assert!(r.estimate.distance_km(target.coord) < 800.0);
 /// ```
@@ -68,7 +67,7 @@ impl ShortestPing {
 
     /// Localizes a target: pings it from every landmark and returns the
     /// closest landmark's position.
-    pub fn localize<R: Rng + ?Sized>(&self, target: &Endpoint, rng: &mut R) -> ShortestPingResult {
+    pub fn localize(&self, target: &Endpoint, rng: &mut NoiseRng) -> ShortestPingResult {
         let pinger = Pinger::new(self.model, self.probes);
         let (lm, rtt) = self
             .landmarks
@@ -87,8 +86,6 @@ impl ShortestPing {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use ytcdn_geomodel::{CityDb, Continent};
     use ytcdn_netsim::{landmarks_with_counts, planetlab_landmarks, AccessKind};
 
@@ -99,7 +96,7 @@ mod tests {
     #[test]
     fn finds_a_nearby_landmark() {
         let sp = ShortestPing::new(planetlab_landmarks(2), DelayModel::default(), 3);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = NoiseRng::seed_from_u64(1);
         let t = target("Chicago");
         let r = sp.localize(&t, &mut rng);
         assert!(
@@ -113,7 +110,7 @@ mod tests {
     #[test]
     fn estimate_is_a_landmark_position() {
         let sp = ShortestPing::new(planetlab_landmarks(3), DelayModel::default(), 3);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = NoiseRng::seed_from_u64(2);
         let r = sp.localize(&target("Madrid"), &mut rng);
         assert!(sp
             .landmarks()
@@ -129,7 +126,7 @@ mod tests {
             DelayModel::default(),
             3,
         );
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = NoiseRng::seed_from_u64(3);
         let t = target("Tokyo");
         let r = sp.localize(&t, &mut rng);
         assert!(r.estimate.distance_km(t.coord) > 3_000.0);

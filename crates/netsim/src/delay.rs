@@ -17,10 +17,11 @@
 
 use std::hash::{Hash, Hasher};
 
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use ytcdn_geomodel::{min_rtt_ms, Coord};
+
+use crate::noise::NoiseRng;
 
 /// Access technology of an endpoint; determines last-mile latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -145,9 +146,9 @@ impl DelayModel {
 
     /// Samples one probe's RTT: the floor plus exponential queueing noise
     /// from both endpoints.
-    pub fn sample_rtt_ms<R: Rng + ?Sized>(&self, a: &Endpoint, b: &Endpoint, rng: &mut R) -> f64 {
+    pub fn sample_rtt_ms(&self, a: &Endpoint, b: &Endpoint, rng: &mut NoiseRng) -> f64 {
         let noise_mean = a.access.noise_mean_ms() + b.access.noise_mean_ms();
-        let u: f64 = rng.gen_range(1e-12..1.0);
+        let u: f64 = rng.gen_range_f64(1e-12, 1.0);
         let noise = -noise_mean * u.ln();
         self.floor_rtt_ms(a, b) + noise
     }
@@ -196,8 +197,6 @@ impl Hasher for Fnv1a {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use ytcdn_geomodel::CityDb;
 
     fn ep(city: &str, access: AccessKind) -> Endpoint {
@@ -245,7 +244,7 @@ mod tests {
         let a = ep("Turin", AccessKind::Adsl);
         let b = ep("Amsterdam", AccessKind::DataCenter);
         let floor = model.floor_rtt_ms(&a, &b);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = NoiseRng::seed_from_u64(7);
         for _ in 0..1000 {
             assert!(model.sample_rtt_ms(&a, &b, &mut rng) >= floor);
         }
@@ -257,7 +256,7 @@ mod tests {
         let a = ep("Turin", AccessKind::Campus);
         let b = ep("Paris", AccessKind::DataCenter);
         let floor = model.floor_rtt_ms(&a, &b);
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = NoiseRng::seed_from_u64(9);
         let min = (0..200)
             .map(|_| model.sample_rtt_ms(&a, &b, &mut rng))
             .fold(f64::INFINITY, f64::min);

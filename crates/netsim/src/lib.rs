@@ -14,6 +14,11 @@
 //!   per-access-technology last-mile latency, and random queueing noise.
 //! * [`ping`] — [`Pinger`], a k-probe active measurement returning min/avg
 //!   RTT, the primitive both CBG and the paper's Figure 2 use.
+//! * [`noise`] — [`NoiseRng`], the opaque seeded source of measurement
+//!   noise. This is the only place the external `rand` crate surfaces;
+//!   dependent crates draw measurement noise through it and simulation
+//!   randomness through `ytcdn-cdnsim`'s `SimRng` (enforced statically by
+//!   `ytcdn-lint` rule DET001).
 //! * [`landmark`] — the 215-node PlanetLab-like landmark set with the
 //!   paper's continental distribution.
 //!
@@ -39,10 +44,12 @@ pub mod asn;
 pub mod delay;
 pub mod ip;
 pub mod landmark;
+pub mod noise;
 pub mod ping;
 
 pub use asn::{AsRegistry, Asn, WellKnownAs};
 pub use delay::{AccessKind, DelayModel, Endpoint};
 pub use ip::{BlockAllocator, Ipv4Block};
 pub use landmark::{landmarks_with_counts, planetlab_landmarks, Landmark};
+pub use noise::NoiseRng;
 pub use ping::{Pinger, RttMeasurement};

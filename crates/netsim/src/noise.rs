@@ -1,0 +1,103 @@
+//! Measurement-noise randomness.
+//!
+//! Every *measurement* in the reproduction — RTT probes, CBG calibration,
+//! localization — draws its queueing noise through [`NoiseRng`], an opaque
+//! seeded generator owned by this crate. The *simulation* path (session
+//! arrivals, DNS decisions, redirections, replication) draws from
+//! `ytcdn-cdnsim`'s `SimRng` and never from here.
+//!
+//! Keeping the two sources in different types makes the boundary statically
+//! checkable: `ytcdn-lint` rule DET001 rejects any mention of the external
+//! `rand` crate inside the simulation crates, and this module is the single
+//! place where `rand` is allowed to surface in a public API. Callers above
+//! `ytcdn-netsim` only ever see `NoiseRng`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An opaque, seeded source of measurement noise.
+///
+/// Internally a `rand::rngs::StdRng`; the wrapper hides that so dependent
+/// crates never name `rand` types. The value stream is exactly the wrapped
+/// generator's, so seeds reproduce the measurements they always did.
+///
+/// # Examples
+///
+/// ```
+/// use ytcdn_geomodel::CityDb;
+/// use ytcdn_netsim::{AccessKind, DelayModel, Endpoint, NoiseRng, Pinger};
+///
+/// let db = CityDb::builtin();
+/// let a = Endpoint::new(db.expect("Turin").coord, AccessKind::Campus);
+/// let b = Endpoint::new(db.expect("Paris").coord, AccessKind::DataCenter);
+/// let pinger = Pinger::new(DelayModel::default(), 3);
+/// // Same seed, same noise stream, same measurement.
+/// let m1 = pinger.ping(&a, &b, &mut NoiseRng::seed_from_u64(7));
+/// let m2 = pinger.ping(&a, &b, &mut NoiseRng::seed_from_u64(7));
+/// assert_eq!(m1, m2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NoiseRng {
+    inner: StdRng,
+}
+
+impl NoiseRng {
+    /// Creates a noise source from a seed. The same seed always yields the
+    /// same noise stream.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniform draw from `[lo, hi)` (crate-internal: the delay model's
+    /// queueing-noise primitive).
+    pub(crate) fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.inner.gen_range(lo..hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = NoiseRng::seed_from_u64(42);
+        let mut b = NoiseRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range_f64(0.0, 1.0), b.gen_range_f64(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NoiseRng::seed_from_u64(1);
+        let mut b = NoiseRng::seed_from_u64(2);
+        let va: Vec<f64> = (0..8).map(|_| a.gen_range_f64(0.0, 1.0)).collect();
+        let vb: Vec<f64> = (0..8).map(|_| b.gen_range_f64(0.0, 1.0)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn draws_stay_in_range() {
+        let mut rng = NoiseRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range_f64(1e-12, 1.0);
+            assert!((1e-12..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn matches_wrapped_stdrng_stream() {
+        // The wrapper must not perturb the stream: seeded measurements made
+        // before the wrapper existed must reproduce bit-for-bit.
+        use rand::rngs::StdRng;
+        use rand::{Rng as _, SeedableRng as _};
+        let mut wrapped = NoiseRng::seed_from_u64(99);
+        let mut raw = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(wrapped.gen_range_f64(1e-12, 1.0), raw.gen_range(1e-12..1.0));
+        }
+    }
+}

@@ -5,11 +5,10 @@
 //! probes, which filters queueing noise. [`Pinger`] reproduces that
 //! primitive on top of [`DelayModel`].
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::delay::{DelayModel, Endpoint};
+use crate::noise::NoiseRng;
 
 /// Result of a multi-probe RTT measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -66,8 +65,8 @@ impl Pinger {
         self.probes
     }
 
-    /// Measures RTT between `a` and `b` using the caller's RNG.
-    pub fn ping<R: Rng + ?Sized>(&self, a: &Endpoint, b: &Endpoint, rng: &mut R) -> RttMeasurement {
+    /// Measures RTT between `a` and `b` using the caller's noise source.
+    pub fn ping(&self, a: &Endpoint, b: &Endpoint, rng: &mut NoiseRng) -> RttMeasurement {
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         let mut sum = 0.0;
@@ -85,10 +84,10 @@ impl Pinger {
         }
     }
 
-    /// Measures RTT with a dedicated RNG derived from `seed`: the same
-    /// `(endpoints, seed)` always yields the same measurement.
+    /// Measures RTT with a dedicated noise source derived from `seed`: the
+    /// same `(endpoints, seed)` always yields the same measurement.
     pub fn ping_seeded(&mut self, a: &Endpoint, b: &Endpoint, seed: u64) -> RttMeasurement {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = NoiseRng::seed_from_u64(seed);
         self.ping(a, b, &mut rng)
     }
 }

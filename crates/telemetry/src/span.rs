@@ -21,6 +21,7 @@ pub struct Span {
 
 impl Span {
     pub(crate) fn start(telemetry: &Telemetry, name: &'static str) -> Self {
+        // ytcdn-lint: allow(DET002) — span timers read host wall-clock by design; profiling only, never simulation state or dataset bytes
         let start = telemetry.is_enabled().then(Instant::now);
         Self {
             telemetry: telemetry.clone(),

@@ -1,0 +1,18 @@
+//! DET001 fixture: external randomness in simulation code. Five findings
+//! in live code; the `#[cfg(test)]` module below must stay silent.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn draw() -> u64 {
+    let mut generator = StdRng::seed_from_u64(7);
+    thread_rng().next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_rand_freely() {
+        let _ = rand::thread_rng();
+    }
+}

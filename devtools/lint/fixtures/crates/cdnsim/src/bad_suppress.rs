@@ -1,0 +1,14 @@
+//! Suppression-hygiene fixtures: a bare allow (LNT001, and the underlying
+//! finding still fires), an unknown rule (LNT002), and a stale allow
+//! (LNT003).
+
+// ytcdn-lint: allow(DET001)
+pub fn bare_allow_does_not_suppress() -> u64 {
+    thread_rng()
+}
+
+// ytcdn-lint: allow(NOPE01) — confidently citing a rule that does not exist
+pub fn unknown_rule() {}
+
+// ytcdn-lint: allow(DET002) — nothing on the next line reads a clock
+pub fn stale_allow() {}

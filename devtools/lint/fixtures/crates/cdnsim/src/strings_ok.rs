@@ -1,0 +1,13 @@
+//! Negative fixture: trigger tokens inside comments and string literals
+//! must never fire. This file mentions thread_rng, StdRng, Instant::now,
+//! SystemTime::now, HashMap, HashSet and unwrap() — all inert.
+
+/// Docs may discuss `StdRng` and `HashMap` without tripping DET001/DET003.
+pub fn describe() -> &'static str {
+    // A comment naming thread_rng() and Instant::now() is not a violation.
+    "runtime strings naming thread_rng, StdRng, HashSet and .unwrap() are data, not code"
+}
+
+pub fn raw_describe() -> &'static str {
+    r#"raw string: rand::thread_rng(), SystemTime::now(), HashMap::new()"#
+}

@@ -1,0 +1,11 @@
+//! DET002 fixture: wall-clock reads in a deterministic crate. The `use`
+//! line is inert (no `::now` path); the three reads below each fire.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> String {
+    let t = Instant::now();
+    let s = SystemTime::now();
+    let c = chrono::Utc::now();
+    format!("{t:?} {s:?} {c:?}")
+}

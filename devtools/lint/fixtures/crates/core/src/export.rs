@@ -1,0 +1,11 @@
+//! DET003 fixture: unordered containers in an output module. Two live
+//! findings; the `HashSet` is suppressed with a reason and must not fire.
+
+use std::collections::HashMap;
+
+// ytcdn-lint: allow(DET003) — membership probes only, never iterated
+use std::collections::HashSet;
+
+pub fn render(m: &HashMap<u32, u32>) -> String {
+    format!("{}", m.len())
+}

@@ -1,0 +1,15 @@
+//! PAN001 fixture: panic paths in library non-test code — two advisory
+//! warnings. The `#[test]` function is exempt.
+
+pub fn risky(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn risky2(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+#[test]
+fn tests_may_unwrap() {
+    let _ = Some(1).unwrap();
+}

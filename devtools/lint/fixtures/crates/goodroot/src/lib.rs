@@ -1,0 +1,5 @@
+//! SAF001 negative fixture: a compliant crate root.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,17 @@
+//! TEL001 fixture: one RNG draw inside an `is_enabled()` guard and one in
+//! its `else` branch — two findings. The suppressed `Instant::now` below
+//! mirrors the real telemetry span-timer allowlist entry.
+
+pub fn emit(telemetry: &Telemetry, draws: &mut Source) {
+    if telemetry.is_enabled() {
+        let jitter = draws.next_u64();
+        record(jitter);
+    } else {
+        let _ = draws.gen_range(0, 4);
+    }
+}
+
+pub fn span_like() {
+    // ytcdn-lint: allow(DET002) — wall time is display-only here, never simulation state
+    let _start = std::time::Instant::now();
+}

@@ -1,0 +1,437 @@
+//! A comment- and string-aware scanner for Rust source.
+//!
+//! The rules must never fire on trigger tokens inside comments or string
+//! literals (`"thread_rng"` in a doc string is not a violation), and the
+//! suppression syntax lives *in* comments. So the first pass separates the
+//! two worlds: it walks the source once, collects every comment with its
+//! line number, and emits a token stream (identifiers and punctuation) of
+//! the code only. String, byte-string, raw-string, and char literals are
+//! reduced to a single `TokKind::Literal` token so rules can still reason
+//! about token adjacency without seeing literal contents.
+//!
+//! This is a scanner, not a parser: it understands exactly as much Rust
+//! syntax as the rules need (nesting block comments, raw-string hash
+//! counts, lifetime-vs-char-literal disambiguation, brace matching) and
+//! nothing more.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`rand`, `fn`, `HashMap`).
+    Ident,
+    /// A single punctuation byte (`{`, `:`, `.`, `#`).
+    Punct,
+    /// A string/char/byte literal, contents hidden.
+    Literal,
+    /// A numeric literal.
+    Number,
+}
+
+/// One token of the code stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// The token text (a single byte for punctuation, empty for literals).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True if this is the punctuation byte `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes() == [ch as u8]
+    }
+}
+
+/// One comment (line or block), with its starting line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//`, `//!`, `///`, or `/* */` delimiters.
+    pub text: String,
+}
+
+/// The result of scanning one file.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub tokens: Vec<Tok>,
+    /// Every comment, in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scans `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: src[start..j].to_string(),
+                });
+                i = j;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let comment_line = line;
+                let start = i + 2;
+                let mut depth = 1u32;
+                let mut j = start;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: comment_line,
+                    text: src[start..end].to_string(),
+                });
+                i = j;
+            }
+            b'"' => {
+                i = skip_string(b, i + 1, &mut line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+                if b.get(i + 1) == Some(&b'\\') {
+                    // Escaped char literal.
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                    i = j + 1;
+                } else if b.get(i + 2) == Some(&b'\'') && b.get(i + 1).is_some() {
+                    // Plain char literal.
+                    out.tokens.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                    i += 3;
+                } else {
+                    // Lifetime: skip the quote, the ident lexes next round.
+                    i += 1;
+                }
+            }
+            b'r' | b'b' if maybe_raw_or_byte_literal(b, i) => {
+                i = skip_prefixed_literal(b, i, &mut line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (is_ident_continue(b[i]) || b[i] == b'.') {
+                    // Consume `1_000`, `0xFF`, `1.5e-3` loosely; trailing
+                    // range dots (`0..n`) must not be eaten.
+                    if b[i] == b'.' && b.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Number,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True if position `i` (at `r` or `b`) starts a raw/byte literal rather
+/// than an identifier.
+fn maybe_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    if i > 0 && is_ident_continue(b[i - 1]) {
+        return false;
+    }
+    let rest = &b[i..];
+    match rest {
+        [b'r', b'"', ..] | [b'b', b'"', ..] | [b'b', b'\'', ..] => true,
+        [b'r', b'#', ..] => {
+            // r#"..."# raw string vs r#ident raw identifier: a raw string
+            // has only `#`s between `r` and the quote.
+            let mut j = 1;
+            while rest.get(j) == Some(&b'#') {
+                j += 1;
+            }
+            rest.get(j) == Some(&b'"')
+        }
+        [b'b', b'r', b'"', ..] => true,
+        [b'b', b'r', b'#', ..] => {
+            let mut j = 2;
+            while rest.get(j) == Some(&b'#') {
+                j += 1;
+            }
+            rest.get(j) == Some(&b'"')
+        }
+        _ => false,
+    }
+}
+
+/// Skips a plain string literal body starting after the opening quote;
+/// returns the index past the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips an `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, or `br#"…"#` literal starting
+/// at its prefix; returns the index past its end.
+fn skip_prefixed_literal(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'r' {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() {
+        return i;
+    }
+    let quote = b[i];
+    i += 1;
+    if quote == b'\'' {
+        // b'x' or b'\n'
+        if b.get(i) == Some(&b'\\') {
+            i += 1;
+        }
+        while i < b.len() && b[i] != b'\'' {
+            i += 1;
+        }
+        return (i + 1).min(b.len());
+    }
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if !raw && b[i] == b'\\' {
+            i += 2;
+        } else if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0;
+            while seen < hashes && b.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn code_tokens_survive() {
+        assert_eq!(
+            idents("let x = rand::thread_rng();"),
+            ["let", "x", "rand", "thread_rng"]
+        );
+    }
+
+    #[test]
+    fn line_comments_are_not_code() {
+        let l = lex("// thread_rng is banned\nlet a = 1;");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("thread_rng")));
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("thread_rng"));
+        assert_eq!(l.comments[0].line, 1);
+    }
+
+    #[test]
+    fn doc_comments_are_not_code() {
+        let l = lex("/// uses `Instant::now` internally\nfn f() {}");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("Instant")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* StdRng */ still comment */ fn g() {}");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("StdRng")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("g")));
+    }
+
+    #[test]
+    fn string_contents_are_hidden() {
+        let l = lex(r#"let s = "rand::thread_rng inside"; let t = s;"#);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("thread_rng")));
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Literal));
+    }
+
+    #[test]
+    fn raw_string_contents_are_hidden() {
+        let l = lex(r###"let s = r#"HashMap "quoted" inside"#; let u = 1;"###);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("u")));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let l = lex(r#"let s = "say \"SystemTime\" loudly"; let v = 2;"#);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("SystemTime")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("v")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        // The lifetime ident lexes as a normal ident; the code after it
+        // is still visible.
+        assert!(l.tokens.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn char_literals_are_hidden() {
+        let l = lex("let c = 'x'; let nl = '\\n'; let d = c;");
+        assert!(l.tokens.iter().any(|t| t.is_ident("d")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents() {
+        let l = lex(r#"let b = b"bytes with rand"; let r#fn = 1;"#);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("rand")));
+        // Raw identifier r#fn: the `fn` part still lexes as an ident.
+        assert!(l.tokens.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let l = lex("fn a() {}\nfn b() {}\n\nfn c() {}\n");
+        let find = |n: &str| l.tokens.iter().find(|t| t.is_ident(n)).expect("tok").line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 2);
+        assert_eq!(find("c"), 4);
+    }
+
+    #[test]
+    fn multiline_strings_advance_lines() {
+        let l = lex("let s = \"one\ntwo\nthree\";\nfn after() {}");
+        assert_eq!(
+            l.tokens
+                .iter()
+                .find(|t| t.is_ident("after"))
+                .expect("tok")
+                .line,
+            4
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = lex("for i in 0..10 {}").tokens;
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Number && t.text == "0"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Number && t.text == "10"));
+    }
+}

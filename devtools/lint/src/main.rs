@@ -1,0 +1,194 @@
+//! `ytcdn-lint` CLI.
+//!
+//! ```text
+//! ytcdn-lint --workspace [--root DIR] [--format human|json] [--out FILE]
+//!            [--deny-warnings] [--list-rules] [PATH ...]
+//! ```
+//!
+//! Exit codes: 0 clean (or warn-only), 1 at least one deny finding (or any
+//! finding under `--deny-warnings`), 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+// Reports go to stdout: that is this binary's product.
+#![allow(clippy::print_stdout)]
+
+use std::env;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ytcdn_lint::{classify, human, json, lint_root, lint_source, Report, Severity, RULES};
+
+struct Args {
+    workspace: bool,
+    root: Option<PathBuf>,
+    format: Format,
+    out: Option<PathBuf>,
+    deny_warnings: bool,
+    list_rules: bool,
+    paths: Vec<String>,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn usage() -> &'static str {
+    "usage: ytcdn-lint [--workspace] [--root DIR] [--format human|json] \
+     [--out FILE] [--deny-warnings] [--list-rules] [PATH ...]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        root: None,
+        format: Format::Human,
+        out: None,
+        deny_warnings: false,
+        list_rules: false,
+        paths: Vec::new(),
+    };
+    let mut it = env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--format" => match it.next().as_deref() {
+                Some("human") => args.format = Format::Human,
+                Some("json") => args.format = Format::Json,
+                _ => return Err("--format needs `human` or `json`".to_string()),
+            },
+            "--out" => {
+                let v = it.next().ok_or("--out needs a file path")?;
+                args.out = Some(PathBuf::from(v));
+            }
+            "--deny-warnings" => args.deny_warnings = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => args.paths.push(path.to_string()),
+        }
+    }
+    if !args.workspace && args.paths.is_empty() && !args.list_rules {
+        return Err("nothing to do: pass --workspace, --list-rules, or file paths".to_string());
+    }
+    Ok(args)
+}
+
+/// Walks upward from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+
+    if args.list_rules {
+        for r in RULES {
+            println!("{}  {:4}  {}", r.id, r.severity.label(), r.summary);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => find_workspace_root()
+            .ok_or("no workspace root found (no ancestor Cargo.toml with [workspace])")?,
+    };
+
+    let (findings, files_scanned) = if args.workspace {
+        lint_root(&root).map_err(|e| format!("walking {}: {e}", root.display()))?
+    } else {
+        let mut findings = Vec::new();
+        let mut scanned = 0usize;
+        for p in &args.paths {
+            let rel = normalize_rel(&root, p);
+            let Some(class) = classify(&rel) else {
+                eprintln!("ytcdn-lint: skipping unclassified path `{p}`");
+                continue;
+            };
+            let src = fs::read_to_string(root.join(&rel)).map_err(|e| format!("{p}: {e}"))?;
+            findings.extend(lint_source(&class, &rel, &src));
+            scanned += 1;
+        }
+        findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+        });
+        (findings, scanned)
+    };
+
+    let report = Report {
+        root: root.display().to_string(),
+        files_scanned,
+        findings,
+    };
+
+    match args.format {
+        Format::Human => print!("{}", human(&report)),
+        Format::Json => print!("{}", json(&report)),
+    }
+    if let Some(out) = &args.out {
+        fs::write(out, json(&report)).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    }
+
+    let failing = report.deny_count() > 0
+        || (args.deny_warnings && report.warn_count() > 0)
+        || report.findings.iter().any(|f| f.severity == Severity::Deny);
+    Ok(if failing {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Makes a CLI path root-relative with `/` separators so `classify` sees
+/// the canonical form regardless of invocation directory.
+fn normalize_rel(root: &Path, p: &str) -> String {
+    let path = Path::new(p);
+    let abs = if path.is_absolute() {
+        path.to_path_buf()
+    } else {
+        env::current_dir().unwrap_or_default().join(path)
+    };
+    abs.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("ytcdn-lint: {msg}");
+                eprintln!("{}", usage());
+                ExitCode::from(2)
+            }
+        }
+    }
+}

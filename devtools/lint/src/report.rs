@@ -1,0 +1,157 @@
+//! Human and JSON rendering of a lint run.
+//!
+//! The JSON writer is hand-rolled (the crate is dependency-free by design);
+//! the schema is small and stable so CI can archive `lint-report.json` as
+//! an artifact and diff it across runs.
+
+use crate::rules::{Finding, Severity};
+
+/// The result of one lint run, ready for rendering.
+#[derive(Debug)]
+pub struct Report {
+    /// Root that was linted (as given on the command line).
+    pub root: String,
+    /// Number of files classified and scanned.
+    pub files_scanned: usize,
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Number of deny-severity findings.
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Number of warn-severity findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+}
+
+/// Renders the report for terminals: one `file:line:` anchored line per
+/// finding plus a summary tail.
+pub fn human(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}: {} [{}] {}\n",
+            f.file,
+            f.line,
+            f.severity.label(),
+            f.rule,
+            f.message
+        ));
+    }
+    out.push_str(&format!(
+        "ytcdn-lint: {} file(s) scanned, {} deny, {} warn\n",
+        report.files_scanned,
+        report.deny_count(),
+        report.warn_count()
+    ));
+    out
+}
+
+/// Renders the report as JSON (schema version 1).
+pub fn json(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"root\": {},\n", escape(&report.root)));
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!(
+        "  \"counts\": {{ \"deny\": {}, \"warn\": {} }},\n",
+        report.deny_count(),
+        report.warn_count()
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{ \"file\": {}, \"line\": {}, \"rule\": {}, \"severity\": {}, \"message\": {} }}",
+            escape(&f.file),
+            f.line,
+            escape(f.rule),
+            escape(f.severity.label()),
+            escape(&f.message)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// JSON string escaping for the characters that can appear in paths and
+/// rule messages.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            root: "/tmp/ws".to_string(),
+            files_scanned: 2,
+            findings: vec![Finding {
+                file: "crates/cdnsim/src/engine.rs".to_string(),
+                line: 7,
+                rule: "DET001",
+                severity: Severity::Deny,
+                message: "`thread_rng`: bad \"quote\"".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn human_has_anchor_and_summary() {
+        let h = human(&sample());
+        assert!(h.contains("crates/cdnsim/src/engine.rs:7: deny [DET001]"));
+        assert!(h.contains("2 file(s) scanned, 1 deny, 0 warn"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_counted() {
+        let j = json(&sample());
+        assert!(j.contains("\"version\": 1"));
+        assert!(j.contains("\\\"quote\\\""));
+        assert!(j.contains("\"deny\": 1"));
+        assert!(j.contains("\"line\": 7"));
+    }
+
+    #[test]
+    fn json_empty_findings_is_valid() {
+        let r = Report {
+            root: ".".to_string(),
+            files_scanned: 0,
+            findings: Vec::new(),
+        };
+        let j = json(&r);
+        assert!(j.contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,414 @@
+//! The rule catalog — the executable form of DESIGN.md's "Determinism
+//! invariants and static enforcement" section.
+//!
+//! Every rule is an over-approximation by design: a token-level scanner
+//! cannot resolve types, so a rule fires on the *name* of a banned thing
+//! rather than its resolved path. False positives are handled by the
+//! inline suppression syntax (with a mandatory reason), never by weakening
+//! the rule: a determinism lint that silently misses a `thread_rng` is
+//! worse than one that asks a human to justify an odd token.
+
+use crate::engine::{FileClass, FileKind};
+use crate::lexer::{Tok, TokKind};
+
+/// How a finding affects the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Fails the run (exit code 1). CI-blocking.
+    Deny,
+    /// Reported but non-fatal (exit code 0 unless `--deny-warnings`).
+    Warn,
+}
+
+impl Severity {
+    /// Lower-case label used in human and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the linted root.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule identifier (`DET001`, …).
+    pub rule: &'static str,
+    /// Severity of the rule at the time it fired.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Catalog entry describing one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Identifier used in output and in `allow(...)` suppressions.
+    pub id: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line description for `--list-rules` and reports.
+    pub summary: &'static str,
+}
+
+/// Every rule the engine knows, in catalog order. `LNT00x` are the lint's
+/// own meta-rules (suppression hygiene) and cannot be suppressed.
+pub static RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "DET001",
+        severity: Severity::Deny,
+        summary: "simulation crates (cdnsim, core) must draw randomness from the in-tree \
+                  SimRng/NoiseRng only, never from the external `rand` crate",
+    },
+    RuleInfo {
+        id: "DET002",
+        severity: Severity::Deny,
+        summary: "deterministic crates must not read wall clocks (Instant::now, \
+                  SystemTime::now, chrono)",
+    },
+    RuleInfo {
+        id: "DET003",
+        severity: Severity::Deny,
+        summary: "output/serialization modules must not use unordered containers \
+                  (HashMap/HashSet); iteration order would leak into bytes",
+    },
+    RuleInfo {
+        id: "SAF001",
+        severity: Severity::Deny,
+        summary: "every crate root must carry #![forbid(unsafe_code)]",
+    },
+    RuleInfo {
+        id: "TEL001",
+        severity: Severity::Deny,
+        summary: "no RNG draw inside a telemetry `is_enabled()`-guarded block; \
+                  observability must never consume or condition an RNG stream",
+    },
+    RuleInfo {
+        id: "PAN001",
+        severity: Severity::Warn,
+        summary: "unwrap()/expect() in library non-test code (advisory panic-path debt)",
+    },
+    RuleInfo {
+        id: "LNT001",
+        severity: Severity::Deny,
+        summary: "a suppression comment must carry a reason: \
+                  `// ytcdn-lint: allow(RULE) — why`",
+    },
+    RuleInfo {
+        id: "LNT002",
+        severity: Severity::Deny,
+        summary: "a suppression comment names an unknown rule",
+    },
+    RuleInfo {
+        id: "LNT003",
+        severity: Severity::Warn,
+        summary: "a suppression comment that suppressed nothing (stale allow)",
+    },
+];
+
+/// Looks up a catalog entry by id.
+pub fn rule(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Crates whose non-test sources form the simulation path (DET001 scope).
+const SIM_CRATES: &[&str] = &["cdnsim", "core"];
+
+/// Crates whose output must be a pure function of their inputs (DET002
+/// scope). The CLI and the bench harness are the impure shell around them.
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "cdnsim",
+    "core",
+    "geoloc",
+    "geomodel",
+    "netsim",
+    "telemetry",
+    "tstat",
+];
+
+/// Crates exempt from PAN001: binaries and tooling may panic on bad input.
+const PAN_EXEMPT_CRATES: &[&str] = &["bench", "cli", "lint"];
+
+/// Module stems treated as output/serialization paths (DET003 scope):
+/// anything that renders bytes a golden test or a user might diff.
+const OUTPUT_STEMS: &[&str] = &[
+    "anonymize",
+    "dataset",
+    "event",
+    "export",
+    "golden",
+    "report",
+    "scorecard",
+    "serialization",
+    "serialize",
+    "sink",
+    "summary",
+    "textlog",
+];
+
+/// Identifiers banned by DET001 (external randomness).
+const DET001_IDENTS: &[&str] = &[
+    "rand",
+    "thread_rng",
+    "StdRng",
+    "SmallRng",
+    "OsRng",
+    "from_entropy",
+    "getrandom",
+];
+
+/// Path pairs banned by DET002 (wall-clock reads).
+const DET002_PATHS: &[(&str, &str)] = &[("Instant", "now"), ("SystemTime", "now")];
+
+/// Identifiers banned by DET002 on their own.
+const DET002_IDENTS: &[&str] = &["chrono"];
+
+/// Identifiers that indicate an RNG draw for TEL001.
+const TEL001_DRAWS: &[&str] = &[
+    "gen_bool",
+    "gen_f64",
+    "gen_range",
+    "gen_range_f64",
+    "localize",
+    "next_u64",
+    "ping",
+    "ping_seeded",
+    "rng",
+    "sample",
+    "sample_rtt_ms",
+];
+
+/// True if the crate named `name` matches `set`.
+fn crate_in(class: &FileClass, set: &[&str]) -> bool {
+    class
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| set.contains(&c))
+}
+
+/// Runs every applicable rule over one lexed file. `test_mask[i]` is true
+/// when token `i` sits inside `#[cfg(test)]`/`#[test]` code.
+pub fn apply_rules(
+    class: &FileClass,
+    file: &str,
+    toks: &[Tok],
+    test_mask: &[bool],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let non_test = |i: usize| !test_mask[i];
+
+    // DET001 — external randomness in simulation code.
+    if class.kind == FileKind::Src && crate_in(class, SIM_CRATES) {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == TokKind::Ident && DET001_IDENTS.contains(&t.text.as_str()) && non_test(i) {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: "DET001",
+                    severity: Severity::Deny,
+                    message: format!(
+                        "`{}`: simulation code must draw from the in-tree SimRng (or \
+                         netsim's NoiseRng for measurement noise), never from `rand`",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+
+    // DET002 — wall-clock reads in deterministic crates.
+    if class.kind == FileKind::Src && crate_in(class, DETERMINISTIC_CRATES) {
+        for (i, t) in toks.iter().enumerate() {
+            if !non_test(i) || t.kind != TokKind::Ident {
+                continue;
+            }
+            let fires = DET002_IDENTS.contains(&t.text.as_str())
+                || DET002_PATHS.iter().any(|&(head, tail)| {
+                    t.text == head && path_tail(toks, i).is_some_and(|n| n == tail)
+                });
+            if fires {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: "DET002",
+                    severity: Severity::Deny,
+                    message: format!(
+                        "wall-clock read (`{}`) in a deterministic crate; simulated time \
+                         comes from the workload model, never the host",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+
+    // DET003 — unordered containers in output modules.
+    if class.kind == FileKind::Src && OUTPUT_STEMS.contains(&class.stem.as_str()) {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == TokKind::Ident
+                && (t.text == "HashMap" || t.text == "HashSet")
+                && non_test(i)
+            {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: "DET003",
+                    severity: Severity::Deny,
+                    message: format!(
+                        "`{}` in an output module: iteration order is nondeterministic \
+                         and would leak into serialized bytes; use BTreeMap/BTreeSet or \
+                         a sorted collect",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+
+    // SAF001 — forbid(unsafe_code) at every crate root.
+    if class.is_crate_root && !has_forbid_unsafe(toks) {
+        out.push(Finding {
+            file: file.to_string(),
+            line: 1,
+            rule: "SAF001",
+            severity: Severity::Deny,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+
+    // TEL001 — RNG draws under telemetry guards.
+    for (start, end) in is_enabled_blocks(toks) {
+        for (i, t) in toks[start..end].iter().enumerate() {
+            let idx = start + i;
+            if t.kind == TokKind::Ident && TEL001_DRAWS.contains(&t.text.as_str()) && non_test(idx)
+            {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: "TEL001",
+                    severity: Severity::Deny,
+                    message: format!(
+                        "`{}` inside an `is_enabled()`-guarded block: telemetry must \
+                         never consume or condition an RNG stream (dataset bytes would \
+                         depend on whether telemetry is attached)",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+
+    // PAN001 — panic paths in library non-test code.
+    if class.kind == FileKind::Src && !crate_in(class, PAN_EXEMPT_CRATES) {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == TokKind::Ident
+                && (t.text == "unwrap" || t.text == "expect")
+                && non_test(i)
+                && i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: "PAN001",
+                    severity: Severity::Warn,
+                    message: format!(
+                        "`.{}(...)` in library non-test code: panic path (advisory; \
+                         prefer a Result or document the invariant)",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+/// If `toks[i]` is followed by `::ident`, returns that identifier's text.
+fn path_tail(toks: &[Tok], i: usize) -> Option<&str> {
+    match toks.get(i + 1..i + 4) {
+        Some([a, b, c]) if a.is_punct(':') && b.is_punct(':') && c.kind == TokKind::Ident => {
+            Some(&c.text)
+        }
+        _ => None,
+    }
+}
+
+/// True if the token stream carries `#![forbid(unsafe_code)]`.
+fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+    toks.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    })
+}
+
+/// Token index ranges of blocks guarded by an `is_enabled()` condition —
+/// the `{ … }` after the call (an `if` body or a `.then(|| { … })`
+/// closure), plus a directly attached `else { … }` (the negative branch is
+/// conditioned on telemetry state just the same).
+fn is_enabled_blocks(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("is_enabled") {
+            continue;
+        }
+        // Find the block opener before the statement ends. A `;` first
+        // means the call's value was stored, not used as a guard here.
+        let mut j = i + 1;
+        let mut opener = None;
+        while j < toks.len() && j < i + 40 {
+            if toks[j].is_punct(';') {
+                break;
+            }
+            if toks[j].is_punct('{') {
+                opener = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = opener else { continue };
+        let close = match matching_brace(toks, open) {
+            Some(c) => c,
+            None => toks.len(),
+        };
+        regions.push((open + 1, close));
+        // An attached `else { … }` is guarded by the same condition.
+        if toks.get(close + 1).is_some_and(|t| t.is_ident("else"))
+            && toks.get(close + 2).is_some_and(|t| t.is_punct('{'))
+        {
+            let else_open = close + 2;
+            let else_close = matching_brace(toks, else_open).unwrap_or(toks.len());
+            regions.push((else_open + 1, else_close));
+        }
+    }
+    regions
+}
+
+/// Index of the `}` matching the `{` at `open`.
+pub(crate) fn matching_brace(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,121 @@
+//! Self-test over the fixture corpus in `devtools/lint/fixtures/`: every
+//! rule fires on its known-bad snippet, stays silent on strings/comments
+//! containing trigger tokens, honors reasoned suppressions, and flags
+//! bare/unknown/stale ones.
+
+use std::path::Path;
+
+use ytcdn_lint::{lint_root, Finding, Severity};
+
+fn fixture_findings() -> (Vec<Finding>, usize) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    lint_root(&root).expect("fixture corpus must be readable")
+}
+
+fn in_file<'f>(all: &'f [Finding], suffix: &str) -> Vec<&'f Finding> {
+    all.iter().filter(|f| f.file.ends_with(suffix)).collect()
+}
+
+#[test]
+fn scans_the_whole_corpus() {
+    let (_, scanned) = fixture_findings();
+    assert_eq!(scanned, 9, "one per fixture file");
+}
+
+#[test]
+fn det001_fires_in_sim_code_but_not_in_tests() {
+    let (all, _) = fixture_findings();
+    let f = in_file(&all, "bad_rand.rs");
+    assert_eq!(f.len(), 5, "{f:#?}");
+    assert!(f
+        .iter()
+        .all(|x| x.rule == "DET001" && x.severity == Severity::Deny));
+    // The #[cfg(test)] module starts on line 12; nothing there may fire.
+    assert!(f.iter().all(|x| x.line < 12), "{f:#?}");
+}
+
+#[test]
+fn trigger_tokens_in_strings_and_comments_are_inert() {
+    let (all, _) = fixture_findings();
+    assert!(in_file(&all, "strings_ok.rs").is_empty());
+}
+
+#[test]
+fn det002_fires_on_clock_reads_only() {
+    let (all, _) = fixture_findings();
+    let f = in_file(&all, "bad_clock.rs");
+    assert_eq!(f.len(), 3, "{f:#?}");
+    assert!(f.iter().all(|x| x.rule == "DET002"));
+    // The `use std::time::{Instant, SystemTime}` line is inert.
+    assert!(f.iter().all(|x| x.line > 4), "{f:#?}");
+}
+
+#[test]
+fn det003_fires_in_output_module_and_honors_suppression() {
+    let (all, _) = fixture_findings();
+    let f = in_file(&all, "core/src/export.rs");
+    assert_eq!(
+        f.len(),
+        2,
+        "HashSet line is suppressed with a reason: {f:#?}"
+    );
+    assert!(f.iter().all(|x| x.rule == "DET003"));
+    // No stale-suppression warning: the allow matched.
+    assert!(f.iter().all(|x| x.rule != "LNT003"));
+}
+
+#[test]
+fn saf001_fires_on_missing_forbid_only() {
+    let (all, _) = fixture_findings();
+    let bad = in_file(&all, "badroot/src/lib.rs");
+    assert_eq!(bad.len(), 1);
+    assert_eq!(bad[0].rule, "SAF001");
+    assert_eq!(bad[0].line, 1);
+    assert!(in_file(&all, "goodroot/src/lib.rs").is_empty());
+}
+
+#[test]
+fn tel001_fires_in_guard_and_else_branch() {
+    let (all, _) = fixture_findings();
+    let f = in_file(&all, "bad_guard.rs");
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(f.iter().all(|x| x.rule == "TEL001"));
+    // The reasoned DET002 allow on the span-like timer suppressed it.
+    assert!(f.iter().all(|x| x.rule != "DET002"));
+}
+
+#[test]
+fn pan001_warns_outside_tests_only() {
+    let (all, _) = fixture_findings();
+    let f = in_file(&all, "bad_panic.rs");
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(f
+        .iter()
+        .all(|x| x.rule == "PAN001" && x.severity == Severity::Warn));
+    // The #[test] fn starts at line 12.
+    assert!(f.iter().all(|x| x.line < 12));
+}
+
+#[test]
+fn suppression_hygiene_rules() {
+    let (all, _) = fixture_findings();
+    let f = in_file(&all, "bad_suppress.rs");
+    let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+    assert_eq!(rules, ["LNT001", "DET001", "LNT002", "LNT003"], "{f:#?}");
+    // A bare allow is itself an error AND fails to suppress.
+    assert!(f.iter().any(|x| x.rule == "DET001"));
+    let stale = f.iter().find(|x| x.rule == "LNT003").expect("stale allow");
+    assert_eq!(stale.severity, Severity::Warn);
+}
+
+#[test]
+fn findings_are_sorted_for_stable_reports() {
+    let (all, _) = fixture_findings();
+    let keys: Vec<_> = all
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}

@@ -8,6 +8,9 @@
 //! cargo run --release --example campus_trace
 //! ```
 
+// Narrated output to stdout is the point of this target.
+#![allow(clippy::print_stdout)]
+
 use ytcdn_cdnsim::{ScenarioConfig, StandardScenario};
 use ytcdn_core::preferred::{bytes_by_distance, closest_k_share};
 use ytcdn_core::subnet::subnet_shares;

@@ -8,6 +8,9 @@
 //! cargo run --release --example cold_video
 //! ```
 
+// Narrated output to stdout is the point of this target.
+#![allow(clippy::print_stdout)]
+
 use ytcdn_cdnsim::{ActiveConfig, ActiveExperiment, ScenarioConfig, StandardScenario};
 use ytcdn_core::active_analysis::{most_illustrative_node, ratio_cdf, ratio_stats};
 

@@ -6,7 +6,9 @@
 //! cargo run --release --example geolocate_servers
 //! ```
 
-use rand::SeedableRng;
+// Narrated output to stdout is the point of this target.
+#![allow(clippy::print_stdout)]
+
 use ytcdn_cdnsim::{ScenarioConfig, StandardScenario};
 use ytcdn_core::geo_analysis::{continent_counts, geolocate_servers};
 use ytcdn_geoloc::{cluster_by_city, Cbg, MaxmindLike};
@@ -47,8 +49,6 @@ fn main() {
     );
 
     // Cluster into data centers by city.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-    let _ = &mut rng; // estimates already computed above
     let estimates: Vec<_> = locations.iter().map(|l| (l.ip, l.cbg.estimate)).collect();
     let clusters = cluster_by_city(&estimates, &CityDb::builtin());
     println!("\ninferred data centers (top 10 by /24 representatives):");

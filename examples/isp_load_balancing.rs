@@ -7,6 +7,9 @@
 //! cargo run --release --example isp_load_balancing
 //! ```
 
+// Narrated output to stdout is the point of this target.
+#![allow(clippy::print_stdout)]
+
 use ytcdn_cdnsim::{ScenarioConfig, StandardScenario};
 use ytcdn_core::timeseries::{hourly_samples, load_vs_preferred_correlation};
 use ytcdn_core::AnalysisContext;

@@ -5,6 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Narrated output to stdout is the point of this target.
+#![allow(clippy::print_stdout)]
+
 use ytcdn_cdnsim::{ScenarioConfig, StandardScenario};
 use ytcdn_core::patterns::classify_sessions;
 use ytcdn_core::session::group_sessions;

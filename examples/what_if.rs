@@ -7,6 +7,9 @@
 //! cargo run --release --example what_if
 //! ```
 
+// Narrated output to stdout is the point of this target.
+#![allow(clippy::print_stdout)]
+
 use ytcdn_cdnsim::ScenarioConfig;
 use ytcdn_core::whatif::{
     eu2_capacity_sweep, feb2011_us_campus, fixed_us_peering, popularity_sweep, without_votd,

@@ -12,6 +12,13 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings" >&2
 cargo clippy --workspace --all-targets -- -D warnings
 
+# In-tree determinism lint: SimRng-only simulation, no wall clocks in
+# deterministic crates, ordered containers in output paths, forbid(unsafe)
+# everywhere, no RNG draws under telemetry guards. Exit 1 on any deny
+# finding.
+echo "==> ytcdn-lint --workspace" >&2
+cargo run --quiet --release -p ytcdn-lint -- --workspace
+
 echo "==> cargo test" >&2
 cargo test --workspace -q
 

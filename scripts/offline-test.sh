@@ -48,4 +48,11 @@ cargo test --manifest-path "$scratch/Cargo.toml" --offline --release \
     -p ytcdn-cdnsim --lib "$@"
 cargo test --manifest-path "$scratch/Cargo.toml" --offline --release \
     -p ytcdn-core --test sharding_differential --test golden_tables "$@"
+
+# The determinism lint is dependency-free, so both its self-tests (lexer,
+# engine, fixture corpus) and a full run over the real tree are stub-safe.
+cargo test --manifest-path "$scratch/Cargo.toml" --offline --release \
+    -p ytcdn-lint "$@"
+cargo run --manifest-path "$scratch/Cargo.toml" --offline --release --quiet \
+    -p ytcdn-lint -- --workspace --root "$repo"
 echo "offline-test: OK" >&2

@@ -3,15 +3,12 @@
 //! ground-truth map. This is the paper's actual Section V → Section VI
 //! pipeline, closed-loop.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use ytcdn_cdnsim::{ScenarioConfig, StandardScenario};
 use ytcdn_core::geo_analysis::{continent_counts, geolocate_servers};
 use ytcdn_core::{AnalysisContext, DcMap};
 use ytcdn_geoloc::{cluster_by_city, Cbg, MaxmindLike};
 use ytcdn_geomodel::{CityDb, Continent};
-use ytcdn_netsim::landmarks_with_counts;
+use ytcdn_netsim::{landmarks_with_counts, NoiseRng};
 use ytcdn_tstat::DatasetName;
 
 fn cbg(world_delay: ytcdn_netsim::DelayModel) -> Cbg {
@@ -118,7 +115,7 @@ fn cbg_competitive_with_shortest_ping() {
     let db = CityDb::builtin();
     let mut cbg_err = 0.0;
     let mut sp_err = 0.0;
-    let mut rng = StdRng::seed_from_u64(21);
+    let mut rng = NoiseRng::seed_from_u64(21);
     let targets = ["Lyon", "Hamburg", "Prague", "Denver", "Nashville", "Osaka"];
     for city in targets {
         let t = ytcdn_netsim::Endpoint::new(
@@ -152,7 +149,7 @@ fn cbg_radius_scales_with_landmark_density() {
     let db = CityDb::builtin();
     let mut sparse_sum = 0.0;
     let mut dense_sum = 0.0;
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = NoiseRng::seed_from_u64(11);
     for city in ["Paris", "Berlin", "Madrid", "Chicago", "Boston"] {
         let t = ytcdn_netsim::Endpoint::new(
             db.expect(city).coord,

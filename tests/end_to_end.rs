@@ -35,7 +35,10 @@ impl Harness {
     }
 
     fn dataset(&self, name: DatasetName) -> &ytcdn_tstat::Dataset {
-        self.datasets.iter().find(|d| d.name() == name).unwrap()
+        self.datasets
+            .iter()
+            .find(|d| d.name() == name)
+            .expect("fixture simulates every dataset")
     }
 }
 

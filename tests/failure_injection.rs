@@ -2,14 +2,11 @@
 //! fail loudly on corrupt inputs and behave sanely at the edges of its
 //! parameter space.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use ytcdn_cdnsim::{ScenarioConfig, StandardScenario};
 use ytcdn_core::AnalysisContext;
 use ytcdn_geoloc::Cbg;
 use ytcdn_geomodel::CityDb;
-use ytcdn_netsim::{AccessKind, DelayModel, Endpoint, Landmark};
+use ytcdn_netsim::{AccessKind, DelayModel, Endpoint, Landmark, NoiseRng};
 use ytcdn_tstat::{Dataset, DatasetName};
 
 #[test]
@@ -59,7 +56,7 @@ fn cbg_survives_colocated_landmarks() {
         })
         .collect();
     let cbg = Cbg::calibrate(landmarks, DelayModel::default(), 3, 1);
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = NoiseRng::seed_from_u64(3);
     let far = Endpoint::new(
         CityDb::builtin().expect("Tokyo").coord,
         AccessKind::DataCenter,
