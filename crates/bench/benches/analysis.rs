@@ -1,15 +1,18 @@
-//! Analysis-pipeline benches: session grouping (including the Figure 5
-//! T-sweep), context construction, pattern classification, and the hourly
-//! time-series binning.
+//! Analysis-pipeline benches: session grouping (sequential and sharded,
+//! including the Figure 5 T-sweep), context construction, columnar index
+//! build, pattern classification, and the hourly time-series binning —
+//! each direct pass next to its indexed counterpart.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use ytcdn_bench::bench_scenario;
+use ytcdn_core::index::{DatasetIndex, DEFAULT_GAP_MS};
 use ytcdn_core::patterns::classify_sessions;
-use ytcdn_core::session::group_sessions;
-use ytcdn_core::timeseries::hourly_samples;
-use ytcdn_core::videos::nonpreferred_video_stats;
+use ytcdn_core::session::{group_sessions, group_sessions_parallel};
+use ytcdn_core::timeseries::{hourly_samples, hourly_samples_indexed};
+use ytcdn_core::videos::{nonpreferred_video_stats, nonpreferred_video_stats_indexed};
 use ytcdn_core::AnalysisContext;
+use ytcdn_telemetry::Telemetry;
 use ytcdn_tstat::DatasetName;
 
 fn bench_session_grouping(c: &mut Criterion) {
@@ -21,6 +24,34 @@ fn bench_session_grouping(c: &mut Criterion) {
     for t_s in [1u64, 5, 10, 60, 300] {
         g.bench_function(format!("T={t_s}s"), |b| {
             b.iter(|| group_sessions(&ds, t_s * 1000))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_grouping(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let ds = scenario.run(DatasetName::Eu1Adsl);
+    let mut g = c.benchmark_group("analysis/group_sessions_parallel");
+    // jobs=1 isolates the shard/merge overhead against the sequential pass
+    // above; the larger counts show the scaling headroom on this host.
+    for jobs in [1usize, 2, 4, 8] {
+        g.bench_function(format!("jobs={jobs}"), |b| {
+            b.iter(|| group_sessions_parallel(&ds, DEFAULT_GAP_MS, jobs))
+        });
+    }
+    g.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let ds = scenario.run(DatasetName::Eu1Adsl);
+    let ctx = AnalysisContext::from_ground_truth(scenario.world(), &ds);
+    let mut g = c.benchmark_group("analysis/index_build");
+    g.sample_size(20);
+    for jobs in [1usize, 4] {
+        g.bench_function(format!("jobs={jobs}"), |b| {
+            b.iter(|| DatasetIndex::build(&ctx, &ds, jobs, Telemetry::disabled()))
         });
     }
     g.finish();
@@ -45,6 +76,10 @@ fn bench_pattern_classification(c: &mut Criterion) {
     c.bench_function("analysis/classify_sessions", |b| {
         b.iter(|| classify_sessions(&ctx, &ds, &sessions))
     });
+    let index = DatasetIndex::build(&ctx, &ds, 4, Telemetry::disabled());
+    c.bench_function("analysis/classify_sessions_indexed", |b| {
+        b.iter(|| index.classify(&sessions))
+    });
 }
 
 fn bench_timeseries_and_videos(c: &mut Criterion) {
@@ -57,11 +92,20 @@ fn bench_timeseries_and_videos(c: &mut Criterion) {
     c.bench_function("analysis/per_video_stats", |b| {
         b.iter(|| nonpreferred_video_stats(&ctx, &ds))
     });
+    let index = DatasetIndex::build(&ctx, &ds, 4, Telemetry::disabled());
+    c.bench_function("analysis/hourly_samples_indexed", |b| {
+        b.iter(|| hourly_samples_indexed(&index))
+    });
+    c.bench_function("analysis/per_video_stats_indexed", |b| {
+        b.iter(|| nonpreferred_video_stats_indexed(&index, &ds))
+    });
 }
 
 criterion_group!(
     benches,
     bench_session_grouping,
+    bench_parallel_grouping,
+    bench_index_build,
     bench_context_build,
     bench_pattern_classification,
     bench_timeseries_and_videos

@@ -5,6 +5,8 @@
 //! cargo run --release -p ytcdn-bench --bin repro
 //! # one experiment:
 //! cargo run --release -p ytcdn-bench --bin repro -- --exp fig11
+//! # run the experiments on 8 threads (stdout is identical for any --jobs):
+//! cargo run --release -p ytcdn-bench --bin repro -- --jobs 8
 //! # full paper scale with the full 215-landmark CBG (slow):
 //! cargo run --release -p ytcdn-bench --bin repro -- --scale 1.0 --full-landmarks
 //! ```
@@ -25,9 +27,11 @@ struct Args {
     exp: Option<String>,
     scale: f64,
     seed: u64,
+    jobs: usize,
     full_landmarks: bool,
     csv_dir: Option<std::path::PathBuf>,
     markdown: Option<std::path::PathBuf>,
+    bench_out: Option<std::path::PathBuf>,
     plot: bool,
     scorecard: bool,
 }
@@ -37,9 +41,11 @@ fn parse_args() -> Result<Args, String> {
         exp: None,
         scale: 0.1,
         seed: 42,
+        jobs: 0,
         full_landmarks: false,
         csv_dir: None,
         markdown: None,
+        bench_out: None,
         plot: false,
         scorecard: false,
     };
@@ -66,6 +72,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+            }
             "--full-landmarks" => args.full_landmarks = true,
             "--plot" => args.plot = true,
             "--scorecard" => args.scorecard = true,
@@ -74,9 +87,14 @@ fn parse_args() -> Result<Args, String> {
                     it.next().ok_or("--markdown needs a file path")?,
                 ))
             }
+            "--bench-out" => {
+                args.bench_out = Some(std::path::PathBuf::from(
+                    it.next().ok_or("--bench-out needs a file path")?,
+                ))
+            }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: repro [--exp {}] [--scale S] [--seed N] [--full-landmarks] [--csv DIR] [--markdown FILE] [--plot] [--scorecard]",
+                    "usage: repro [--exp {}] [--scale S] [--seed N] [--jobs N] [--full-landmarks] [--csv DIR] [--markdown FILE] [--bench-out FILE] [--plot] [--scorecard]",
                     ALL_EXPERIMENTS.join("|")
                 ));
             }
@@ -118,13 +136,16 @@ fn main() -> ExitCode {
     // Metrics-only telemetry: phase timings cost nothing measurable and the
     // summary below shows where the wall time went. Reports on stdout are
     // unaffected.
+    let t_start = std::time::Instant::now();
     let suite = ExperimentSuite::with_telemetry(
         SuiteConfig {
             scenario: ScenarioConfig::with_scale(args.scale, args.seed),
             full_landmarks: args.full_landmarks,
+            jobs: args.jobs,
         },
         Telemetry::metrics_only(),
     );
+    let build_ms = t_start.elapsed().as_secs_f64() * 1000.0;
 
     if args.scorecard {
         let checks = ytcdn_core::scorecard::scorecard(&suite);
@@ -142,8 +163,13 @@ fn main() -> ExitCode {
         Some(e) => vec![e.as_str()],
         None => ALL_EXPERIMENTS.to_vec(),
     };
-    for id in ids {
-        let report = suite.run(id).expect("ids validated above");
+    // Experiments run concurrently; reports come back in input order, so
+    // stdout is byte-identical to the sequential path regardless of --jobs.
+    let t_experiments = std::time::Instant::now();
+    let reports = suite.run_many(&ids, suite.jobs());
+    let experiments_ms = t_experiments.elapsed().as_secs_f64() * 1000.0;
+    for (id, report) in ids.iter().zip(reports) {
+        let report = report.expect("ids validated above");
         println!(
             "──── {id} {}",
             "─".repeat(60_usize.saturating_sub(id.len()))
@@ -178,8 +204,72 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(path) = &args.bench_out {
+        let json = bench_json(
+            &suite,
+            &args,
+            build_ms,
+            experiments_ms,
+            t_start.elapsed().as_secs_f64() * 1000.0,
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        progress.note(&format!("wrote bench timings to {}", path.display()));
+    }
     phase_summary(&suite, &progress);
     ExitCode::SUCCESS
+}
+
+/// Renders the timing summary as JSON by hand: the bench crate has no JSON
+/// dependency, and every key is a fixed `[a-z0-9-_.]` identifier, so no
+/// escaping is needed.
+fn bench_json(
+    suite: &ExperimentSuite,
+    args: &Args,
+    build_ms: f64,
+    experiments_ms: f64,
+    total_ms: f64,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"scale\": {},", args.scale);
+    let _ = writeln!(out, "  \"seed\": {},", args.seed);
+    let _ = writeln!(out, "  \"jobs\": {},", suite.jobs());
+    let _ = writeln!(out, "  \"build_ms\": {build_ms:.3},");
+    let _ = writeln!(out, "  \"experiments_ms\": {experiments_ms:.3},");
+    let _ = writeln!(out, "  \"total_ms\": {total_ms:.3},");
+    let snapshot = suite
+        .telemetry()
+        .metrics_snapshot()
+        .expect("repro always runs with metrics-only telemetry");
+    let _ = writeln!(
+        out,
+        "  \"index_session_cache_hits\": {},",
+        snapshot.counter("index.sessions.cache_hit")
+    );
+    let _ = writeln!(
+        out,
+        "  \"index_session_cache_misses\": {},",
+        snapshot.counter("index.sessions.cache_miss")
+    );
+    out.push_str("  \"per_experiment_ms\": {\n");
+    // Span histograms record microseconds; report accumulated milliseconds.
+    let exps: Vec<(String, f64)> = snapshot
+        .histograms
+        .iter()
+        .filter_map(|(name, h)| {
+            name.strip_prefix("exp.")
+                .map(|id| (id.to_owned(), h.sum as f64 / 1000.0))
+        })
+        .collect();
+    for (i, (id, ms)) in exps.iter().enumerate() {
+        let comma = if i + 1 < exps.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{id}\": {ms:.3}{comma}");
+    }
+    out.push_str("  }\n}\n");
+    out
 }
 
 /// Prints where the wall time went (build, per-dataset simulation, each

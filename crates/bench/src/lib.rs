@@ -26,6 +26,7 @@ pub fn bench_suite() -> ExperimentSuite {
     ExperimentSuite::new(SuiteConfig {
         scenario: ScenarioConfig::with_scale(BENCH_SCALE, BENCH_SEED),
         full_landmarks: false,
+        jobs: 0,
     })
 }
 

@@ -26,11 +26,9 @@ mod args;
 
 use args::{Command, ParseError, TelemetryOpts};
 use ytcdn_cdnsim::{ScenarioConfig, StandardScenario};
-use ytcdn_core::patterns::classify_sessions;
 use ytcdn_core::perf::perf_report;
-use ytcdn_core::session::group_sessions;
 use ytcdn_core::whatif;
-use ytcdn_core::AnalysisContext;
+use ytcdn_core::{AnalysisContext, DatasetIndex};
 use ytcdn_geoloc::{cluster_by_city, Cbg};
 use ytcdn_geomodel::CityDb;
 use ytcdn_telemetry::{JsonlSink, Progress, Telemetry};
@@ -344,8 +342,11 @@ fn analyze(trace: &PathBuf, scale: f64, seed: u64, cli: &Ctx) -> ExitCode {
         100.0 * ctx.nonpreferred_share_of_flows()
     );
 
-    let sessions = group_sessions(&ds, 1_000);
-    let st = classify_sessions(&ctx, &ds, &sessions);
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let index = DatasetIndex::build(&ctx, &ds, jobs, cli.telemetry.clone());
+    let st = index.patterns();
     println!(
         "sessions: {} total, {:.1}% single-flow ({:.1}% of those to non-preferred DCs)",
         st.total,
@@ -357,7 +358,7 @@ fn analyze(trace: &PathBuf, scale: f64, seed: u64, cli: &Ctx) -> ExitCode {
         st.two_flow.pp, st.two_flow.pn, st.two_flow.np, st.two_flow.nn
     );
 
-    let perf = perf_report(&ctx, &ds, &sessions);
+    let perf = perf_report(&ctx, &ds, index.sessions());
     println!(
         "performance: median redirect startup penalty {:.0} ms, median non-preferred RTT penalty {:.1} ms",
         perf.median_redirect_penalty_ms(),

@@ -20,15 +20,17 @@ use crate::as_analysis::{as_breakdown, WellKnownAsExt};
 use crate::dcmap::AnalysisContext;
 use crate::geo_analysis::{continent_counts, geolocate_servers, radius_cdfs, server_rtt_cdf};
 use crate::hotspot::{
-    preferred_server_load, server_session_breakdown, top_nonpreferred_videos, video_timeseries,
+    preferred_server_load_indexed, server_session_breakdown_indexed,
+    top_nonpreferred_videos_indexed, video_timeseries_indexed,
 };
-use crate::patterns::classify_sessions;
+use crate::index::DatasetIndex;
 use crate::preferred::{bytes_by_distance, bytes_by_rtt, closest_k_share};
-use crate::session::{flows_per_session, group_sessions};
 use crate::stats::Cdf;
 use crate::subnet::subnet_shares;
-use crate::timeseries::{hourly_samples, load_vs_preferred_correlation, nonpreferred_fraction_cdf};
-use crate::videos::nonpreferred_video_stats;
+use crate::timeseries::{
+    hourly_samples_indexed, load_vs_preferred_correlation, nonpreferred_fraction_cdf_indexed,
+};
+use crate::videos::nonpreferred_video_stats_indexed;
 
 /// Configuration of the experiment suite.
 #[derive(Debug, Clone, Copy, Default)]
@@ -38,6 +40,10 @@ pub struct SuiteConfig {
     /// Use the full 215-landmark set for CBG experiments (slow); otherwise a
     /// reduced 50-landmark set with the same continental proportions.
     pub full_landmarks: bool,
+    /// Worker threads for index building and [`ExperimentSuite::run_many`];
+    /// `0` (the default) means one per available CPU. Any value produces
+    /// byte-identical reports — `jobs` only changes wall-clock time.
+    pub jobs: usize,
 }
 
 /// All experiment identifiers, paper order.
@@ -86,10 +92,12 @@ pub fn experiment_span_name(id: &str) -> Option<&'static str> {
 /// Simulates the five datasets once and regenerates every table and figure.
 pub struct ExperimentSuite {
     config: SuiteConfig,
+    jobs: usize,
     scenario: StandardScenario,
     datasets: Vec<Dataset>,
     contexts: Vec<AnalysisContext>,
-    cbg: std::cell::OnceCell<Cbg>,
+    indexes: Vec<DatasetIndex>,
+    cbg: std::sync::OnceLock<Cbg>,
     telemetry: Telemetry,
 }
 
@@ -104,21 +112,38 @@ impl ExperimentSuite {
     /// every [`ExperimentSuite::run`] call records an `exp.<id>` wall-time
     /// histogram.
     pub fn with_telemetry(config: SuiteConfig, telemetry: Telemetry) -> Self {
+        let jobs = if config.jobs > 0 {
+            config.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
         let scenario = StandardScenario::build_instrumented(config.scenario, telemetry.clone());
         let datasets = scenario.run_all_parallel();
-        let contexts = {
+        let contexts: Vec<AnalysisContext> = {
             let _span = telemetry.span("suite.contexts");
             datasets
                 .iter()
                 .map(|ds| AnalysisContext::from_ground_truth(scenario.world(), ds))
                 .collect()
         };
+        let indexes = {
+            let _span = telemetry.span("suite.indexes");
+            datasets
+                .iter()
+                .zip(&contexts)
+                .map(|(ds, ctx)| DatasetIndex::build(ctx, ds, jobs, telemetry.clone()))
+                .collect()
+        };
         Self {
             config,
+            jobs,
             scenario,
             datasets,
             contexts,
-            cbg: std::cell::OnceCell::new(),
+            indexes,
+            cbg: std::sync::OnceLock::new(),
             telemetry,
         }
     }
@@ -126,6 +151,12 @@ impl ExperimentSuite {
     /// The scenario under analysis.
     pub fn scenario(&self) -> &StandardScenario {
         &self.scenario
+    }
+
+    /// The resolved worker-thread count ([`SuiteConfig::jobs`], with `0`
+    /// replaced by the available CPU count).
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// The telemetry handle the suite was built with (disabled for
@@ -148,6 +179,14 @@ impl ExperimentSuite {
             .iter()
             .find(|c| c.dataset_name() == name)
             .expect("suite builds all five contexts")
+    }
+
+    /// A dataset's columnar index.
+    pub fn dataset_index(&self, name: DatasetName) -> &DatasetIndex {
+        self.indexes
+            .iter()
+            .find(|i| i.dataset_name() == name)
+            .expect("suite builds all five indexes")
     }
 
     fn cbg(&self) -> &Cbg {
@@ -206,6 +245,42 @@ impl ExperimentSuite {
             "ext-feb2011" => self.ext_feb2011(),
             _ => return None,
         })
+    }
+
+    /// Runs many experiments concurrently on `jobs` threads (clamped to at
+    /// least 1), returning the reports in input order — the output is
+    /// byte-identical to mapping [`ExperimentSuite::run`] over `ids`
+    /// sequentially, because experiments only read shared state (the lazily
+    /// initialized CBG calibration and session cache are behind
+    /// `OnceLock`/`RwLock`) and results are reassembled by input position.
+    pub fn run_many(&self, ids: &[&str], jobs: usize) -> Vec<Option<String>> {
+        let jobs = jobs.clamp(1, ids.len().max(1));
+        if jobs == 1 {
+            return ids.iter().map(|id| self.run(id)).collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut results: Vec<Option<String>> = vec![None; ids.len()];
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..jobs)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(id) = ids.get(i) else { break };
+                            mine.push((i, self.run(id)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for w in workers {
+                for (i, report) in w.join().expect("experiment worker panicked") {
+                    results[i] = report;
+                }
+            }
+        });
+        results
     }
 
     /// Table I: traffic summary per dataset.
@@ -392,8 +467,9 @@ impl ExperimentSuite {
             "{:<8} {:>10} {:>16}",
             "T[s]", "sessions", "single-flow frac"
         );
+        let index = self.dataset_index(DatasetName::UsCampus);
         for t_s in [1u64, 5, 10, 60, 300] {
-            let cdf = flows_per_session(ds, t_s * 1000);
+            let cdf = index.flows_per_session(ds, t_s * 1000);
             let _ = writeln!(
                 out,
                 "{:<8} {:>10} {:>16.3}",
@@ -415,7 +491,7 @@ impl ExperimentSuite {
             "Dataset", "sessions", "=1 flow", "=2 flows", ">2 flows"
         );
         for ds in &self.datasets {
-            let cdf = flows_per_session(ds, 1000);
+            let cdf = self.dataset_index(ds.name()).flows_per_session(ds, 1000);
             let one = cdf.fraction_at_or_below(1.0);
             let two = cdf.fraction_at_or_below(2.0) - one;
             let _ = writeln!(
@@ -488,8 +564,8 @@ impl ExperimentSuite {
             "{:<11} {:>8} {:>8} {:>8}",
             "Dataset", "p25", "p50", "p90"
         );
-        for (ds, ctx) in self.datasets.iter().zip(&self.contexts) {
-            let cdf = nonpreferred_fraction_cdf(ctx, ds);
+        for ds in &self.datasets {
+            let cdf = nonpreferred_fraction_cdf_indexed(self.dataset_index(ds.name()));
             let _ = writeln!(
                 out,
                 "{:<11} {:>8.3} {:>8.3} {:>8.3}",
@@ -512,9 +588,8 @@ impl ExperimentSuite {
             "{:<11} {:>12} {:>14} {:>18}",
             "Dataset", "1-flow frac", "to preferred", "to non-preferred"
         );
-        for (ds, ctx) in self.datasets.iter().zip(&self.contexts) {
-            let sessions = group_sessions(ds, 1000);
-            let st = classify_sessions(ctx, ds, &sessions);
+        for ds in &self.datasets {
+            let st = self.dataset_index(ds.name()).patterns();
             let single = st.one_flow.preferred + st.one_flow.non_preferred;
             let _ = writeln!(
                 out,
@@ -538,9 +613,8 @@ impl ExperimentSuite {
             "{:<11} {:>8} {:>8} {:>8} {:>8}",
             "Dataset", "p,p", "p,n", "n,p", "n,n"
         );
-        for (ds, ctx) in self.datasets.iter().zip(&self.contexts) {
-            let sessions = group_sessions(ds, 1000);
-            let st = classify_sessions(ctx, ds, &sessions);
+        for ds in &self.datasets {
+            let st = self.dataset_index(ds.name()).patterns();
             let n = (st.two_flow.pp + st.two_flow.pn + st.two_flow.np + st.two_flow.nn).max(1);
             let _ = writeln!(
                 out,
@@ -557,9 +631,7 @@ impl ExperimentSuite {
 
     /// Figure 11: EU2 hourly local fraction and load.
     pub fn fig11(&self) -> String {
-        let ds = self.dataset(DatasetName::Eu2);
-        let ctx = self.context(DatasetName::Eu2);
-        let samples = hourly_samples(ctx, ds);
+        let samples = hourly_samples_indexed(self.dataset_index(DatasetName::Eu2));
         let corr = load_vs_preferred_correlation(&samples);
         let mut out = String::from(
             "Figure 11 — EU2 local-DC fraction vs hourly load (paper: ~100% at night, ~30% at peak)\n",
@@ -625,8 +697,8 @@ impl ExperimentSuite {
             "{:<11} {:>10} {:>14} {:>20} {:>8}",
             "Dataset", "videos", "exactly once", "once & single-access", "max"
         );
-        for (ds, ctx) in self.datasets.iter().zip(&self.contexts) {
-            let st = nonpreferred_video_stats(ctx, ds);
+        for ds in &self.datasets {
+            let st = nonpreferred_video_stats_indexed(self.dataset_index(ds.name()), ds);
             let _ = writeln!(
                 out,
                 "{:<11} {:>10} {:>14.3} {:>20.3} {:>8}",
@@ -643,13 +715,13 @@ impl ExperimentSuite {
     /// Figure 14: the top-4 non-preferred videos' request series (EU1-ADSL).
     pub fn fig14(&self) -> String {
         let ds = self.dataset(DatasetName::Eu1Adsl);
-        let ctx = self.context(DatasetName::Eu1Adsl);
-        let top = top_nonpreferred_videos(ctx, ds, 4);
+        let index = self.dataset_index(DatasetName::Eu1Adsl);
+        let top = top_nonpreferred_videos_indexed(index, ds, 4);
         let mut out = String::from(
             "Figure 14 — top-4 non-preferred videos, EU1-ADSL (paper: 24h video-of-the-day spikes)\n",
         );
         for (rank, (video, count)) in top.iter().enumerate() {
-            let series = video_timeseries(ctx, ds, *video);
+            let series = video_timeseries_indexed(index, ds, *video);
             let (peak_hour, peak) = series
                 .iter()
                 .enumerate()
@@ -674,8 +746,7 @@ impl ExperimentSuite {
     /// Figure 15: avg/max per-server load in EU1-ADSL's preferred DC.
     pub fn fig15(&self) -> String {
         let ds = self.dataset(DatasetName::Eu1Adsl);
-        let ctx = self.context(DatasetName::Eu1Adsl);
-        let load = preferred_server_load(ctx, ds);
+        let load = preferred_server_load_indexed(self.dataset_index(DatasetName::Eu1Adsl), ds);
         let overall_avg = load.iter().map(|h| h.avg).sum::<f64>() / load.len().max(1) as f64;
         let peak = load
             .iter()
@@ -701,13 +772,12 @@ impl ExperimentSuite {
     /// Figure 16: session breakdown at the hottest preferred-DC server.
     pub fn fig16(&self) -> String {
         let ds = self.dataset(DatasetName::Eu1Adsl);
-        let ctx = self.context(DatasetName::Eu1Adsl);
-        let load = preferred_server_load(ctx, ds);
+        let index = self.dataset_index(DatasetName::Eu1Adsl);
+        let load = preferred_server_load_indexed(index, ds);
         let Some(hot) = load.iter().max_by_key(|h| h.max).and_then(|h| h.max_server) else {
             return "Figure 16 — no server load observed".into();
         };
-        let sessions = group_sessions(ds, 1000);
-        let breakdown = server_session_breakdown(ctx, ds, &sessions, hot);
+        let breakdown = server_session_breakdown_indexed(index, ds, hot);
         let total: u64 = breakdown.iter().map(|h| h.total()).sum();
         let redirected: u64 = breakdown.iter().map(|h| h.first_preferred_then_non).sum();
         let peak_hour = breakdown
@@ -744,8 +814,7 @@ impl ExperimentSuite {
             "Dataset", "startup penalty [ms]", "RTT penalty [ms]"
         );
         for (ds, ctx) in self.datasets.iter().zip(&self.contexts) {
-            let sessions = group_sessions(ds, 1000);
-            let r = crate::perf::perf_report(ctx, ds, &sessions);
+            let r = crate::perf::perf_report(ctx, ds, self.dataset_index(ds.name()).sessions());
             let _ = writeln!(
                 out,
                 "{:<11} {:>22.0} {:>22.1}",
@@ -880,6 +949,7 @@ mod tests {
         ExperimentSuite::new(SuiteConfig {
             scenario: ScenarioConfig::with_scale(0.004, 2),
             full_landmarks: false,
+            jobs: 0,
         })
     }
 
@@ -903,6 +973,20 @@ mod tests {
         for name in DatasetName::ALL {
             assert_eq!(s.dataset(name).name(), name);
             assert_eq!(s.context(name).dataset_name(), name);
+            assert_eq!(s.dataset_index(name).dataset_name(), name);
+        }
+        assert!(s.jobs() >= 1);
+    }
+
+    #[test]
+    fn run_many_matches_sequential_run() {
+        let s = suite();
+        // A mix of cheap experiments plus an unknown id: parallel execution
+        // must reproduce the sequential reports (and the None) in order.
+        let ids = ["fig6", "fig10a", "fig99", "fig13", "fig9", "fig5"];
+        let sequential: Vec<Option<String>> = ids.iter().map(|id| s.run(id)).collect();
+        for jobs in [1, 4] {
+            assert_eq!(s.run_many(&ids, jobs), sequential, "jobs={jobs}");
         }
     }
 
@@ -912,6 +996,7 @@ mod tests {
             SuiteConfig {
                 scenario: ScenarioConfig::with_scale(0.004, 2),
                 full_landmarks: false,
+                jobs: 2,
             },
             Telemetry::metrics_only(),
         );
@@ -920,7 +1005,9 @@ mod tests {
         let snap = s.telemetry().metrics_snapshot().unwrap();
         assert_eq!(snap.histograms["exp.table1"].count, 2);
         assert_eq!(snap.histograms["scenario.build"].count, 1);
-        assert_eq!(snap.histograms["scenario.run_all"].count, 1);
+        assert_eq!(snap.histograms["scenario.run_all_parallel"].count, 1);
+        assert_eq!(snap.histograms["suite.indexes"].count, 1);
+        assert_eq!(snap.histograms["index.build"].count, 5);
         // Every known experiment id has a static span name.
         for id in ALL_EXPERIMENTS.iter().chain(EXTENSION_EXPERIMENTS) {
             assert!(experiment_span_name(id).is_some(), "{id}");

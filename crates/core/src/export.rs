@@ -17,15 +17,14 @@ use crate::active_analysis::{most_illustrative_node, ratio_cdf};
 use crate::experiments::ExperimentSuite;
 use crate::geo_analysis::radius_cdfs;
 use crate::hotspot::{
-    preferred_server_load, server_session_breakdown, top_nonpreferred_videos, video_timeseries,
+    preferred_server_load_indexed, server_session_breakdown_indexed,
+    top_nonpreferred_videos_indexed, video_timeseries_indexed,
 };
-use crate::patterns::classify_sessions;
 use crate::preferred::{bytes_by_distance, bytes_by_rtt};
-use crate::session::{flows_per_session, group_sessions};
 use crate::stats::Cdf;
 use crate::subnet::subnet_shares;
-use crate::timeseries::{hourly_samples, nonpreferred_fraction_cdf};
-use crate::videos::nonpreferred_video_stats;
+use crate::timeseries::{hourly_samples_indexed, nonpreferred_fraction_cdf_indexed};
+use crate::videos::nonpreferred_video_stats_indexed;
 
 /// How many points each exported CDF is decimated to.
 const CDF_POINTS: usize = 400;
@@ -101,12 +100,19 @@ pub fn figure_series(suite: &ExperimentSuite, id: &str) -> Option<Vec<Series>> {
         "fig5" => [1u64, 5, 10, 60, 300]
             .iter()
             .map(|&t| {
-                let cdf = flows_per_session(suite.dataset(DatasetName::UsCampus), t * 1000);
+                let cdf = suite
+                    .dataset_index(DatasetName::UsCampus)
+                    .flows_per_session(suite.dataset(DatasetName::UsCampus), t * 1000);
                 Series::from_cdf(format!("{t}sec"), &cdf)
             })
             .collect(),
         "fig6" => per_dataset(&|n| {
-            Series::from_cdf(n.to_string(), &flows_per_session(suite.dataset(n), 1000))
+            Series::from_cdf(
+                n.to_string(),
+                &suite
+                    .dataset_index(n)
+                    .flows_per_session(suite.dataset(n), 1000),
+            )
         }),
         "fig7" => per_dataset(&|n| Series {
             name: n.to_string(),
@@ -123,14 +129,13 @@ pub fn figure_series(suite: &ExperimentSuite, id: &str) -> Option<Vec<Series>> {
                 .collect(),
         }),
         "fig9" => per_dataset(&|n| {
-            let cdf = nonpreferred_fraction_cdf(suite.context(n), suite.dataset(n));
+            let cdf = nonpreferred_fraction_cdf_indexed(suite.dataset_index(n));
             Series::from_cdf(n.to_string(), &cdf)
         }),
         "fig10a" | "fig10b" => {
             let mut out = Vec::new();
             for (i, &n) in DatasetName::ALL.iter().enumerate() {
-                let sessions = group_sessions(suite.dataset(n), 1000);
-                let st = classify_sessions(suite.context(n), suite.dataset(n), &sessions);
+                let st = suite.dataset_index(n).patterns();
                 let x = i as f64;
                 if id == "fig10a" {
                     let tot = st.total.max(1) as f64;
@@ -173,10 +178,7 @@ pub fn figure_series(suite: &ExperimentSuite, id: &str) -> Option<Vec<Series>> {
             out
         }
         "fig11" => {
-            let samples = hourly_samples(
-                suite.context(DatasetName::Eu2),
-                suite.dataset(DatasetName::Eu2),
-            );
+            let samples = hourly_samples_indexed(suite.dataset_index(DatasetName::Eu2));
             vec![
                 Series {
                     name: "local fraction".into(),
@@ -221,15 +223,16 @@ pub fn figure_series(suite: &ExperimentSuite, id: &str) -> Option<Vec<Series>> {
             vec![np, all]
         }
         "fig13" => per_dataset(&|n| {
-            let st = nonpreferred_video_stats(suite.context(n), suite.dataset(n));
+            let st = nonpreferred_video_stats_indexed(suite.dataset_index(n), suite.dataset(n));
             Series::from_cdf(n.to_string(), &st.cdf)
         }),
         "fig14" => {
             let n = DatasetName::Eu1Adsl;
-            let top = top_nonpreferred_videos(suite.context(n), suite.dataset(n), 4);
+            let top = top_nonpreferred_videos_indexed(suite.dataset_index(n), suite.dataset(n), 4);
             let mut out = Vec::new();
             for (rank, (video, _)) in top.iter().enumerate() {
-                let series = video_timeseries(suite.context(n), suite.dataset(n), *video);
+                let series =
+                    video_timeseries_indexed(suite.dataset_index(n), suite.dataset(n), *video);
                 out.push(Series {
                     name: format!("video{} all", rank + 1),
                     points: series
@@ -251,7 +254,7 @@ pub fn figure_series(suite: &ExperimentSuite, id: &str) -> Option<Vec<Series>> {
         }
         "fig15" => {
             let n = DatasetName::Eu1Adsl;
-            let load = preferred_server_load(suite.context(n), suite.dataset(n));
+            let load = preferred_server_load_indexed(suite.dataset_index(n), suite.dataset(n));
             vec![
                 Series {
                     name: "avg".into(),
@@ -274,13 +277,12 @@ pub fn figure_series(suite: &ExperimentSuite, id: &str) -> Option<Vec<Series>> {
         "fig16" => {
             let n = DatasetName::Eu1Adsl;
             let ds = suite.dataset(n);
-            let ctx = suite.context(n);
-            let load = preferred_server_load(ctx, ds);
+            let index = suite.dataset_index(n);
+            let load = preferred_server_load_indexed(index, ds);
             let Some(hot) = load.iter().max_by_key(|h| h.max).and_then(|h| h.max_server) else {
                 return Some(Vec::new());
             };
-            let sessions = group_sessions(ds, 1000);
-            let breakdown = server_session_breakdown(ctx, ds, &sessions, hot);
+            let breakdown = server_session_breakdown_indexed(index, ds, hot);
             let series =
                 |name: &str, f: &dyn Fn(&crate::hotspot::ServerSessionHour) -> u64| Series {
                     name: name.into(),
@@ -432,6 +434,7 @@ mod tests {
         ExperimentSuite::new(SuiteConfig {
             scenario: ScenarioConfig::with_scale(0.003, 88),
             full_landmarks: false,
+            jobs: 0,
         })
     }
 

@@ -6,7 +6,7 @@
 //! average exactly then, and that the affected server's sessions switch
 //! from all-preferred to (preferred → non-preferred) redirection patterns.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
@@ -14,8 +14,9 @@ use serde::{Deserialize, Serialize};
 use ytcdn_tstat::{Dataset, VideoId, HOUR_MS};
 
 use crate::dcmap::AnalysisContext;
+use crate::index::DatasetIndex;
 use crate::session::Session;
-use crate::videos::per_video_counts;
+use crate::videos::{per_video_counts, per_video_counts_indexed, VideoCounts};
 
 /// The `k` videos with the highest number of non-preferred accesses
 /// (the paper's Figure 14 selects the top 4), most-redirected first.
@@ -24,7 +25,21 @@ pub fn top_nonpreferred_videos(
     dataset: &Dataset,
     k: usize,
 ) -> Vec<(VideoId, u64)> {
-    let counts = per_video_counts(ctx, dataset);
+    rank_nonpreferred(per_video_counts(ctx, dataset), k)
+}
+
+/// [`top_nonpreferred_videos`] answered from the columnar index.
+pub fn top_nonpreferred_videos_indexed(
+    index: &DatasetIndex,
+    dataset: &Dataset,
+    k: usize,
+) -> Vec<(VideoId, u64)> {
+    rank_nonpreferred(per_video_counts_indexed(index, dataset), k)
+}
+
+/// Ranks per-video counts by non-preferred accesses; ties broken by video
+/// id, so the result is independent of the counts map's iteration order.
+fn rank_nonpreferred(counts: HashMap<VideoId, VideoCounts>, k: usize) -> Vec<(VideoId, u64)> {
     let mut v: Vec<(VideoId, u64)> = counts
         .into_iter()
         .map(|(id, c)| (id, c.non_preferred))
@@ -70,6 +85,35 @@ pub fn video_timeseries(
         }
     }
     out
+}
+
+/// [`video_timeseries`] answered from the columnar index.
+pub fn video_timeseries_indexed(
+    index: &DatasetIndex,
+    dataset: &Dataset,
+    video: VideoId,
+) -> Vec<VideoHour> {
+    let records = dataset.records();
+    index
+        .hour_ranges()
+        .iter()
+        .map(|range| {
+            let mut h = VideoHour::default();
+            for i in range.clone() {
+                if records[i].video_id != video || !index.is_video_flow(i) {
+                    continue;
+                }
+                let Some(pref) = index.is_preferred_flow(i) else {
+                    continue;
+                };
+                h.all += 1;
+                if !pref {
+                    h.non_preferred += 1;
+                }
+            }
+            h
+        })
+        .collect()
 }
 
 /// One hour of preferred-data-center per-server load (a Figure 15 point).
@@ -122,6 +166,41 @@ pub fn preferred_server_load(ctx: &AnalysisContext, dataset: &Dataset) -> Vec<Se
         .collect()
 }
 
+/// [`preferred_server_load`] answered from the columnar index. The
+/// maximum uses the same total-order key as the direct path, so switching
+/// the per-hour accumulator to a `BTreeMap` cannot change the output.
+pub fn preferred_server_load_indexed(
+    index: &DatasetIndex,
+    dataset: &Dataset,
+) -> Vec<ServerLoadHour> {
+    let pref_idx = index.preferred_index();
+    let denominator = index.preferred_servers_seen().max(1) as f64;
+    let records = dataset.records();
+    index
+        .hour_ranges()
+        .iter()
+        .map(|range| {
+            let mut m: BTreeMap<Ipv4Addr, u64> = BTreeMap::new();
+            for i in range.clone() {
+                if index.dc_of_flow(i) == Some(pref_idx) {
+                    *m.entry(records[i].server_ip).or_default() += 1;
+                }
+            }
+            let total: u64 = m.values().sum();
+            let (max_server, max) = m
+                .into_iter()
+                .max_by_key(|&(ip, n)| (n, std::cmp::Reverse(ip)))
+                .map(|(ip, n)| (Some(ip), n))
+                .unwrap_or((None, 0));
+            ServerLoadHour {
+                avg: total as f64 / denominator,
+                max,
+                max_server,
+            }
+        })
+        .collect()
+}
+
 /// Hourly session-pattern breakdown at one server (Figure 16).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServerSessionHour {
@@ -156,12 +235,44 @@ pub fn server_session_breakdown(
         .unwrap_or(0);
     let mut out = vec![ServerSessionHour::default(); last_hour as usize + 1];
     for s in sessions {
-        let flows = s.flows(dataset);
-        if !flows.iter().any(|f| f.server_ip == server) {
+        if !s.flows_iter(dataset).any(|f| f.server_ip == server) {
             continue;
         }
         let slot = &mut out[(s.start_ms / HOUR_MS) as usize];
-        let prefs: Option<Vec<bool>> = flows.iter().map(|f| ctx.is_preferred(f)).collect();
+        let prefs: Option<Vec<bool>> = s.flows_iter(dataset).map(|f| ctx.is_preferred(f)).collect();
+        match prefs {
+            Some(p) if p.iter().all(|&x| x) => slot.all_preferred += 1,
+            Some(p) if p[0] && p[1..].iter().any(|&x| !x) => slot.first_preferred_then_non += 1,
+            _ => slot.others += 1,
+        }
+    }
+    out
+}
+
+/// [`server_session_breakdown`] over the index's default-gap sessions,
+/// with per-flow targets read from the columns.
+pub fn server_session_breakdown_indexed(
+    index: &DatasetIndex,
+    dataset: &Dataset,
+    server: Ipv4Addr,
+) -> Vec<ServerSessionHour> {
+    let sessions = index.sessions();
+    let last_hour = sessions
+        .iter()
+        .map(|s| s.start_ms / HOUR_MS)
+        .max()
+        .unwrap_or(0);
+    let mut out = vec![ServerSessionHour::default(); last_hour as usize + 1];
+    for s in sessions {
+        if !s.flows_iter(dataset).any(|f| f.server_ip == server) {
+            continue;
+        }
+        let slot = &mut out[(s.start_ms / HOUR_MS) as usize];
+        let prefs: Option<Vec<bool>> = s
+            .flow_indices
+            .iter()
+            .map(|&i| index.is_preferred_flow(i))
+            .collect();
         match prefs {
             Some(p) if p.iter().all(|&x| x) => slot.all_preferred += 1,
             Some(p) if p[0] && p[1..].iter().any(|&x| !x) => slot.first_preferred_then_non += 1,
@@ -272,6 +383,30 @@ mod tests {
         assert!(
             redirected > 0,
             "hot server shows no redirection: {breakdown:?}"
+        );
+    }
+
+    #[test]
+    fn indexed_variants_match_direct() {
+        let (_, ds, ctx) = setup();
+        let index = DatasetIndex::build(&ctx, &ds, 2, ytcdn_telemetry::Telemetry::disabled());
+        let top = top_nonpreferred_videos(&ctx, &ds, 4);
+        assert_eq!(top_nonpreferred_videos_indexed(&index, &ds, 4), top);
+        assert_eq!(
+            video_timeseries_indexed(&index, &ds, top[0].0),
+            video_timeseries(&ctx, &ds, top[0].0)
+        );
+        let load = preferred_server_load(&ctx, &ds);
+        assert_eq!(preferred_server_load_indexed(&index, &ds), load);
+        let hot = load
+            .iter()
+            .max_by(|a, b| a.max.cmp(&b.max))
+            .and_then(|h| h.max_server)
+            .expect("some server saw load");
+        let sessions = group_sessions(&ds, 1_000);
+        assert_eq!(
+            server_session_breakdown_indexed(&index, &ds, hot),
+            server_session_breakdown(&ctx, &ds, &sessions, hot)
         );
     }
 

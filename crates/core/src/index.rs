@@ -1,0 +1,449 @@
+//! The shared columnar analysis index — built once per dataset, answering
+//! every per-figure question without re-deriving state.
+//!
+//! Before this layer, each experiment independently re-ran
+//! `group_sessions` + `classify_sessions` and re-probed the
+//! [`AnalysisContext`]'s `/24 → data center` map per flow. A
+//! [`DatasetIndex`] resolves those lookups exactly once into flat columns
+//! (`Vec<Option<u32>>` of data-center ids, `Vec<bool>` of video flags),
+//! bins the (start-time-sorted) records into per-hour index ranges,
+//! aggregates per-server and per-data-center traffic, and groups +
+//! classifies the default-gap sessions — in parallel, with output
+//! byte-identical to the sequential path (see
+//! [`crate::session::group_sessions_parallel`] for the argument).
+//!
+//! Determinism note: every collection here is a `Vec` or `BTreeMap`
+//! (lint rule `DET003` applies to this module), so iteration order — and
+//! therefore anything derived from the index — is reproducible.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::ops::Range;
+use std::sync::{Arc, PoisonError, RwLock};
+
+use ytcdn_telemetry::Telemetry;
+use ytcdn_tstat::{Dataset, DatasetName, HOUR_MS};
+
+use crate::dcmap::AnalysisContext;
+use crate::patterns::PatternStats;
+use crate::session::{group_sessions_parallel, Session};
+use crate::stats::Cdf;
+
+/// The paper's session gap threshold `T` = 1 s, in milliseconds — the gap
+/// the index pre-groups sessions at.
+pub const DEFAULT_GAP_MS: u64 = 1_000;
+
+/// Per-server traffic aggregate over one dataset (analysis servers only),
+/// rows sorted by server address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// The server address.
+    pub ip: Ipv4Addr,
+    /// Index of the data center the server belongs to.
+    pub dc: usize,
+    /// Flows the server answered (control flows included).
+    pub flows: u64,
+    /// Bytes the server sent.
+    pub bytes: u64,
+}
+
+/// The columnar index over one dataset.
+///
+/// Built once (in parallel) per dataset; all accessors are cheap reads.
+/// The only interior mutability is the session cache for non-default gap
+/// thresholds (the Figure 5 `T`-sweep), guarded by an `RwLock` and
+/// instrumented with `index.sessions.cache_hit` / `cache_miss` counters.
+#[derive(Debug)]
+pub struct DatasetIndex {
+    dataset_name: DatasetName,
+    jobs: usize,
+    telemetry: Telemetry,
+    preferred: usize,
+    preferred_servers_seen: usize,
+    /// Per flow: the analysis data-center index, `None` outside the
+    /// analysis ASes. `u32` keeps the column at 8 bytes/flow.
+    flow_dc: Vec<Option<u32>>,
+    /// Per flow: whether the classifier calls it a video flow.
+    flow_video: Vec<bool>,
+    /// Per hour since trace start: the record-index range starting in it.
+    hour_ranges: Vec<Range<usize>>,
+    /// Per analysis server, sorted by address.
+    servers: Vec<ServerStats>,
+    /// Per data center: all analysis flows answered (control included).
+    dc_flows: Vec<u64>,
+    /// Per data center: all analysis bytes sent.
+    dc_bytes: Vec<u64>,
+    sessions: Arc<Vec<Session>>,
+    patterns: PatternStats,
+    session_cache: RwLock<BTreeMap<u64, Arc<Vec<Session>>>>,
+}
+
+impl DatasetIndex {
+    /// Builds the index: one pass over the records for the columns and
+    /// aggregates, plus a parallel session grouping across `jobs` threads
+    /// (`jobs = 1` is the sequential grouper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dataset`'s records are not sorted by start time (the
+    /// dataset invariant every producer in this workspace upholds), or if
+    /// `ctx` was built from a different dataset.
+    pub fn build(
+        ctx: &AnalysisContext,
+        dataset: &Dataset,
+        jobs: usize,
+        telemetry: Telemetry,
+    ) -> Self {
+        let span = telemetry.span("index.build");
+        let jobs = jobs.max(1);
+        let records = dataset.records();
+        let n = records.len();
+
+        let mut flow_dc: Vec<Option<u32>> = Vec::with_capacity(n);
+        let mut flow_video: Vec<bool> = Vec::with_capacity(n);
+        let mut server_rows: BTreeMap<Ipv4Addr, ServerStats> = BTreeMap::new();
+        let mut dc_flows = vec![0u64; ctx.dcs().len()];
+        let mut dc_bytes = vec![0u64; ctx.dcs().len()];
+        for r in records {
+            let dc = ctx.dc_of(r);
+            flow_dc.push(dc.map(|d| d as u32));
+            flow_video.push(ctx.is_video(r));
+            if let Some(d) = dc {
+                dc_flows[d] += 1;
+                dc_bytes[d] += r.bytes;
+                let row = server_rows.entry(r.server_ip).or_insert(ServerStats {
+                    ip: r.server_ip,
+                    dc: d,
+                    flows: 0,
+                    bytes: 0,
+                });
+                row.flows += 1;
+                row.bytes += r.bytes;
+            }
+        }
+
+        // Records are sorted by start time, so each hour is one contiguous
+        // index range; an empty dataset still gets its hour-0 range so the
+        // hourly analyses keep their "at least one sample" shape.
+        let hours = records
+            .iter()
+            .map(|r| r.start_ms / HOUR_MS)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let mut hour_ranges: Vec<Range<usize>> = Vec::with_capacity(hours as usize);
+        let mut pos = 0usize;
+        for h in 0..hours {
+            let start = pos;
+            while pos < n && records[pos].start_ms / HOUR_MS == h {
+                pos += 1;
+            }
+            hour_ranges.push(start..pos);
+        }
+        assert_eq!(pos, n, "dataset records must be sorted by start time");
+
+        let sessions = Arc::new(group_sessions_parallel(dataset, DEFAULT_GAP_MS, jobs));
+        telemetry.counter("index.flows").add(n as u64);
+        telemetry
+            .counter("index.sessions")
+            .add(sessions.len() as u64);
+
+        let mut index = Self {
+            dataset_name: dataset.name(),
+            jobs,
+            telemetry,
+            preferred: ctx.preferred().index,
+            preferred_servers_seen: ctx.preferred().servers_seen,
+            flow_dc,
+            flow_video,
+            hour_ranges,
+            servers: server_rows.into_values().collect(),
+            dc_flows,
+            dc_bytes,
+            sessions: Arc::clone(&sessions),
+            patterns: PatternStats::default(),
+            session_cache: RwLock::new(BTreeMap::from([(DEFAULT_GAP_MS, sessions)])),
+        };
+        index.patterns = index.classify(index.sessions.as_slice());
+        drop(span);
+        index
+    }
+
+    /// The dataset this index describes.
+    pub fn dataset_name(&self) -> DatasetName {
+        self.dataset_name
+    }
+
+    /// Number of flows indexed.
+    pub fn len(&self) -> usize {
+        self.flow_dc.len()
+    }
+
+    /// Whether the dataset was empty.
+    pub fn is_empty(&self) -> bool {
+        self.flow_dc.is_empty()
+    }
+
+    /// The sessions at the paper's default gap (`T` = 1 s), in canonical
+    /// order.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// The default-gap sessions' pattern classification (Figures 6/10).
+    pub fn patterns(&self) -> PatternStats {
+        self.patterns
+    }
+
+    /// Index of the preferred data center.
+    pub fn preferred_index(&self) -> usize {
+        self.preferred
+    }
+
+    /// Distinct servers seen at the preferred data center.
+    pub fn preferred_servers_seen(&self) -> usize {
+        self.preferred_servers_seen
+    }
+
+    /// The data-center index serving flow `i`, `None` outside the analysis
+    /// ASes — the columnar equivalent of [`AnalysisContext::dc_of`].
+    pub fn dc_of_flow(&self, i: usize) -> Option<usize> {
+        self.flow_dc[i].map(|d| d as usize)
+    }
+
+    /// Whether flow `i` went to the preferred data center — the columnar
+    /// equivalent of [`AnalysisContext::is_preferred`].
+    pub fn is_preferred_flow(&self, i: usize) -> Option<bool> {
+        self.flow_dc[i].map(|d| d as usize == self.preferred)
+    }
+
+    /// Whether flow `i` is a video flow.
+    pub fn is_video_flow(&self, i: usize) -> bool {
+        self.flow_video[i]
+    }
+
+    /// Per-hour record-index ranges; `ranges()[h]` are the flows starting
+    /// in hour `h`. Always at least one (possibly empty) range.
+    pub fn hour_ranges(&self) -> &[Range<usize>] {
+        &self.hour_ranges
+    }
+
+    /// Per-server traffic aggregates, sorted by server address.
+    pub fn servers(&self) -> &[ServerStats] {
+        &self.servers
+    }
+
+    /// Per-data-center flow counts (all analysis flows, control included),
+    /// indexed like [`AnalysisContext::dcs`].
+    pub fn dc_flows(&self) -> &[u64] {
+        &self.dc_flows
+    }
+
+    /// Per-data-center byte totals (all analysis flows), indexed like
+    /// [`AnalysisContext::dcs`].
+    pub fn dc_bytes(&self) -> &[u64] {
+        &self.dc_bytes
+    }
+
+    /// Classifies arbitrary sessions of this dataset against the columns —
+    /// output-identical to [`crate::patterns::classify_sessions`].
+    pub fn classify(&self, sessions: &[Session]) -> PatternStats {
+        let mut stats = PatternStats::default();
+        let mut targets: Vec<bool> = Vec::new();
+        for s in sessions {
+            targets.clear();
+            let mut excluded = false;
+            for &i in &s.flow_indices {
+                match self.is_preferred_flow(i) {
+                    Some(p) => targets.push(p),
+                    None => {
+                        excluded = true;
+                        break;
+                    }
+                }
+            }
+            if excluded {
+                stats.excluded += 1;
+                continue;
+            }
+            stats.total += 1;
+            match targets.as_slice() {
+                [only] => {
+                    if *only {
+                        stats.one_flow.preferred += 1;
+                    } else {
+                        stats.one_flow.non_preferred += 1;
+                    }
+                }
+                [first, second] => match (first, second) {
+                    (true, true) => stats.two_flow.pp += 1,
+                    (true, false) => stats.two_flow.pn += 1,
+                    (false, true) => stats.two_flow.np += 1,
+                    (false, false) => stats.two_flow.nn += 1,
+                },
+                longer => {
+                    stats.three_plus += 1;
+                    if longer[0] && longer[1..].iter().any(|p| !p) {
+                        stats.three_plus_first_preferred_then_non += 1;
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// The sessions at an arbitrary gap threshold, cached per gap — the
+    /// Figure 5 `T`-sweep hits the grouper once per distinct `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on use of the result) if `dataset` is not the dataset the
+    /// index was built from.
+    pub fn sessions_at(&self, dataset: &Dataset, gap_ms: u64) -> Arc<Vec<Session>> {
+        if let Some(hit) = self
+            .session_cache
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&gap_ms)
+        {
+            self.telemetry.counter("index.sessions.cache_hit").add(1);
+            return Arc::clone(hit);
+        }
+        self.telemetry.counter("index.sessions.cache_miss").add(1);
+        let built = Arc::new(group_sessions_parallel(dataset, gap_ms, self.jobs));
+        self.session_cache
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(gap_ms)
+            .or_insert(built)
+            .clone()
+    }
+
+    /// The flows-per-session CDF at one gap threshold — output-identical
+    /// to [`crate::session::flows_per_session`], through the session
+    /// cache.
+    pub fn flows_per_session(&self, dataset: &Dataset, gap_ms: u64) -> Cdf {
+        Cdf::from_values(
+            self.sessions_at(dataset, gap_ms)
+                .iter()
+                .map(|s| s.flow_count() as f64),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::classify_sessions;
+    use crate::session::group_sessions;
+    use ytcdn_cdnsim::{ScenarioConfig, StandardScenario};
+
+    fn setup(name: DatasetName) -> (Dataset, AnalysisContext) {
+        let s = StandardScenario::build(ScenarioConfig::with_scale(0.008, 55));
+        let ds = s.run(name);
+        let ctx = AnalysisContext::from_ground_truth(s.world(), &ds);
+        (ds, ctx)
+    }
+
+    #[test]
+    fn columns_match_context_probes() {
+        let (ds, ctx) = setup(DatasetName::Eu1Adsl);
+        let index = DatasetIndex::build(&ctx, &ds, 4, Telemetry::disabled());
+        assert_eq!(index.len(), ds.len());
+        for (i, r) in ds.iter().enumerate() {
+            assert_eq!(index.dc_of_flow(i), ctx.dc_of(r));
+            assert_eq!(index.is_preferred_flow(i), ctx.is_preferred(r));
+            assert_eq!(index.is_video_flow(i), ctx.is_video(r));
+        }
+        assert_eq!(index.preferred_index(), ctx.preferred().index);
+        assert_eq!(index.preferred_servers_seen(), ctx.preferred().servers_seen);
+    }
+
+    #[test]
+    fn sessions_and_patterns_match_direct_path() {
+        let (ds, ctx) = setup(DatasetName::Eu2);
+        let index = DatasetIndex::build(&ctx, &ds, 3, Telemetry::disabled());
+        let direct = group_sessions(&ds, DEFAULT_GAP_MS);
+        assert_eq!(index.sessions(), direct.as_slice());
+        assert_eq!(index.patterns(), classify_sessions(&ctx, &ds, &direct));
+    }
+
+    #[test]
+    fn hour_ranges_partition_the_trace() {
+        let (ds, ctx) = setup(DatasetName::UsCampus);
+        let index = DatasetIndex::build(&ctx, &ds, 2, Telemetry::disabled());
+        let mut covered = 0usize;
+        for (h, range) in index.hour_ranges().iter().enumerate() {
+            assert_eq!(range.start, covered, "hour {h} not contiguous");
+            for i in range.clone() {
+                assert_eq!(ds.records()[i].start_ms / HOUR_MS, h as u64);
+            }
+            covered = range.end;
+        }
+        assert_eq!(covered, ds.len());
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let (ds, ctx) = setup(DatasetName::Eu1Ftth);
+        let index = DatasetIndex::build(&ctx, &ds, 2, Telemetry::disabled());
+        let analysis_flows = ds.iter().filter(|r| ctx.dc_of(r).is_some()).count() as u64;
+        assert_eq!(index.dc_flows().iter().sum::<u64>(), analysis_flows);
+        assert_eq!(
+            index.servers().iter().map(|s| s.flows).sum::<u64>(),
+            analysis_flows
+        );
+        assert_eq!(
+            index.dc_bytes().iter().sum::<u64>(),
+            index.servers().iter().map(|s| s.bytes).sum::<u64>()
+        );
+        // Rows sorted by address, each assigned to the DC the map gives.
+        assert!(index.servers().windows(2).all(|w| w[0].ip < w[1].ip));
+        for row in index.servers() {
+            let rec = ds.iter().find(|r| r.server_ip == row.ip).expect("seen");
+            assert_eq!(Some(row.dc), ctx.dc_of(rec));
+        }
+    }
+
+    #[test]
+    fn session_cache_hits_and_misses_are_counted() {
+        let (ds, ctx) = setup(DatasetName::Eu1Campus);
+        let telemetry = Telemetry::metrics_only();
+        let index = DatasetIndex::build(&ctx, &ds, 2, telemetry.clone());
+        // Default gap is pre-grouped at build time: first probe is a hit.
+        let a = index.sessions_at(&ds, DEFAULT_GAP_MS);
+        assert_eq!(a.as_slice(), index.sessions());
+        let b = index.sessions_at(&ds, 5_000);
+        assert_eq!(b.as_slice(), group_sessions(&ds, 5_000).as_slice());
+        let _again = index.sessions_at(&ds, 5_000);
+        let snap = telemetry.metrics_snapshot().expect("metrics enabled");
+        assert_eq!(snap.counters["index.sessions.cache_hit"], 2);
+        assert_eq!(snap.counters["index.sessions.cache_miss"], 1);
+        assert_eq!(snap.histograms["index.build"].count, 1);
+    }
+
+    #[test]
+    fn flows_per_session_matches_direct_cdf() {
+        let (ds, ctx) = setup(DatasetName::UsCampus);
+        let index = DatasetIndex::build(&ctx, &ds, 2, Telemetry::disabled());
+        for gap_s in [1u64, 5, 300] {
+            assert_eq!(
+                index.flows_per_session(&ds, gap_s * 1000),
+                crate::session::flows_per_session(&ds, gap_s * 1000),
+                "gap {gap_s}s"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_dataset_index() {
+        let (_, ctx) = setup(DatasetName::Eu1Adsl);
+        let empty = Dataset::new(DatasetName::Eu1Adsl);
+        let index = DatasetIndex::build(&ctx, &empty, 4, Telemetry::disabled());
+        assert!(index.is_empty());
+        assert!(index.sessions().is_empty());
+        assert_eq!(index.patterns(), PatternStats::default());
+        assert_eq!(index.hour_ranges(), std::slice::from_ref(&(0..0)));
+        assert!(index.servers().is_empty());
+    }
+}

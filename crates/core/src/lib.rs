@@ -23,6 +23,7 @@
 //! | geolocation results (Table III, Figs. 2–3) | [`geo_analysis`] |
 //! | active cold-video experiment (Figs. 17–18) | [`active_analysis`] |
 //! | empirical CDFs and binning | [`stats`] |
+//! | shared per-dataset columnar index | [`index`] |
 //! | one driver per table/figure | [`experiments`] |
 //! | CSV export of every figure's curves | [`export`] |
 //! | user-performance cost of redirections | [`perf`] |
@@ -59,6 +60,7 @@ pub mod experiments;
 pub mod export;
 pub mod geo_analysis;
 pub mod hotspot;
+pub mod index;
 pub mod patterns;
 pub mod perf;
 pub mod preferred;
@@ -72,5 +74,6 @@ pub mod videos;
 pub mod whatif;
 
 pub use dcmap::{AnalysisContext, DcInfo, DcMap};
+pub use index::DatasetIndex;
 pub use session::{group_sessions, Session};
 pub use stats::Cdf;

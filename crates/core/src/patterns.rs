@@ -106,9 +106,8 @@ pub fn chain_pattern_histogram(
 ) -> std::collections::BTreeMap<String, u64> {
     let mut hist = std::collections::BTreeMap::new();
     for s in sessions {
-        let flows = s.flows(dataset);
-        let Some(targets) = flows
-            .iter()
+        let Some(targets) = s
+            .flows_iter(dataset)
             .map(|f| ctx.is_preferred(f))
             .collect::<Option<Vec<bool>>>()
         else {
@@ -132,8 +131,8 @@ pub fn classify_sessions(
 ) -> PatternStats {
     let mut stats = PatternStats::default();
     for s in sessions {
-        let flows = s.flows(dataset);
-        let targets: Option<Vec<bool>> = flows.iter().map(|f| ctx.is_preferred(f)).collect();
+        let targets: Option<Vec<bool>> =
+            s.flows_iter(dataset).map(|f| ctx.is_preferred(f)).collect();
         let Some(targets) = targets else {
             stats.excluded += 1;
             continue;

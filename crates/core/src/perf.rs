@@ -41,12 +41,14 @@ pub fn session_perf(
 ) -> Vec<SessionPerf> {
     let mut out = Vec::with_capacity(sessions.len());
     for s in sessions {
-        let flows = s.flows(dataset);
         // The first video flow is the start of playback.
-        let Some(video_pos) = flows.iter().position(|f| ctx.is_video(f)) else {
+        let Some((video_pos, video)) = s
+            .flows_iter(dataset)
+            .enumerate()
+            .find(|(_, f)| ctx.is_video(f))
+        else {
             continue;
         };
-        let video = flows[video_pos];
         let Some(dc_idx) = ctx.dc_of(video) else {
             continue;
         };

@@ -56,6 +56,7 @@ mod tests {
         let suite = ExperimentSuite::new(SuiteConfig {
             scenario: ScenarioConfig::with_scale(0.003, 44),
             full_landmarks: false,
+            jobs: 0,
         });
         let md = markdown_report(&suite);
         for id in ALL_EXPERIMENTS.iter().chain(EXTENSION_EXPERIMENTS) {

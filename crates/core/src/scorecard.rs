@@ -14,12 +14,10 @@ use serde::{Deserialize, Serialize};
 use ytcdn_tstat::DatasetName;
 
 use crate::experiments::ExperimentSuite;
-use crate::patterns::classify_sessions;
 use crate::preferred::closest_k_share;
-use crate::session::group_sessions;
 use crate::subnet::subnet_shares;
-use crate::timeseries::{hourly_samples, load_vs_preferred_correlation};
-use crate::videos::nonpreferred_video_stats;
+use crate::timeseries::{hourly_samples_indexed, load_vs_preferred_correlation};
+use crate::videos::nonpreferred_video_stats_indexed;
 
 /// One quantitative claim, checked.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -105,8 +103,7 @@ pub fn scorecard(suite: &ExperimentSuite) -> Vec<Check> {
 
     // --- Figure 6 / 10: session structure.
     for name in DatasetName::ALL {
-        let sessions = group_sessions(suite.dataset(name), 1000);
-        let st = classify_sessions(suite.context(name), suite.dataset(name), &sessions);
+        let st = suite.dataset_index(name).patterns();
         push(
             "fig6",
             format!("{name} single-flow session fraction"),
@@ -126,10 +123,7 @@ pub fn scorecard(suite: &ExperimentSuite) -> Vec<Check> {
     }
 
     // --- Figure 11: EU2 load balancing.
-    let eu2_samples = hourly_samples(
-        suite.context(DatasetName::Eu2),
-        suite.dataset(DatasetName::Eu2),
-    );
+    let eu2_samples = hourly_samples_indexed(suite.dataset_index(DatasetName::Eu2));
     push(
         "fig11",
         "EU2 load/local-fraction correlation".into(),
@@ -170,8 +164,8 @@ pub fn scorecard(suite: &ExperimentSuite) -> Vec<Check> {
     );
 
     // --- Figure 13: cold-tail repair.
-    let vstats = nonpreferred_video_stats(
-        suite.context(DatasetName::Eu1Adsl),
+    let vstats = nonpreferred_video_stats_indexed(
+        suite.dataset_index(DatasetName::Eu1Adsl),
         suite.dataset(DatasetName::Eu1Adsl),
     );
     push(
@@ -244,6 +238,7 @@ mod tests {
         let suite = ExperimentSuite::new(SuiteConfig {
             scenario: ScenarioConfig::with_scale(0.02, 42),
             full_landmarks: false,
+            jobs: 0,
         });
         let checks = scorecard(&suite);
         assert!(checks.len() >= 18, "only {} checks", checks.len());

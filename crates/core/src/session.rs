@@ -50,10 +50,23 @@ impl Session {
     ///
     /// Panics if `dataset` is not the dataset the session was built from.
     pub fn flows<'d>(&self, dataset: &'d Dataset) -> Vec<&'d FlowRecord> {
+        self.flows_iter(dataset).collect()
+    }
+
+    /// Iterates over the member flows without allocating — the hot-loop
+    /// counterpart of [`Session::flows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (on use) if `dataset` is not the dataset the session was
+    /// built from.
+    pub fn flows_iter<'s, 'd: 's>(
+        &'s self,
+        dataset: &'d Dataset,
+    ) -> impl Iterator<Item = &'d FlowRecord> + 's {
         self.flow_indices
             .iter()
-            .map(|&i| &dataset.records()[i])
-            .collect()
+            .map(move |&i| &dataset.records()[i])
     }
 }
 
@@ -62,10 +75,60 @@ impl Session {
 ///
 /// Returns sessions sorted by start time.
 pub fn group_sessions(dataset: &Dataset, gap_ms: u64) -> Vec<Session> {
+    let mut sessions = group_record_range(dataset, gap_ms, 0..dataset.len());
+    sort_sessions(&mut sessions);
+    sessions
+}
+
+/// [`group_sessions`] with the bucketing pass sharded by client IP across
+/// `jobs` worker threads.
+///
+/// The output is **byte-identical to the sequential grouper for any job
+/// count**: every (client, video) bucket is wholly owned by one shard —
+/// sharding is a function of the client address alone — and within a shard
+/// record indices are visited in ascending (= start-time) order, so each
+/// shard produces exactly the sessions the sequential pass would for its
+/// clients. The final sort key `(start_ms, end_ms, client_ip, video_id)`
+/// is unique across sessions (two sessions of the same bucket are
+/// separated by more than the gap, so their `start_ms` differ; sessions of
+/// different buckets differ in client or video), so concatenation order
+/// cannot leak into the result.
+pub fn group_sessions_parallel(dataset: &Dataset, gap_ms: u64, jobs: usize) -> Vec<Session> {
+    let jobs = jobs.max(1);
+    if jobs == 1 || dataset.len() < 2 {
+        return group_sessions(dataset, gap_ms);
+    }
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); jobs];
+    for (i, r) in dataset.records().iter().enumerate() {
+        shards[u32::from(r.client_ip) as usize % jobs].push(i);
+    }
+    let mut sessions = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|indices| scope.spawn(move || group_record_range(dataset, gap_ms, indices)))
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("session grouping worker panicked"));
+        }
+        all
+    });
+    sort_sessions(&mut sessions);
+    sessions
+}
+
+/// The shared bucketing + gap-scan pass over one subset of record indices
+/// (ascending). Returns sessions in arbitrary order; callers sort.
+fn group_record_range(
+    dataset: &Dataset,
+    gap_ms: u64,
+    indices: impl IntoIterator<Item = usize>,
+) -> Vec<Session> {
     // Bucket flow indices by (client, video). Records are already sorted by
     // start time, so each bucket is too.
     let mut buckets: HashMap<(Ipv4Addr, VideoId), Vec<usize>> = HashMap::new();
-    for (i, r) in dataset.records().iter().enumerate() {
+    for i in indices {
+        let r = &dataset.records()[i];
         buckets
             .entry((r.client_ip, r.video_id))
             .or_default()
@@ -100,8 +163,14 @@ pub fn group_sessions(dataset: &Dataset, gap_ms: u64) -> Vec<Session> {
             sessions.push(done);
         }
     }
-    sessions.sort_by_key(|s| (s.start_ms, s.end_ms, s.client_ip, s.video_id));
     sessions
+}
+
+/// The canonical session order. The key is unique per session (see
+/// [`group_sessions_parallel`]), which is what makes parallel grouping
+/// reproducible.
+fn sort_sessions(sessions: &mut [Session]) {
+    sessions.sort_by_key(|s| (s.start_ms, s.end_ms, s.client_ip, s.video_id));
 }
 
 /// The distribution of flows-per-session for a dataset at one gap threshold
@@ -241,6 +310,77 @@ mod tests {
         let d = ds(vec![]);
         assert!(group_sessions(&d, 1_000).is_empty());
         assert!(flows_per_session(&d, 1_000).is_empty());
+    }
+
+    #[test]
+    fn flows_iter_matches_flows() {
+        let d = ds(vec![
+            flow("10.0.0.1", 1, 600, 5_000, 1_000_000),
+            flow("10.0.0.1", 1, 0, 100, 500),
+            flow("10.0.0.2", 2, 50, 900, 700),
+        ]);
+        for s in group_sessions(&d, 1_000) {
+            let collected: Vec<&FlowRecord> = s.flows_iter(&d).collect();
+            assert_eq!(collected, s.flows(&d));
+        }
+    }
+
+    #[test]
+    fn parallel_grouping_matches_sequential() {
+        // Many clients, some sharing videos, some overlapping in time, so
+        // every shard count slices the buckets differently.
+        let mut records = Vec::new();
+        for c in 0u32..23 {
+            for v in 0u64..3 {
+                let base = u64::from(c) * 37 + v * 911;
+                records.push(flow(
+                    &format!("10.0.{}.{}", c / 7, c % 7 + 1),
+                    v,
+                    base,
+                    base + 400,
+                    900,
+                ));
+                records.push(flow(
+                    &format!("10.0.{}.{}", c / 7, c % 7 + 1),
+                    v,
+                    base + 500,
+                    base + 4_000,
+                    1_000_000,
+                ));
+            }
+        }
+        records.sort_by_key(|r| r.start_ms);
+        let d = ds(records);
+        for gap in [100, 1_000, 10_000] {
+            let sequential = group_sessions(&d, gap);
+            for jobs in [1usize, 2, 3, 4, 7, 16, 64] {
+                assert_eq!(
+                    group_sessions_parallel(&d, gap, jobs),
+                    sequential,
+                    "gap {gap} jobs {jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_grouping_degenerate_inputs() {
+        let empty = ds(vec![]);
+        assert!(group_sessions_parallel(&empty, 1_000, 8).is_empty());
+        let one = ds(vec![flow("10.0.0.1", 1, 0, 100, 500)]);
+        assert_eq!(
+            group_sessions_parallel(&one, 1_000, 8),
+            group_sessions(&one, 1_000)
+        );
+        // jobs = 0 is clamped to 1.
+        let two = ds(vec![
+            flow("10.0.0.1", 1, 0, 100, 500),
+            flow("10.0.0.2", 1, 0, 100, 500),
+        ]);
+        assert_eq!(
+            group_sessions_parallel(&two, 1_000, 0),
+            group_sessions(&two, 1_000)
+        );
     }
 
     #[test]

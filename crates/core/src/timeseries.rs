@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use ytcdn_tstat::{Dataset, HOUR_MS};
 
 use crate::dcmap::AnalysisContext;
+use crate::index::DatasetIndex;
 use crate::stats::Cdf;
 
 /// One hourly sample of preferred/non-preferred traffic.
@@ -76,10 +77,48 @@ pub fn hourly_samples(ctx: &AnalysisContext, dataset: &Dataset) -> Vec<HourSampl
     out
 }
 
+/// [`hourly_samples`] answered from the columnar index: the per-hour
+/// record ranges and per-flow columns replace the map probes, and no
+/// dataset pass is needed. Output-identical to the direct function.
+pub fn hourly_samples_indexed(index: &DatasetIndex) -> Vec<HourSample> {
+    index
+        .hour_ranges()
+        .iter()
+        .enumerate()
+        .map(|(hour, range)| {
+            let mut sample = HourSample {
+                hour: hour as u64,
+                preferred: 0,
+                non_preferred: 0,
+            };
+            for i in range.clone() {
+                if !index.is_video_flow(i) {
+                    continue;
+                }
+                match index.is_preferred_flow(i) {
+                    Some(true) => sample.preferred += 1,
+                    Some(false) => sample.non_preferred += 1,
+                    None => {}
+                }
+            }
+            sample
+        })
+        .collect()
+}
+
 /// The Figure 9 CDF: distribution over hours of the non-preferred fraction.
 pub fn nonpreferred_fraction_cdf(ctx: &AnalysisContext, dataset: &Dataset) -> Cdf {
     Cdf::from_values(
         hourly_samples(ctx, dataset)
+            .iter()
+            .filter_map(HourSample::non_preferred_fraction),
+    )
+}
+
+/// [`nonpreferred_fraction_cdf`] answered from the columnar index.
+pub fn nonpreferred_fraction_cdf_indexed(index: &DatasetIndex) -> Cdf {
+    Cdf::from_values(
+        hourly_samples_indexed(index)
             .iter()
             .filter_map(HourSample::non_preferred_fraction),
     )
@@ -205,6 +244,26 @@ mod tests {
         assert_eq!(load_vs_preferred_correlation(&[s]), 0.0);
         // Constant series → zero variance → defined as 0.
         assert_eq!(load_vs_preferred_correlation(&[s, s, s]), 0.0);
+    }
+
+    #[test]
+    fn indexed_variants_match_direct() {
+        let s = StandardScenario::build(ScenarioConfig::with_scale(0.008, 55));
+        for name in [DatasetName::Eu2, DatasetName::UsCampus] {
+            let ds = s.run(name);
+            let ctx = AnalysisContext::from_ground_truth(s.world(), &ds);
+            let index = crate::index::DatasetIndex::build(
+                &ctx,
+                &ds,
+                2,
+                ytcdn_telemetry::Telemetry::disabled(),
+            );
+            assert_eq!(hourly_samples_indexed(&index), hourly_samples(&ctx, &ds));
+            assert_eq!(
+                nonpreferred_fraction_cdf_indexed(&index),
+                nonpreferred_fraction_cdf(&ctx, &ds)
+            );
+        }
     }
 
     #[test]

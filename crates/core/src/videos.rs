@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use ytcdn_tstat::{Dataset, VideoId};
 
 use crate::dcmap::AnalysisContext;
+use crate::index::DatasetIndex;
 use crate::stats::Cdf;
 
 /// Per-video request counts.
@@ -59,12 +60,48 @@ pub struct NonPreferredVideoStats {
     pub max_count: u64,
 }
 
+/// [`per_video_counts`] answered from the columnar index.
+pub fn per_video_counts_indexed(
+    index: &DatasetIndex,
+    dataset: &Dataset,
+) -> HashMap<VideoId, VideoCounts> {
+    let mut out: HashMap<VideoId, VideoCounts> = HashMap::new();
+    for (i, r) in dataset.iter().enumerate() {
+        if !index.is_video_flow(i) {
+            continue;
+        }
+        let Some(pref) = index.is_preferred_flow(i) else {
+            continue;
+        };
+        let c = out.entry(r.video_id).or_default();
+        c.total += 1;
+        if !pref {
+            c.non_preferred += 1;
+        }
+    }
+    out
+}
+
 /// Computes the Figure 13 statistics.
 pub fn nonpreferred_video_stats(
     ctx: &AnalysisContext,
     dataset: &Dataset,
 ) -> NonPreferredVideoStats {
-    let counts = per_video_counts(ctx, dataset);
+    stats_from_counts(&per_video_counts(ctx, dataset))
+}
+
+/// [`nonpreferred_video_stats`] answered from the columnar index.
+pub fn nonpreferred_video_stats_indexed(
+    index: &DatasetIndex,
+    dataset: &Dataset,
+) -> NonPreferredVideoStats {
+    stats_from_counts(&per_video_counts_indexed(index, dataset))
+}
+
+/// The Figure 13 summary from per-video counts. Every derived quantity is
+/// order-independent (the CDF sorts its samples; the rest are counts), so
+/// the map's iteration order does not reach the output.
+fn stats_from_counts(counts: &HashMap<VideoId, VideoCounts>) -> NonPreferredVideoStats {
     let nonpref: Vec<(&VideoId, &VideoCounts)> = counts
         .iter()
         .filter(|(_, c)| c.non_preferred >= 1)
@@ -158,6 +195,23 @@ mod tests {
         let total_flows: u64 = counts.values().map(|c| c.total).sum();
         let ctx_total: u64 = ctx.dcs().iter().map(|d| d.video_flows).sum();
         assert_eq!(total_flows, ctx_total);
+    }
+
+    #[test]
+    fn indexed_variants_match_direct() {
+        let s = StandardScenario::build(ScenarioConfig::with_scale(0.008, 13));
+        let ds = s.run(DatasetName::Eu1Ftth);
+        let ctx = AnalysisContext::from_ground_truth(s.world(), &ds);
+        let index =
+            crate::index::DatasetIndex::build(&ctx, &ds, 2, ytcdn_telemetry::Telemetry::disabled());
+        assert_eq!(
+            per_video_counts_indexed(&index, &ds),
+            per_video_counts(&ctx, &ds)
+        );
+        assert_eq!(
+            nonpreferred_video_stats_indexed(&index, &ds),
+            nonpreferred_video_stats(&ctx, &ds)
+        );
     }
 
     #[test]

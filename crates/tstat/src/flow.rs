@@ -43,8 +43,8 @@ impl VideoId {
         self.0
     }
 
-    /// The canonical 11-character string form.
-    pub fn as_str(self) -> String {
+    /// The canonical 11-character string form, as an inline (stack) buffer.
+    pub fn as_str(self) -> VideoIdStr {
         // 11 base64 digits encode 66 bits; a u64 always fits. A light
         // bit-mixing pass makes consecutive indices visually unrelated,
         // like real VideoIDs, while remaining invertible.
@@ -55,7 +55,52 @@ impl VideoId {
             *slot = VIDEO_ID_ALPHABET[(v & 0x3f) as usize];
             v >>= 6;
         }
-        String::from_utf8(chars.to_vec()).expect("alphabet is ASCII")
+        VideoIdStr(chars)
+    }
+}
+
+/// The 11-character string form of a [`VideoId`], held inline — rendering
+/// an ID costs no heap allocation. Derefs to `str`, so it drops in
+/// wherever a string slice is expected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VideoIdStr([u8; 11]);
+
+impl VideoIdStr {
+    /// The string view of the buffer.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.0).expect("alphabet is ASCII")
+    }
+}
+
+impl std::ops::Deref for VideoIdStr {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for VideoIdStr {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl fmt::Display for VideoIdStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialEq<str> for VideoIdStr {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for VideoIdStr {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
     }
 }
 
@@ -88,7 +133,7 @@ fn unmix(z: u64) -> u64 {
 
 impl fmt::Display for VideoId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.as_str())
+        f.write_str(self.as_str().as_str())
     }
 }
 
@@ -118,7 +163,7 @@ impl FromStr for VideoId {
 
 impl From<VideoId> for String {
     fn from(id: VideoId) -> String {
-        id.as_str()
+        id.as_str().as_str().to_owned()
     }
 }
 
@@ -254,6 +299,20 @@ mod tests {
         // Consecutive indices should not produce visually consecutive IDs.
         let differing = a.bytes().zip(b.bytes()).filter(|(x, y)| x != y).count();
         assert!(differing > 3, "{a} vs {b}");
+    }
+
+    #[test]
+    fn video_id_str_is_inline_and_consistent() {
+        let id = VideoId::from_index(123_456);
+        let s = id.as_str();
+        // The buffer type derefs to the same string Display renders.
+        assert_eq!(&*s, format!("{id}"));
+        assert_eq!(s.as_str(), s.as_ref() as &str);
+        assert_eq!(s, *s.as_str());
+        assert_eq!(format!("{s}"), format!("{id}"));
+        // Copy semantics: no clone needed, both copies agree.
+        let t = s;
+        assert_eq!(s, t);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod textlog;
 pub use anonymize::Anonymizer;
 pub use classify::{FlowClass, FlowClassifier};
 pub use dataset::{Dataset, DatasetError, DatasetName};
-pub use flow::{FlowRecord, ParseVideoIdError, Resolution, VideoId};
+pub use flow::{FlowRecord, ParseVideoIdError, Resolution, VideoId, VideoIdStr};
 pub use summary::TrafficSummary;
 pub use textlog::{read_textlog, write_textlog};
 

@@ -142,6 +142,7 @@ const OUTPUT_STEMS: &[&str] = &[
     "event",
     "export",
     "golden",
+    "index",
     "report",
     "scorecard",
     "serialization",

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Analysis-pipeline wall-clock benchmark: runs the full repro suite at
+# --jobs 1 and --jobs <max>, verifies the reports are byte-identical, and
+# combines the two per-run timing files (repro --bench-out) into
+# BENCH_analysis.json at the repo root with the measured speedup.
+#
+#   scripts/bench-analysis.sh [SCALE] [SEED]
+#
+# defaults: SCALE=0.05 SEED=42. Requires a primed cargo cache or network
+# access (same constraint as scripts/check.sh).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale="${1:-0.05}"
+seed="${2:-42}"
+max="$(nproc 2>/dev/null || echo 4)"
+out="BENCH_analysis.json"
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/ytcdn-bench.XXXXXX")"
+trap 'rm -rf "$work"' EXIT
+
+cargo build --quiet --release -p ytcdn-bench --bin repro
+
+for jobs in 1 "$max"; do
+    echo "==> repro --scale $scale --seed $seed --jobs $jobs" >&2
+    ./target/release/repro \
+        --scale "$scale" --seed "$seed" --jobs "$jobs" \
+        --bench-out "$work/bench-$jobs.json" \
+        > "$work/repro-$jobs.txt" 2>/dev/null
+done
+
+cmp "$work/repro-1.txt" "$work/repro-$max.txt" \
+    || { echo "bench-analysis.sh: --jobs $max output differs from sequential" >&2; exit 1; }
+
+# Merge the two runs and compute the speedup. Keys in the per-run files are
+# fixed identifiers written by repro's bench_json, so line-oriented awk is
+# enough — no JSON parser needed.
+total_seq="$(awk -F'[:,]' '/"total_ms"/ {gsub(/ /,"",$2); print $2}' "$work/bench-1.json")"
+total_par="$(awk -F'[:,]' '/"total_ms"/ {gsub(/ /,"",$2); print $2}' "$work/bench-$max.json")"
+speedup="$(awk -v a="$total_seq" -v b="$total_par" 'BEGIN {printf "%.3f", a / b}')"
+
+{
+    echo "{"
+    echo "  \"scale\": $scale,"
+    echo "  \"seed\": $seed,"
+    echo "  \"jobs_max\": $max,"
+    echo "  \"total_ms_sequential\": $total_seq,"
+    echo "  \"total_ms_parallel\": $total_par,"
+    echo "  \"speedup\": $speedup,"
+    echo "  \"reports_identical\": true,"
+    echo "  \"runs\": {"
+    echo "    \"sequential\":"
+    sed 's/^/    /' "$work/bench-1.json" | sed '$ s/$/,/'
+    echo "    \"parallel\":"
+    sed 's/^/    /' "$work/bench-$max.json"
+    echo "  }"
+    echo "}"
+} > "$out"
+
+echo "bench-analysis.sh: wrote $out (jobs=1 ${total_seq} ms, jobs=$max ${total_par} ms, speedup ${speedup}x)" >&2

@@ -38,4 +38,15 @@ done
 cmp "$smoke/eu2-1.log" "$smoke/eu2-$max.log" \
     || { echo "check.sh: --shards $max output differs from sequential" >&2; exit 1; }
 
+# Analysis pipeline: repro must print byte-identical reports at --jobs 1
+# (sequential index build + experiment loop) and --jobs <max> (parallel
+# grouping and concurrent experiments).
+echo "==> repro --jobs differential smoke (1 vs $max)" >&2
+for jobs in 1 "$max"; do
+    cargo run --quiet --release -p ytcdn-bench --bin repro -- \
+        --scale 0.004 --seed 7 --jobs "$jobs" > "$smoke/repro-$jobs.txt" 2>/dev/null
+done
+cmp "$smoke/repro-1.txt" "$smoke/repro-$max.txt" \
+    || { echo "check.sh: repro --jobs $max output differs from sequential" >&2; exit 1; }
+
 echo "check.sh: OK" >&2

@@ -47,7 +47,8 @@ echo "offline-test: scratch workspace at $scratch" >&2
 cargo test --manifest-path "$scratch/Cargo.toml" --offline --release \
     -p ytcdn-cdnsim --lib "$@"
 cargo test --manifest-path "$scratch/Cargo.toml" --offline --release \
-    -p ytcdn-core --test sharding_differential --test golden_tables "$@"
+    -p ytcdn-core --test sharding_differential --test golden_tables \
+    --test analysis_index_differential "$@"
 
 # The determinism lint is dependency-free, so both its self-tests (lexer,
 # engine, fixture corpus) and a full run over the real tree are stub-safe.

@@ -1,0 +1,160 @@
+//! Differential harness: the columnar analysis index vs the direct path.
+//!
+//! The [`DatasetIndex`] contract mirrors the sharded engine's: byte
+//! identity. Parallel session grouping must reproduce the sequential
+//! grouping for any `jobs`, every `*_indexed` analysis must equal its
+//! direct counterpart, and the whole experiment suite must emit
+//! byte-identical reports whether built and run with one thread or many.
+
+use ytcdn_cdnsim::{ScenarioConfig, StandardScenario};
+use ytcdn_core::experiments::{
+    ExperimentSuite, SuiteConfig, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS,
+};
+use ytcdn_core::hotspot::{
+    preferred_server_load, preferred_server_load_indexed, server_session_breakdown,
+    server_session_breakdown_indexed, top_nonpreferred_videos, top_nonpreferred_videos_indexed,
+};
+use ytcdn_core::index::{DatasetIndex, DEFAULT_GAP_MS};
+use ytcdn_core::patterns::classify_sessions;
+use ytcdn_core::session::{group_sessions, group_sessions_parallel};
+use ytcdn_core::timeseries::{hourly_samples, hourly_samples_indexed};
+use ytcdn_core::videos::{nonpreferred_video_stats, nonpreferred_video_stats_indexed};
+use ytcdn_core::AnalysisContext;
+use ytcdn_telemetry::Telemetry;
+use ytcdn_tstat::{Dataset, DatasetName};
+
+/// The worker counts every differential case runs: the degenerate 1, even
+/// splits, a count that does not divide anything evenly, and far more
+/// workers than this container has cores.
+const JOB_COUNTS: [usize; 5] = [1, 2, 4, 7, 16];
+
+/// The (scale, seed) pairs the per-dataset cases cover.
+const CASES: [(f64, u64); 2] = [(0.004, 2), (0.008, 55)];
+
+fn scenario(scale: f64, seed: u64) -> StandardScenario {
+    StandardScenario::build(ScenarioConfig::with_scale(scale, seed))
+}
+
+#[test]
+fn parallel_grouping_identical_across_job_counts() {
+    for (scale, seed) in CASES {
+        let s = scenario(scale, seed);
+        for name in DatasetName::ALL {
+            let ds = s.run(name);
+            for gap_ms in [DEFAULT_GAP_MS, 10_000] {
+                let seq = group_sessions(&ds, gap_ms);
+                for jobs in JOB_COUNTS {
+                    assert_eq!(
+                        group_sessions_parallel(&ds, gap_ms, jobs),
+                        seq,
+                        "{name} jobs={jobs} gap={gap_ms} scale={scale} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn index_matches_direct_analyses() {
+    for (scale, seed) in CASES {
+        let s = scenario(scale, seed);
+        for name in [DatasetName::Eu1Adsl, DatasetName::Eu2] {
+            let ds = s.run(name);
+            let ctx = AnalysisContext::from_ground_truth(s.world(), &ds);
+            let index = DatasetIndex::build(&ctx, &ds, 4, Telemetry::disabled());
+            let label = format!("{name} scale={scale} seed={seed}");
+
+            let sessions = group_sessions(&ds, DEFAULT_GAP_MS);
+            assert_eq!(index.sessions(), sessions.as_slice(), "{label}: sessions");
+            assert_eq!(
+                index.patterns(),
+                classify_sessions(&ctx, &ds, &sessions),
+                "{label}: patterns"
+            );
+            assert_eq!(
+                hourly_samples_indexed(&index),
+                hourly_samples(&ctx, &ds),
+                "{label}: hourly samples"
+            );
+            assert_eq!(
+                nonpreferred_video_stats_indexed(&index, &ds),
+                nonpreferred_video_stats(&ctx, &ds),
+                "{label}: video stats"
+            );
+            let load = preferred_server_load(&ctx, &ds);
+            assert_eq!(
+                preferred_server_load_indexed(&index, &ds),
+                load,
+                "{label}: server load"
+            );
+            assert_eq!(
+                top_nonpreferred_videos_indexed(&index, &ds, 4),
+                top_nonpreferred_videos(&ctx, &ds, 4),
+                "{label}: top videos"
+            );
+            if let Some(hot) = load.iter().max_by_key(|h| h.max).and_then(|h| h.max_server) {
+                assert_eq!(
+                    server_session_breakdown_indexed(&index, &ds, hot),
+                    server_session_breakdown(&ctx, &ds, &sessions, hot),
+                    "{label}: server breakdown"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_dataset_index_matches_direct() {
+    let s = scenario(0.004, 2);
+    let ds = s.run(DatasetName::UsCampus);
+    let ctx = AnalysisContext::from_ground_truth(s.world(), &ds);
+    let empty = Dataset::new(DatasetName::UsCampus);
+    let index = DatasetIndex::build(&ctx, &empty, 4, Telemetry::disabled());
+    assert!(index.sessions().is_empty());
+    assert_eq!(
+        index.patterns(),
+        classify_sessions(&ctx, &empty, &group_sessions(&empty, DEFAULT_GAP_MS))
+    );
+    assert_eq!(hourly_samples_indexed(&index), hourly_samples(&ctx, &empty));
+}
+
+/// The acceptance criterion: every experiment's report is byte-identical
+/// between a single-threaded suite and a many-threaded one, whether the
+/// experiments themselves run via `run` or concurrently via `run_many`.
+#[test]
+fn suite_reports_identical_sequential_vs_parallel() {
+    for (scale, seed) in [(0.003, 7), (0.004, 2)] {
+        let config = |jobs| SuiteConfig {
+            scenario: ScenarioConfig::with_scale(scale, seed),
+            full_landmarks: false,
+            jobs,
+        };
+        let sequential = ExperimentSuite::new(config(1));
+        let parallel = ExperimentSuite::new(config(4));
+        let ids: Vec<&str> = ALL_EXPERIMENTS
+            .iter()
+            .chain(EXTENSION_EXPERIMENTS)
+            .copied()
+            .collect();
+        let seq_reports: Vec<Option<String>> = ids.iter().map(|id| sequential.run(id)).collect();
+        assert_eq!(
+            parallel.run_many(&ids, parallel.jobs()),
+            seq_reports,
+            "scale={scale} seed={seed}: parallel suite reports differ"
+        );
+        // Session lists and classifications behind the reports also match.
+        for name in DatasetName::ALL {
+            assert_eq!(
+                parallel.dataset_index(name).sessions(),
+                sequential.dataset_index(name).sessions(),
+                "{name}: sessions differ"
+            );
+            assert_eq!(
+                parallel.dataset_index(name).patterns(),
+                sequential.dataset_index(name).patterns(),
+                "{name}: patterns differ"
+            );
+        }
+    }
+}

@@ -14,6 +14,7 @@ fn suite(seed: u64) -> ExperimentSuite {
     ExperimentSuite::new(SuiteConfig {
         scenario: ScenarioConfig::with_scale(0.02, seed),
         full_landmarks: false,
+        jobs: 0,
     })
 }
 
