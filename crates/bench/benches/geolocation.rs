@@ -39,7 +39,7 @@ fn bench_calibration(c: &mut Criterion) {
 
 fn bench_localize(c: &mut Criterion) {
     let db = CityDb::builtin();
-    let target = Endpoint::new(db.expect("Paris").coord, AccessKind::DataCenter);
+    let target = Endpoint::new(db.named("Paris").coord, AccessKind::DataCenter);
     let mut g = c.benchmark_group("cbg/localize");
     g.sample_size(20);
     // The landmark-count ablation: accuracy (reported via Criterion's

@@ -35,8 +35,8 @@ fn bench_catalog_sampling(c: &mut Criterion) {
 fn bench_delay_model(c: &mut Criterion) {
     let db = CityDb::builtin();
     let model = DelayModel::default();
-    let a = Endpoint::new(db.expect("Turin").coord, AccessKind::Adsl);
-    let bep = Endpoint::new(db.expect("Ashburn").coord, AccessKind::DataCenter);
+    let a = Endpoint::new(db.named("Turin").coord, AccessKind::Adsl);
+    let bep = Endpoint::new(db.named("Ashburn").coord, AccessKind::DataCenter);
     c.bench_function("delay/floor_rtt", |b| {
         b.iter(|| model.floor_rtt_ms(&a, &bep))
     });

@@ -18,6 +18,7 @@
 use std::process::ExitCode;
 
 use ytcdn_cdnsim::ScenarioConfig;
+use ytcdn_core::degenerate::DegenerateShape;
 use ytcdn_core::experiments::{
     ExperimentSuite, SuiteConfig, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS,
 };
@@ -34,6 +35,7 @@ struct Args {
     bench_out: Option<std::path::PathBuf>,
     plot: bool,
     scorecard: bool,
+    degenerate: Option<DegenerateShape>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         bench_out: None,
         plot: false,
         scorecard: false,
+        degenerate: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -82,6 +85,14 @@ fn parse_args() -> Result<Args, String> {
             "--full-landmarks" => args.full_landmarks = true,
             "--plot" => args.plot = true,
             "--scorecard" => args.scorecard = true,
+            "--degenerate" => {
+                args.degenerate = Some(
+                    it.next()
+                        .ok_or("--degenerate needs a shape")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                );
+            }
             "--markdown" => {
                 args.markdown = Some(std::path::PathBuf::from(
                     it.next().ok_or("--markdown needs a file path")?,
@@ -94,8 +105,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: repro [--exp {}] [--scale S] [--seed N] [--jobs N] [--full-landmarks] [--csv DIR] [--markdown FILE] [--bench-out FILE] [--plot] [--scorecard]",
-                    ALL_EXPERIMENTS.join("|")
+                    "usage: repro [--exp {}] [--scale S] [--seed N] [--jobs N] [--full-landmarks] [--csv DIR] [--markdown FILE] [--bench-out FILE] [--plot] [--scorecard] [--degenerate {}]",
+                    ALL_EXPERIMENTS.join("|"),
+                    DegenerateShape::ALL.map(DegenerateShape::as_str).join("|")
                 ));
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
@@ -137,22 +149,26 @@ fn main() -> ExitCode {
     // summary below shows where the wall time went. Reports on stdout are
     // unaffected.
     let t_start = std::time::Instant::now();
-    let suite = ExperimentSuite::with_telemetry(
-        SuiteConfig {
-            scenario: ScenarioConfig::with_scale(args.scale, args.seed),
-            full_landmarks: args.full_landmarks,
-            jobs: args.jobs,
-        },
-        Telemetry::metrics_only(),
-    );
+    let config = SuiteConfig {
+        scenario: ScenarioConfig::with_scale(args.scale, args.seed),
+        full_landmarks: args.full_landmarks,
+        jobs: args.jobs,
+    };
+    let suite = match args.degenerate {
+        Some(shape) => {
+            progress.note(&format!("degrading every dataset to shape {shape}"));
+            ExperimentSuite::with_degenerate(config, Telemetry::metrics_only(), shape)
+        }
+        None => ExperimentSuite::with_telemetry(config, Telemetry::metrics_only()),
+    };
     let build_ms = t_start.elapsed().as_secs_f64() * 1000.0;
 
     if args.scorecard {
-        let checks = ytcdn_core::scorecard::scorecard(&suite);
-        println!("{}", ytcdn_core::scorecard::render(&checks));
-        let failed = checks.iter().filter(|c| !c.pass()).count();
+        let card = ytcdn_core::scorecard::scorecard(&suite);
+        println!("{}", ytcdn_core::scorecard::render_scorecard(&card));
         phase_summary(&suite, &progress);
-        return if failed == 0 {
+        // Skipped (unanswerable) claims do not fail the run; wrong ones do.
+        return if card.pass() {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
@@ -169,16 +185,20 @@ fn main() -> ExitCode {
     let reports = suite.run_many(&ids, suite.jobs());
     let experiments_ms = t_experiments.elapsed().as_secs_f64() * 1000.0;
     for (id, report) in ids.iter().zip(reports) {
-        let report = report.expect("ids validated above");
         println!(
             "──── {id} {}",
             "─".repeat(60_usize.saturating_sub(id.len()))
         );
-        println!("{report}");
-        if args.plot {
-            if let Some(series) = ytcdn_core::export::figure_series(&suite, id) {
-                println!("{}", ytcdn_core::export::ascii_chart(&series, 72, 16));
+        match report {
+            Ok(report) => {
+                println!("{report}");
+                if args.plot {
+                    if let Ok(series) = ytcdn_core::export::figure_series(&suite, id) {
+                        println!("{}", ytcdn_core::export::ascii_chart(&series, 72, 16));
+                    }
+                }
             }
+            Err(e) => println!("SKIPPED: {e}\n"),
         }
     }
 

@@ -149,6 +149,7 @@ impl ActiveExperiment {
                         (d.id, delay.floor_rtt_ms(&n.endpoint(), &ep))
                     })
                     .min_by(|a, b| a.1.total_cmp(&b.1))
+                    // ytcdn-lint: allow(PAN001) — the standard topology always defines analysis DCs
                     .expect("topology has data centers")
                     .0
             })
@@ -189,6 +190,7 @@ impl ActiveExperiment {
             let server = topo.dc(serving).server_for_video(video);
             let target = topo
                 .server_endpoint(server)
+                // ytcdn-lint: allow(PAN001) — `server` came from this topology's own server_for_video
                 .expect("topology servers have endpoints");
             let m = pinger.ping(&self.nodes[i].endpoint(), &target, &mut rng);
             traces[i].samples.push(ActiveProbeSample {

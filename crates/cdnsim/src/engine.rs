@@ -564,6 +564,7 @@ impl<'w> Engine<'w> {
         for &hop in &hops[..hops.len() - 1] {
             cursor = self.emit_control(cursor, client_ip, hop, meta.id, resolution, rng);
         }
+        // ytcdn-lint: allow(PAN001) — resolve_chain seeds `hops` with the resolved DC before any redirect
         let serving = *hops.last().expect("chain has at least one hop");
         // Watch behaviour calibrated to the paper's Table I volumes:
         // a modest fraction of views run to completion, most abandon early,
@@ -669,6 +670,7 @@ impl<'w> Engine<'w> {
             let origin = self.store.origin_of(video);
             let os = self.server_in(origin, video, rng);
             self.note_arrival(os, hour);
+            // ytcdn-lint: allow(PAN001) — `hops` is seeded with the resolved DC above
             let from = hops.last().expect("chain has at least one hop").0;
             hops.push((origin, os));
             self.observe_redirect(t, RedirectKind::ContentMiss, from, origin);

@@ -492,7 +492,10 @@ impl StandardScenario {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("dataset simulation thread panicked"))
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                })
                 .collect()
         })
     }

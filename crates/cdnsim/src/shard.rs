@@ -219,7 +219,10 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("shard prepass worker panicked"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+            })
             .collect()
     });
 
@@ -252,7 +255,10 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("shard simulation worker panicked"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+            })
             .collect()
     });
 

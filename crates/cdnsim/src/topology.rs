@@ -340,22 +340,22 @@ impl Topology {
         let mut registry = AsRegistry::new();
 
         // Address space per pool.
-        let google_block: Ipv4Block = "74.125.0.0/16".parse().expect("static CIDR");
-        let legacy_block: Ipv4Block = "208.117.224.0/19".parse().expect("static CIDR");
-        let third_cw_block: Ipv4Block = "195.27.0.0/20".parse().expect("static CIDR");
-        let third_gblx_block: Ipv4Block = "64.214.0.0/20".parse().expect("static CIDR");
-        let eu2_internal_block: Ipv4Block = "62.42.0.0/20".parse().expect("static CIDR");
+        let google_block: Ipv4Block = Ipv4Block::literal("74.125.0.0/16");
+        let legacy_block: Ipv4Block = Ipv4Block::literal("208.117.224.0/19");
+        let third_cw_block: Ipv4Block = Ipv4Block::literal("195.27.0.0/20");
+        let third_gblx_block: Ipv4Block = Ipv4Block::literal("64.214.0.0/20");
+        let eu2_internal_block: Ipv4Block = Ipv4Block::literal("62.42.0.0/20");
         registry.register(google_block, Asn::GOOGLE);
         registry.register(legacy_block, Asn::YOUTUBE_EU);
         registry.register(third_cw_block, Asn::CW);
         registry.register(third_gblx_block, Asn::GBLX);
         registry.register(eu2_internal_block, EU2_HOME_AS);
 
-        let mut google_24s = google_block.subdivide(24).expect("prefix 24 > 16");
-        let mut legacy_24s = legacy_block.subdivide(24).expect("prefix 24 > 19");
-        let mut cw_24s = third_cw_block.subdivide(24).expect("prefix 24 > 20");
-        let mut gblx_24s = third_gblx_block.subdivide(24).expect("prefix 24 > 20");
-        let mut internal_24s = eu2_internal_block.subdivide(24).expect("prefix 24 > 20");
+        let mut google_24s = google_block.slash24s();
+        let mut legacy_24s = legacy_block.slash24s();
+        let mut cw_24s = third_cw_block.slash24s();
+        let mut gblx_24s = third_gblx_block.slash24s();
+        let mut internal_24s = eu2_internal_block.slash24s();
 
         let add = |spec: &DcSpec,
                    asn: Asn,
@@ -363,13 +363,14 @@ impl Topology {
                    dcs: &mut Vec<DataCenter>,
                    map: &mut HashMap<Ipv4Block, DataCenterId>| {
             let id = DataCenterId(dcs.len());
-            let city = db.expect(spec.city);
+            let city = db.named(spec.city);
             let mut servers = Vec::with_capacity(spec.servers);
             let mut alloc: Option<BlockAllocator> = None;
             while servers.len() < spec.servers {
                 match alloc.as_mut().and_then(BlockAllocator::next_addr) {
                     Some(ip) => servers.push(ip),
                     None => {
+                        // ytcdn-lint: allow(PAN001) — pool blocks hold far more /24s than any DC spec requests
                         let block = s24s.next().expect("pool address space exhausted");
                         map.insert(block, id);
                         alloc = Some(BlockAllocator::new(block));

@@ -139,6 +139,7 @@ impl VantagePoint {
         let addr = subnet
             .block
             .addr(host)
+            // ytcdn-lint: allow(PAN001) — host is reduced mod `clients`, and every static subnet block holds >= clients addresses
             .expect("subnet blocks are sized to their client count");
         (idx, addr)
     }
@@ -164,41 +165,41 @@ impl VantagePoint {
         vec![
             VantagePoint {
                 dataset: DatasetName::UsCampus,
-                city: db.expect("West Lafayette"),
+                city: db.named("West Lafayette"),
                 access: AccessKind::Campus,
                 home_as: Asn(17),
                 subnets: vec![
                     SubnetConfig {
                         name: "Net-1",
-                        block: "128.210.0.0/18".parse().expect("static CIDR"),
+                        block: Ipv4Block::literal("128.210.0.0/18"),
                         clients: 8000,
                         ldns: LdnsId(0),
                         weight: 0.38,
                     },
                     SubnetConfig {
                         name: "Net-2",
-                        block: "128.210.64.0/18".parse().expect("static CIDR"),
+                        block: Ipv4Block::literal("128.210.64.0/18"),
                         clients: 5000,
                         ldns: LdnsId(0),
                         weight: 0.24,
                     },
                     SubnetConfig {
                         name: "Net-3",
-                        block: "128.210.128.0/19".parse().expect("static CIDR"),
+                        block: Ipv4Block::literal("128.210.128.0/19"),
                         clients: 900,
                         ldns: LdnsId(1),
                         weight: 0.04,
                     },
                     SubnetConfig {
                         name: "Net-4",
-                        block: "128.210.160.0/19".parse().expect("static CIDR"),
+                        block: Ipv4Block::literal("128.210.160.0/19"),
                         clients: 4000,
                         ldns: LdnsId(0),
                         weight: 0.20,
                     },
                     SubnetConfig {
                         name: "Net-5",
-                        block: "128.210.192.0/18".parse().expect("static CIDR"),
+                        block: Ipv4Block::literal("128.210.192.0/18"),
                         clients: 2543,
                         ldns: LdnsId(0),
                         weight: 0.14,
@@ -224,12 +225,12 @@ impl VantagePoint {
             },
             VantagePoint {
                 dataset: DatasetName::Eu1Campus,
-                city: db.expect("Turin"),
+                city: db.named("Turin"),
                 access: AccessKind::Campus,
                 home_as: Asn(137),
                 subnets: vec![SubnetConfig {
                     name: "Net-1",
-                    block: "130.192.0.0/17".parse().expect("static CIDR"),
+                    block: Ipv4Block::literal("130.192.0.0/17"),
                     clients: 1113,
                     ldns: LdnsId(0),
                     weight: 1.0,
@@ -241,12 +242,12 @@ impl VantagePoint {
             },
             VantagePoint {
                 dataset: DatasetName::Eu1Adsl,
-                city: db.expect("Turin"),
+                city: db.named("Turin"),
                 access: AccessKind::Adsl,
                 home_as: Asn(3269),
                 subnets: vec![SubnetConfig {
                     name: "Net-1",
-                    block: "151.38.0.0/17".parse().expect("static CIDR"),
+                    block: Ipv4Block::literal("151.38.0.0/17"),
                     clients: 8348,
                     ldns: LdnsId(0),
                     weight: 1.0,
@@ -258,12 +259,12 @@ impl VantagePoint {
             },
             VantagePoint {
                 dataset: DatasetName::Eu1Ftth,
-                city: db.expect("Turin"),
+                city: db.named("Turin"),
                 access: AccessKind::Ftth,
                 home_as: Asn(3269),
                 subnets: vec![SubnetConfig {
                     name: "Net-1",
-                    block: "151.39.0.0/18".parse().expect("static CIDR"),
+                    block: Ipv4Block::literal("151.39.0.0/18"),
                     clients: 997,
                     ldns: LdnsId(0),
                     weight: 1.0,
@@ -275,12 +276,12 @@ impl VantagePoint {
             },
             VantagePoint {
                 dataset: DatasetName::Eu2,
-                city: db.expect("Madrid"),
+                city: db.named("Madrid"),
                 access: AccessKind::Adsl,
                 home_as: crate::topology::EU2_HOME_AS,
                 subnets: vec![SubnetConfig {
                     name: "Net-1",
-                    block: "62.40.0.0/17".parse().expect("static CIDR"),
+                    block: Ipv4Block::literal("62.40.0.0/17"),
                     clients: 6552,
                     ldns: LdnsId(0),
                     weight: 1.0,

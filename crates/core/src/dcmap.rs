@@ -12,6 +12,7 @@ use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::{AnalysisError, AnalysisResult};
 use ytcdn_cdnsim::World;
 use ytcdn_geoloc::CityCluster;
 use ytcdn_geomodel::{CityDb, Continent, Coord};
@@ -69,18 +70,28 @@ impl DcMap {
     }
 
     /// Map inferred from CBG city clusters (the paper's actual pipeline).
-    pub fn from_clusters(clusters: &[CityCluster], cities: &CityDb) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::UnknownCity`] when a cluster's city label
+    /// does not resolve against the built-in city table.
+    pub fn from_clusters(clusters: &[CityCluster], cities: &CityDb) -> AnalysisResult<Self> {
         let mut map = DcMap::default();
         for cluster in clusters {
             let idx = map.metas.len();
-            let city = cities.expect(&cluster.city_name);
+            let city =
+                cities
+                    .get(&cluster.city_name)
+                    .ok_or_else(|| AnalysisError::UnknownCity {
+                        city: cluster.city_name.clone(),
+                    })?;
             map.metas
                 .push((city.name.to_owned(), city.coord, city.continent));
             for &ip in &cluster.servers {
                 map.blocks.insert(Ipv4Block::slash24_of(ip), idx);
             }
         }
-        map
+        Ok(map)
     }
 
     /// The data-center index of a server address, if it is an analysis
@@ -113,7 +124,12 @@ pub struct AnalysisContext {
 impl AnalysisContext {
     /// Builds the context from the ground-truth data-center map.
     pub fn from_ground_truth(world: &World, dataset: &Dataset) -> Self {
-        Self::from_map(world, dataset, DcMap::from_world(world))
+        match Self::from_map(world, dataset, DcMap::from_world(world)) {
+            Ok(ctx) => ctx,
+            // Unreachable: the simulated world always defines its analysis
+            // data centers, independent of what the dataset captured.
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Builds the context from an arbitrary (e.g. CBG-inferred) map.
@@ -122,8 +138,19 @@ impl AnalysisContext {
     /// over pings to the data center's servers seen in the dataset (falling
     /// back to the model's floor toward the city for centers with no seen
     /// server).
-    pub fn from_map(world: &World, dataset: &Dataset, map: DcMap) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NoDataCenters`] when `map` is empty — e.g.
+    /// a CBG pass over a dataset that captured no analysis servers — since
+    /// no preferred data center can be picked.
+    pub fn from_map(world: &World, dataset: &Dataset, map: DcMap) -> AnalysisResult<Self> {
         let name = dataset.name();
+        if map.is_empty() {
+            return Err(AnalysisError::NoDataCenters {
+                source: format!("{name} data-center map"),
+            });
+        }
         let vantage_coord = world.vantage(name).city.coord;
         let classifier = FlowClassifier::default();
 
@@ -176,13 +203,13 @@ impl AnalysisContext {
             .collect();
 
         let preferred = pick_preferred(&dcs);
-        Self {
+        Ok(Self {
             dataset_name: name,
             dcs,
             map,
             preferred,
             classifier,
-        }
+        })
     }
 
     /// The dataset this context describes.
@@ -260,6 +287,7 @@ fn fallback_rtt(world: &World, name: DatasetName, coord: Coord, city_name: &str)
 /// when two centers share the traffic (EU2's in-ISP + external pair), the
 /// lower-RTT of the two.
 fn pick_preferred(dcs: &[DcInfo]) -> usize {
+    // `from_map` rejects empty maps before this runs.
     assert!(!dcs.is_empty(), "cannot pick a preferred DC from no DCs");
     let total: u64 = dcs.iter().map(|d| d.video_bytes).sum();
     let mut by_bytes: Vec<&DcInfo> = dcs.iter().collect();

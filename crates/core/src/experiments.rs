@@ -18,6 +18,8 @@ use ytcdn_tstat::{Dataset, DatasetName, FlowClassifier, HOUR_MS};
 use crate::active_analysis::{most_illustrative_node, ratio_stats};
 use crate::as_analysis::{as_breakdown, WellKnownAsExt};
 use crate::dcmap::AnalysisContext;
+use crate::degenerate::DegenerateShape;
+use crate::error::{AnalysisError, AnalysisResult};
 use crate::geo_analysis::{continent_counts, geolocate_servers, radius_cdfs, server_rtt_cdf};
 use crate::hotspot::{
     preferred_server_load_indexed, server_session_breakdown_indexed,
@@ -112,6 +114,21 @@ impl ExperimentSuite {
     /// every [`ExperimentSuite::run`] call records an `exp.<id>` wall-time
     /// histogram.
     pub fn with_telemetry(config: SuiteConfig, telemetry: Telemetry) -> Self {
+        Self::build(config, telemetry, None)
+    }
+
+    /// [`ExperimentSuite::with_telemetry`], but every simulated dataset is
+    /// degraded through `shape` before any context or index is built — the
+    /// entry point of the degenerate-dataset robustness harness.
+    pub fn with_degenerate(
+        config: SuiteConfig,
+        telemetry: Telemetry,
+        shape: DegenerateShape,
+    ) -> Self {
+        Self::build(config, telemetry, Some(shape))
+    }
+
+    fn build(config: SuiteConfig, telemetry: Telemetry, shape: Option<DegenerateShape>) -> Self {
         let jobs = if config.jobs > 0 {
             config.jobs
         } else {
@@ -121,6 +138,18 @@ impl ExperimentSuite {
         };
         let scenario = StandardScenario::build_instrumented(config.scenario, telemetry.clone());
         let datasets = scenario.run_all_parallel();
+        let datasets: Vec<Dataset> = match shape {
+            Some(shape) => datasets
+                .into_iter()
+                .map(|ds| shape.apply(scenario.world(), ds))
+                .collect(),
+            None => datasets,
+        };
+        // `slot` relies on run_all_parallel returning DatasetName::ALL order.
+        debug_assert!(datasets
+            .iter()
+            .zip(DatasetName::ALL)
+            .all(|(ds, name)| ds.name() == name));
         let contexts: Vec<AnalysisContext> = {
             let _span = telemetry.span("suite.contexts");
             datasets
@@ -165,28 +194,32 @@ impl ExperimentSuite {
         &self.telemetry
     }
 
+    /// The position of a dataset in the suite's vectors. The suite
+    /// simulates (and keeps) the five datasets in [`DatasetName::ALL`]
+    /// order, so the lookup is total — no find-and-panic needed.
+    fn slot(name: DatasetName) -> usize {
+        match name {
+            DatasetName::UsCampus => 0,
+            DatasetName::Eu1Campus => 1,
+            DatasetName::Eu1Adsl => 2,
+            DatasetName::Eu1Ftth => 3,
+            DatasetName::Eu2 => 4,
+        }
+    }
+
     /// A dataset by name.
     pub fn dataset(&self, name: DatasetName) -> &Dataset {
-        self.datasets
-            .iter()
-            .find(|d| d.name() == name)
-            .expect("suite simulates all five datasets")
+        &self.datasets[Self::slot(name)]
     }
 
     /// A dataset's analysis context.
     pub fn context(&self, name: DatasetName) -> &AnalysisContext {
-        self.contexts
-            .iter()
-            .find(|c| c.dataset_name() == name)
-            .expect("suite builds all five contexts")
+        &self.contexts[Self::slot(name)]
     }
 
     /// A dataset's columnar index.
     pub fn dataset_index(&self, name: DatasetName) -> &DatasetIndex {
-        self.indexes
-            .iter()
-            .find(|i| i.dataset_name() == name)
-            .expect("suite builds all five indexes")
+        &self.indexes[Self::slot(name)]
     }
 
     fn cbg(&self) -> &Cbg {
@@ -216,35 +249,47 @@ impl ExperimentSuite {
     }
 
     /// Runs one experiment by id (`"table1"` … `"fig18"`).
-    pub fn run(&self, id: &str) -> Option<String> {
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::UnknownExperiment`] for an unrecognised id, or the
+    /// experiment's own typed error on a degenerate dataset (an empty RTT
+    /// distribution, no active traces, …). Every error increments the
+    /// `analysis.errors` telemetry counter; callers render it as a SKIPPED
+    /// row rather than unwinding.
+    pub fn run(&self, id: &str) -> AnalysisResult<String> {
         let _span = experiment_span_name(id).map(|name| self.telemetry.span(name));
-        Some(match id {
-            "table1" => self.table1(),
-            "table2" => self.table2(),
-            "table3" => self.table3(),
+        let result = match id {
+            "table1" => Ok(self.table1()),
+            "table2" => Ok(self.table2()),
+            "table3" => Ok(self.table3()),
             "fig2" => self.fig2(),
-            "fig3" => self.fig3(),
-            "fig4" => self.fig4(),
-            "fig5" => self.fig5(),
-            "fig6" => self.fig6(),
-            "fig7" => self.fig7(),
-            "fig8" => self.fig8(),
+            "fig3" => Ok(self.fig3()),
+            "fig4" => Ok(self.fig4()),
+            "fig5" => Ok(self.fig5()),
+            "fig6" => Ok(self.fig6()),
+            "fig7" => Ok(self.fig7()),
+            "fig8" => Ok(self.fig8()),
             "fig9" => self.fig9(),
-            "fig10a" => self.fig10a(),
-            "fig10b" => self.fig10b(),
+            "fig10a" => Ok(self.fig10a()),
+            "fig10b" => Ok(self.fig10b()),
             "fig11" => self.fig11(),
-            "fig12" => self.fig12(),
-            "fig13" => self.fig13(),
-            "fig14" => self.fig14(),
-            "fig15" => self.fig15(),
-            "fig16" => self.fig16(),
+            "fig12" => Ok(self.fig12()),
+            "fig13" => Ok(self.fig13()),
+            "fig14" => Ok(self.fig14()),
+            "fig15" => Ok(self.fig15()),
+            "fig16" => Ok(self.fig16()),
             "fig17" => self.fig17(),
-            "fig18" => self.fig18(),
-            "ext-perf" => self.ext_perf(),
-            "ext-characterize" => self.ext_characterize(),
-            "ext-feb2011" => self.ext_feb2011(),
-            _ => return None,
-        })
+            "fig18" => Ok(self.fig18()),
+            "ext-perf" => Ok(self.ext_perf()),
+            "ext-characterize" => Ok(self.ext_characterize()),
+            "ext-feb2011" => Ok(self.ext_feb2011()),
+            _ => Err(AnalysisError::UnknownExperiment { id: id.to_owned() }),
+        };
+        if result.is_err() {
+            self.telemetry.counter("analysis.errors").inc();
+        }
+        result
     }
 
     /// Runs many experiments concurrently on `jobs` threads (clamped to at
@@ -253,13 +298,22 @@ impl ExperimentSuite {
     /// sequentially, because experiments only read shared state (the lazily
     /// initialized CBG calibration and session cache are behind
     /// `OnceLock`/`RwLock`) and results are reassembled by input position.
-    pub fn run_many(&self, ids: &[&str], jobs: usize) -> Vec<Option<String>> {
+    /// A failed experiment occupies its slot as an `Err` — one degenerate
+    /// dataset degrades one report, it does not unwind the pool.
+    pub fn run_many(&self, ids: &[&str], jobs: usize) -> Vec<AnalysisResult<String>> {
         let jobs = jobs.clamp(1, ids.len().max(1));
         if jobs == 1 {
             return ids.iter().map(|id| self.run(id)).collect();
         }
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let mut results: Vec<Option<String>> = vec![None; ids.len()];
+        let mut results: Vec<AnalysisResult<String>> = ids
+            .iter()
+            .map(|id| {
+                Err(AnalysisError::UnknownExperiment {
+                    id: (*id).to_owned(),
+                })
+            })
+            .collect();
         std::thread::scope(|scope| {
             let workers: Vec<_> = (0..jobs)
                 .map(|_| {
@@ -275,7 +329,10 @@ impl ExperimentSuite {
                 })
                 .collect();
             for w in workers {
-                for (i, report) in w.join().expect("experiment worker panicked") {
+                let mine = w
+                    .join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+                for (i, report) in mine {
                     results[i] = report;
                 }
             }
@@ -361,7 +418,12 @@ impl ExperimentSuite {
     }
 
     /// Figure 2: CDF of min RTT to all content servers per vantage point.
-    pub fn fig2(&self) -> String {
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::EmptyDistribution`] when a dataset saw no servers
+    /// to ping (e.g. an empty capture).
+    pub fn fig2(&self) -> AnalysisResult<String> {
         let mut out = String::from(
             "Figure 2 — RTT to content servers (paper: wide spread; EU RTTs too small for transatlantic)\n",
         );
@@ -372,17 +434,22 @@ impl ExperimentSuite {
         );
         for ds in &self.datasets {
             let cdf = server_rtt_cdf(self.scenario.world(), ds, 5);
+            if cdf.is_empty() {
+                return Err(AnalysisError::EmptyDistribution {
+                    what: format!("{} server RTTs", ds.name()),
+                });
+            }
             let _ = writeln!(
                 out,
                 "{:<11} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
                 ds.name().to_string(),
-                cdf.percentile(10.0),
-                cdf.median(),
-                cdf.percentile(90.0),
-                cdf.max()
+                cdf.try_percentile(10.0)?,
+                cdf.try_median()?,
+                cdf.try_percentile(90.0)?,
+                cdf.try_max()?
             );
         }
-        out
+        Ok(out)
     }
 
     /// Figure 3: CDF of the CBG confidence-region radius, US vs Europe.
@@ -555,7 +622,12 @@ impl ExperimentSuite {
     }
 
     /// Figure 9: CDF over hours of the non-preferred flow fraction.
-    pub fn fig9(&self) -> String {
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::EmptyDistribution`] when a dataset has no hour
+    /// with analysis flows to compute a fraction over.
+    pub fn fig9(&self) -> AnalysisResult<String> {
         let mut out = String::from(
             "Figure 9 — hourly non-preferred fraction CDF (paper: EU2 median > 0.4; others low)\n",
         );
@@ -566,16 +638,21 @@ impl ExperimentSuite {
         );
         for ds in &self.datasets {
             let cdf = nonpreferred_fraction_cdf_indexed(self.dataset_index(ds.name()));
+            if cdf.is_empty() {
+                return Err(AnalysisError::EmptyDistribution {
+                    what: format!("{} hourly non-preferred fractions", ds.name()),
+                });
+            }
             let _ = writeln!(
                 out,
                 "{:<11} {:>8.3} {:>8.3} {:>8.3}",
                 ds.name().to_string(),
-                cdf.percentile(25.0),
-                cdf.median(),
-                cdf.percentile(90.0)
+                cdf.try_percentile(25.0)?,
+                cdf.try_median()?,
+                cdf.try_percentile(90.0)?
             );
         }
-        out
+        Ok(out)
     }
 
     /// Figure 10a: single-flow session breakdown.
@@ -630,8 +707,18 @@ impl ExperimentSuite {
     }
 
     /// Figure 11: EU2 hourly local fraction and load.
-    pub fn fig11(&self) -> String {
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::EmptyDataset`] when EU2 has no analysis flows at
+    /// all — there is no load/locality relationship to correlate.
+    pub fn fig11(&self) -> AnalysisResult<String> {
         let samples = hourly_samples_indexed(self.dataset_index(DatasetName::Eu2));
+        if samples.iter().all(|s| s.total() == 0) {
+            return Err(AnalysisError::EmptyDataset {
+                dataset: DatasetName::Eu2.to_string(),
+            });
+        }
         let corr = load_vs_preferred_correlation(&samples);
         let mut out = String::from(
             "Figure 11 — EU2 local-DC fraction vs hourly load (paper: ~100% at night, ~30% at peak)\n",
@@ -652,7 +739,7 @@ impl ExperimentSuite {
                     .unwrap_or_else(|| "-".into())
             );
         }
-        out
+        Ok(out)
     }
 
     /// Figure 12: US-Campus per-subnet non-preferred shares.
@@ -896,10 +983,15 @@ impl ExperimentSuite {
     }
 
     /// Figure 17: RTT over time for the most illustrative probing node.
-    pub fn fig17(&self) -> String {
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::NoActiveTraces`] when the active experiment
+    /// produced no node traces to pick an illustrative node from.
+    pub fn fig17(&self) -> AnalysisResult<String> {
         let traces = self.active_traces();
         let Some(node) = most_illustrative_node(&traces) else {
-            return "Figure 17 — no traces".into();
+            return Err(AnalysisError::NoActiveTraces);
         };
         let mut out = String::from(
             "Figure 17 — RTT per 30-min sample, one node (paper: first ~200 ms, later ~20 ms)\n",
@@ -912,7 +1004,7 @@ impl ExperimentSuite {
                 i, s.rtt_ms, s.dc
             );
         }
-        out
+        Ok(out)
     }
 
     /// Figure 18: CDF of RTT1/RTT2 over the probing nodes.
@@ -957,14 +1049,17 @@ mod tests {
     fn every_experiment_runs_and_reports() {
         let s = suite();
         for id in ALL_EXPERIMENTS.iter().chain(EXTENSION_EXPERIMENTS) {
-            let report = s.run(id).unwrap_or_else(|| panic!("unknown id {id}"));
+            let report = s.run(id).unwrap_or_else(|e| panic!("{id}: {e}"));
             assert!(report.len() > 40, "{id} report too short: {report}");
             assert!(
                 report.contains("paper"),
                 "{id} report lacks the paper reference line"
             );
         }
-        assert!(s.run("fig99").is_none());
+        assert_eq!(
+            s.run("fig99"),
+            Err(AnalysisError::UnknownExperiment { id: "fig99".into() })
+        );
     }
 
     #[test]
@@ -982,9 +1077,9 @@ mod tests {
     fn run_many_matches_sequential_run() {
         let s = suite();
         // A mix of cheap experiments plus an unknown id: parallel execution
-        // must reproduce the sequential reports (and the None) in order.
+        // must reproduce the sequential reports (and the Err) in order.
         let ids = ["fig6", "fig10a", "fig99", "fig13", "fig9", "fig5"];
-        let sequential: Vec<Option<String>> = ids.iter().map(|id| s.run(id)).collect();
+        let sequential: Vec<AnalysisResult<String>> = ids.iter().map(|id| s.run(id)).collect();
         for jobs in [1, 4] {
             assert_eq!(s.run_many(&ids, jobs), sequential, "jobs={jobs}");
         }

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use ytcdn_tstat::{DatasetName, HOUR_MS};
 
 use crate::active_analysis::{most_illustrative_node, ratio_cdf};
+use crate::error::{AnalysisError, AnalysisResult};
 use crate::experiments::ExperimentSuite;
 use crate::geo_analysis::radius_cdfs;
 use crate::hotspot::{
@@ -77,13 +78,19 @@ pub const EXPORTABLE_FIGURES: &[&str] = &[
     "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 ];
 
-/// Computes the data series behind one figure; `None` for unknown ids
-/// (tables are textual and not exported here).
-pub fn figure_series(suite: &ExperimentSuite, id: &str) -> Option<Vec<Series>> {
+/// Computes the data series behind one figure.
+///
+/// # Errors
+///
+/// [`AnalysisError::UnknownExperiment`] for ids this module does not plot
+/// (tables are textual and not exported here), and
+/// [`AnalysisError::NoActiveTraces`] for `fig17` when no active trace
+/// recorded a usable node.
+pub fn figure_series(suite: &ExperimentSuite, id: &str) -> AnalysisResult<Vec<Series>> {
     let per_dataset = |f: &dyn Fn(DatasetName) -> Series| -> Vec<Series> {
         DatasetName::ALL.iter().map(|&n| f(n)).collect()
     };
-    Some(match id {
+    Ok(match id {
         "fig2" => per_dataset(&|n| {
             let cdf =
                 crate::geo_analysis::server_rtt_cdf(suite.scenario().world(), suite.dataset(n), 5);
@@ -280,7 +287,7 @@ pub fn figure_series(suite: &ExperimentSuite, id: &str) -> Option<Vec<Series>> {
             let index = suite.dataset_index(n);
             let load = preferred_server_load_indexed(index, ds);
             let Some(hot) = load.iter().max_by_key(|h| h.max).and_then(|h| h.max_server) else {
-                return Some(Vec::new());
+                return Ok(Vec::new());
             };
             let breakdown = server_session_breakdown_indexed(index, ds, hot);
             let series =
@@ -302,7 +309,9 @@ pub fn figure_series(suite: &ExperimentSuite, id: &str) -> Option<Vec<Series>> {
         }
         "fig17" => {
             let traces = suite.active_traces();
-            let node = most_illustrative_node(&traces)?;
+            let Some(node) = most_illustrative_node(&traces) else {
+                return Err(AnalysisError::NoActiveTraces);
+            };
             vec![Series {
                 name: node.node.clone(),
                 points: node
@@ -316,7 +325,9 @@ pub fn figure_series(suite: &ExperimentSuite, id: &str) -> Option<Vec<Series>> {
             let traces = suite.active_traces();
             vec![Series::from_cdf("RTT1/RTT2", &ratio_cdf(&traces))]
         }
-        _ => return None,
+        _ => {
+            return Err(AnalysisError::UnknownExperiment { id: id.to_owned() });
+        }
     })
 }
 
@@ -332,7 +343,8 @@ fn push_bar(out: &mut Vec<Series>, name: &str, x: f64, y: f64) {
 }
 
 /// Exports every figure's series as `<dir>/<figN>.csv`; returns the paths
-/// written.
+/// written. Figures whose data is unanswerable on this input (e.g. `fig17`
+/// without active traces) are skipped rather than failing the export.
 ///
 /// # Errors
 ///
@@ -341,7 +353,9 @@ pub fn export_all(suite: &ExperimentSuite, dir: &Path) -> io::Result<Vec<PathBuf
     fs::create_dir_all(dir)?;
     let mut written = Vec::new();
     for id in EXPORTABLE_FIGURES {
-        let series = figure_series(suite, id).expect("EXPORTABLE_FIGURES ids are known");
+        let Ok(series) = figure_series(suite, id) else {
+            continue;
+        };
         let path = dir.join(format!("{id}.csv"));
         let file = fs::File::create(&path)?;
         write_csv(io::BufWriter::new(file), &series)?;
@@ -442,7 +456,7 @@ mod tests {
     fn every_exportable_figure_has_series() {
         let s = suite();
         for id in EXPORTABLE_FIGURES {
-            let series = figure_series(&s, id).unwrap_or_else(|| panic!("{id} unknown"));
+            let series = figure_series(&s, id).unwrap_or_else(|e| panic!("{id}: {e}"));
             assert!(!series.is_empty(), "{id} produced no series");
             for sr in &series {
                 assert!(!sr.points.is_empty(), "{id}/{} empty", sr.name);
@@ -453,7 +467,12 @@ mod tests {
                 );
             }
         }
-        assert!(figure_series(&s, "table1").is_none());
+        assert_eq!(
+            figure_series(&s, "table1").unwrap_err(),
+            crate::AnalysisError::UnknownExperiment {
+                id: "table1".into()
+            }
+        );
     }
 
     #[test]

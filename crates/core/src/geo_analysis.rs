@@ -63,25 +63,24 @@ pub fn geolocate_servers(
     seed: u64,
 ) -> Vec<ServerLocation> {
     let cities = CityDb::builtin();
-    let mut by_block: BTreeMap<Ipv4Block, Vec<Ipv4Addr>> = BTreeMap::new();
+    // Keep each /24's representative endpoint alongside its members so the
+    // localization pass never has to re-derive (and re-prove) it exists.
+    type BlockEntry = (Vec<Ipv4Addr>, ytcdn_netsim::Endpoint);
+    let mut by_block: BTreeMap<Ipv4Block, BlockEntry> = BTreeMap::new();
     for ip in dataset.server_ips() {
         // Only servers the world knows (i.e. with a pingable endpoint).
-        if world.topology().server_endpoint(ip).is_some() {
+        if let Some(endpoint) = world.topology().server_endpoint(ip) {
             by_block
                 .entry(Ipv4Block::slash24_of(ip))
-                .or_default()
-                .push(ip);
+                .and_modify(|(ips, _)| ips.push(ip))
+                .or_insert_with(|| (vec![ip], endpoint));
         }
     }
     let mut rng = NoiseRng::seed_from_u64(seed);
     by_block
         .into_values()
-        .map(|ips| {
+        .map(|(ips, target)| {
             let ip = ips[0];
-            let target = world
-                .topology()
-                .server_endpoint(ip)
-                .expect("filtered above");
             let cbg_result = cbg.localize(&target, &mut rng);
             let (city, _) = cities.nearest(cbg_result.estimate);
             ServerLocation {

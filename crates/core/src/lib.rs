@@ -56,6 +56,8 @@ pub mod active_analysis;
 pub mod as_analysis;
 pub mod characterize;
 pub mod dcmap;
+pub mod degenerate;
+pub mod error;
 pub mod experiments;
 pub mod export;
 pub mod geo_analysis;
@@ -74,6 +76,7 @@ pub mod videos;
 pub mod whatif;
 
 pub use dcmap::{AnalysisContext, DcInfo, DcMap};
+pub use error::{AnalysisError, AnalysisResult};
 pub use index::DatasetIndex;
 pub use session::{group_sessions, Session};
 pub use stats::Cdf;

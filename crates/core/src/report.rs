@@ -26,15 +26,23 @@ pub fn markdown_report(suite: &ExperimentSuite) -> String {
     );
     let _ = writeln!(out, "## Paper experiments\n");
     for id in ALL_EXPERIMENTS {
-        let report = suite.run(id).expect("known id");
-        let _ = writeln!(out, "### {id}\n\n```text\n{}```\n", ensure_newline(&report));
+        let _ = writeln!(out, "{}", section(suite, id));
     }
     let _ = writeln!(out, "## Extensions\n");
     for id in EXTENSION_EXPERIMENTS {
-        let report = suite.run(id).expect("known id");
-        let _ = writeln!(out, "### {id}\n\n```text\n{}```\n", ensure_newline(&report));
+        let _ = writeln!(out, "{}", section(suite, id));
     }
     out
+}
+
+/// One experiment's section; an unanswerable experiment (empty capture, no
+/// active traces) renders as an italic `SKIPPED` note instead of aborting
+/// the whole report.
+fn section(suite: &ExperimentSuite, id: &str) -> String {
+    match suite.run(id) {
+        Ok(report) => format!("### {id}\n\n```text\n{}```\n", ensure_newline(&report)),
+        Err(e) => format!("### {id}\n\n_SKIPPED: {e}_\n"),
+    }
 }
 
 fn ensure_newline(s: &str) -> String {

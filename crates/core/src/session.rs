@@ -109,7 +109,12 @@ pub fn group_sessions_parallel(dataset: &Dataset, gap_ms: u64, jobs: usize) -> V
             .collect();
         let mut all = Vec::new();
         for h in handles {
-            all.extend(h.join().expect("session grouping worker panicked"));
+            // Re-raise a worker panic on the caller thread with its
+            // original payload instead of a generic expect message.
+            all.extend(
+                h.join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic)),
+            );
         }
         all
     });

@@ -1,5 +1,6 @@
 //! Empirical statistics used throughout the analysis: CDFs and binning.
 
+use crate::error::{AnalysisError, AnalysisResult};
 use serde::{Deserialize, Serialize};
 
 /// An empirical cumulative distribution function.
@@ -50,17 +51,46 @@ impl Cdf {
         idx as f64 / self.sorted.len() as f64
     }
 
+    /// Fallible `p`-th percentile (nearest-rank), `p` in `[0, 100]`.
+    ///
+    /// Returns [`AnalysisError::EmptyDistribution`] on an empty CDF, which
+    /// is how every analysis path reports a degenerate dataset instead of
+    /// panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]` — a caller bug, not a data
+    /// condition.
+    pub fn try_percentile(&self, p: f64) -> AnalysisResult<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.sorted.is_empty() {
+            return Err(AnalysisError::EmptyDistribution {
+                what: format!("p{p} of empty CDF"),
+            });
+        }
+        let n = self.sorted.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Ok(self.sorted[rank.clamp(1, n) - 1])
+    }
+
     /// The `p`-th percentile (nearest-rank), `p` in `[0, 100]`.
     ///
     /// # Panics
     ///
-    /// Panics on an empty CDF or `p` outside `[0, 100]`.
+    /// Panics on an empty CDF or `p` outside `[0, 100]`. Analysis code
+    /// should use [`Cdf::try_percentile`]; this asserting wrapper is kept
+    /// for tests and call sites that have already proven non-emptiness.
     pub fn percentile(&self, p: f64) -> f64 {
         assert!(!self.sorted.is_empty(), "percentile of empty CDF");
-        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
-        let n = self.sorted.len();
-        let rank = ((p / 100.0) * n as f64).ceil() as usize;
-        self.sorted[rank.clamp(1, n) - 1]
+        match self.try_percentile(p) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible median shorthand.
+    pub fn try_median(&self) -> AnalysisResult<f64> {
+        self.try_percentile(50.0)
     }
 
     /// Median shorthand.
@@ -68,22 +98,50 @@ impl Cdf {
         self.percentile(50.0)
     }
 
+    /// Fallible smallest sample ([`AnalysisError::EmptyDistribution`] when
+    /// empty).
+    pub fn try_min(&self) -> AnalysisResult<f64> {
+        self.sorted
+            .first()
+            .copied()
+            .ok_or_else(|| AnalysisError::EmptyDistribution {
+                what: "min of empty CDF".into(),
+            })
+    }
+
     /// Smallest sample.
     ///
     /// # Panics
     ///
-    /// Panics on an empty CDF.
+    /// Panics on an empty CDF; analysis code should use [`Cdf::try_min`].
     pub fn min(&self) -> f64 {
-        *self.sorted.first().expect("min of empty CDF")
+        match self.try_min() {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible largest sample ([`AnalysisError::EmptyDistribution`] when
+    /// empty).
+    pub fn try_max(&self) -> AnalysisResult<f64> {
+        self.sorted
+            .last()
+            .copied()
+            .ok_or_else(|| AnalysisError::EmptyDistribution {
+                what: "max of empty CDF".into(),
+            })
     }
 
     /// Largest sample.
     ///
     /// # Panics
     ///
-    /// Panics on an empty CDF.
+    /// Panics on an empty CDF; analysis code should use [`Cdf::try_max`].
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("max of empty CDF")
+        match self.try_max() {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Arithmetic mean (0.0 for an empty CDF).
@@ -95,20 +153,26 @@ impl Cdf {
     }
 
     /// `(x, F(x))` plot points, decimated to at most `max_points`.
+    ///
+    /// Emits exactly `min(len, max_points)` points: the `j/k`-quantile
+    /// ranks for `j = 1..=k`, so the last point is always `(max, 1.0)`.
+    /// (A naive `step = n / max_points` decimation emits up to ~2×
+    /// `max_points` points — e.g. n=10, max_points=4 → 6 points — which
+    /// violated this method's "at most" contract.)
     pub fn plot_points(&self, max_points: usize) -> Vec<(f64, f64)> {
         if self.sorted.is_empty() || max_points == 0 {
             return Vec::new();
         }
         let n = self.sorted.len();
-        let step = (n / max_points).max(1);
-        let mut pts: Vec<(f64, f64)> = (0..n)
-            .step_by(step)
-            .map(|i| (self.sorted[i], (i + 1) as f64 / n as f64))
-            .collect();
-        if pts.last().map(|p| p.1) != Some(1.0) {
-            pts.push((self.sorted[n - 1], 1.0));
-        }
-        pts
+        let k = max_points.min(n);
+        (1..=k)
+            .map(|j| {
+                // Highest rank covered by the j-th of k evenly spaced
+                // quantiles; strictly increasing because n >= k.
+                let i = j * n / k - 1;
+                (self.sorted[i], (i + 1) as f64 / n as f64)
+            })
+            .collect()
     }
 
     /// The underlying sorted samples.
@@ -205,6 +269,100 @@ mod tests {
         assert_eq!(pts.last().unwrap().1, 1.0);
         // Monotone in both coordinates.
         assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn plot_points_respects_max_points_exactly() {
+        // Sweep (n, max_points) pairs, including the shapes the old
+        // `step = n / max_points` decimation over-emitted for
+        // (n=10, max_points=4 used to yield 6 points).
+        for n in [1usize, 2, 3, 4, 5, 7, 10, 11, 13, 50, 52, 100, 1000] {
+            let cdf = Cdf::from_values((0..n).map(|v| v as f64));
+            for max_points in [1usize, 2, 3, 4, 5, 7, 10, 52, 400] {
+                let pts = cdf.plot_points(max_points);
+                assert_eq!(
+                    pts.len(),
+                    max_points.min(n),
+                    "n={n} max_points={max_points}"
+                );
+                let last = pts.last().unwrap();
+                assert_eq!(last.1, 1.0, "n={n} max_points={max_points}");
+                assert_eq!(last.0, cdf.max(), "n={n} max_points={max_points}");
+                assert!(
+                    pts.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1),
+                    "n={n} max_points={max_points}: not strictly increasing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // p=0 and p=100 on a single-sample CDF collapse to that sample.
+        let single = Cdf::from_values([42.0]);
+        assert_eq!(single.percentile(0.0), 42.0);
+        assert_eq!(single.percentile(100.0), 42.0);
+        assert_eq!(single.median(), 42.0);
+        assert_eq!(single.min(), 42.0);
+        assert_eq!(single.max(), 42.0);
+        assert_eq!(single.fraction_at_or_below(41.9), 0.0);
+        assert_eq!(single.fraction_at_or_below(42.0), 1.0);
+        assert_eq!(single.plot_points(10), vec![(42.0, 1.0)]);
+
+        // NaN-heavy input: non-finite values are dropped before ranking.
+        let noisy = Cdf::from_values([
+            f64::NAN,
+            3.0,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            1.0,
+            f64::INFINITY,
+            2.0,
+            f64::NAN,
+        ]);
+        assert_eq!(noisy.len(), 3);
+        assert_eq!(noisy.percentile(0.0), 1.0);
+        assert_eq!(noisy.percentile(100.0), 3.0);
+        assert_eq!(noisy.fraction_at_or_below(f64::INFINITY), 1.0);
+
+        // All-NaN input behaves exactly like an empty CDF.
+        let all_nan = Cdf::from_values([f64::NAN, f64::NAN]);
+        assert!(all_nan.is_empty());
+    }
+
+    #[test]
+    fn try_variants_report_empty_distribution() {
+        let empty = Cdf::from_values(std::iter::empty());
+        assert!(matches!(
+            empty.try_percentile(50.0),
+            Err(AnalysisError::EmptyDistribution { .. })
+        ));
+        assert!(matches!(
+            empty.try_median(),
+            Err(AnalysisError::EmptyDistribution { .. })
+        ));
+        assert!(matches!(
+            empty.try_min(),
+            Err(AnalysisError::EmptyDistribution { .. })
+        ));
+        assert!(matches!(
+            empty.try_max(),
+            Err(AnalysisError::EmptyDistribution { .. })
+        ));
+
+        // On non-empty input the try_* variants agree with the asserting
+        // wrappers.
+        let cdf = Cdf::from_values((1..=100).map(f64::from));
+        assert_eq!(cdf.try_percentile(90.0).unwrap(), cdf.percentile(90.0));
+        assert_eq!(cdf.try_median().unwrap(), cdf.median());
+        assert_eq!(cdf.try_min().unwrap(), cdf.min());
+        assert_eq!(cdf.try_max().unwrap(), cdf.max());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn try_percentile_rejects_out_of_range_p() {
+        let _ = Cdf::from_values([1.0]).try_percentile(101.0);
     }
 
     #[test]

@@ -166,9 +166,10 @@ impl Cbg {
         if coarse.is_empty() {
             return None;
         }
-        // Refine over the coarse feasible set's bounding disk.
-        let coarse_centroid =
-            Coord::centroid(coarse.iter().copied()).expect("coarse set is non-empty");
+        // Refine over the coarse feasible set's bounding disk. The coarse
+        // set was checked non-empty above, so the centroid always exists;
+        // `?` keeps the path panic-free regardless.
+        let coarse_centroid = Coord::centroid(coarse.iter().copied())?;
         let coarse_radius = coarse
             .iter()
             .map(|p| coarse_centroid.distance_km(*p))
@@ -188,8 +189,7 @@ impl Cbg {
         } else {
             fine_step
         };
-        let estimate =
-            Coord::centroid(feasible.iter().copied()).expect("feasible set is non-empty");
+        let estimate = Coord::centroid(feasible.iter().copied())?;
         let radius_km = feasible
             .iter()
             .map(|p| estimate.distance_km(*p))
@@ -265,7 +265,7 @@ mod tests {
     }
 
     fn dc_at(city: &str) -> Endpoint {
-        Endpoint::new(CityDb::builtin().expect(city).coord, AccessKind::DataCenter)
+        Endpoint::new(CityDb::builtin().named(city).coord, AccessKind::DataCenter)
     }
 
     #[test]

@@ -58,8 +58,11 @@ pub fn cluster_by_city(estimates: &[(Ipv4Addr, Coord)], cities: &CityDb) -> Vec<
     // Snap each /24 to a city.
     let mut by_city: BTreeMap<&'static str, (&'static City, Vec<Ipv4Addr>)> = BTreeMap::new();
     for members in by_block.into_values() {
-        let centroid = Coord::centroid(members.iter().map(|&(_, c)| c))
-            .expect("block groups are non-empty by construction");
+        // Block groups are non-empty by construction (each came from at
+        // least one estimate); skip defensively rather than panic.
+        let Some(centroid) = Coord::centroid(members.iter().map(|&(_, c)| c)) else {
+            continue;
+        };
         let (city, _) = cities.nearest(centroid);
         let entry = by_city
             .entry(city.name)
@@ -86,7 +89,7 @@ mod tests {
     use super::*;
 
     fn coord_of(name: &str) -> Coord {
-        CityDb::builtin().expect(name).coord
+        CityDb::builtin().named(name).coord
     }
 
     #[test]

@@ -22,7 +22,7 @@ use ytcdn_netsim::Ipv4Block;
 ///
 /// let db = MaxmindLike::with_hq_default();
 /// // Any unregistered (corporate CDN) address resolves to Mountain View.
-/// let mv = CityDb::builtin().expect("Mountain View").coord;
+/// let mv = CityDb::builtin().named("Mountain View").coord;
 /// let got = db.geolocate("74.125.13.7".parse()?);
 /// assert!(got.distance_km(mv) < 1.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -37,7 +37,7 @@ impl MaxmindLike {
     /// A database whose fallback for unknown prefixes is Google's
     /// headquarters in Mountain View — the paper's observed behaviour.
     pub fn with_hq_default() -> Self {
-        let mv = CityDb::builtin().expect("Mountain View").coord;
+        let mv = CityDb::builtin().named("Mountain View").coord;
         Self {
             entries: Vec::new(),
             default: mv,
@@ -95,7 +95,7 @@ mod tests {
     #[test]
     fn registered_prefix_wins() {
         let mut db = MaxmindLike::with_hq_default();
-        let turin = CityDb::builtin().expect("Turin").coord;
+        let turin = CityDb::builtin().named("Turin").coord;
         db.register("151.38.0.0/16".parse().unwrap(), turin);
         assert_eq!(db.geolocate("151.38.4.4".parse().unwrap()), turin);
         assert_eq!(db.len(), 1);
@@ -104,8 +104,8 @@ mod tests {
     #[test]
     fn longest_prefix_match() {
         let mut db = MaxmindLike::with_hq_default();
-        let turin = CityDb::builtin().expect("Turin").coord;
-        let milan = CityDb::builtin().expect("Milan").coord;
+        let turin = CityDb::builtin().named("Turin").coord;
+        let milan = CityDb::builtin().named("Milan").coord;
         db.register("151.0.0.0/8".parse().unwrap(), turin);
         db.register("151.38.0.0/16".parse().unwrap(), milan);
         assert_eq!(db.geolocate("151.38.1.1".parse().unwrap()), milan);
@@ -114,7 +114,7 @@ mod tests {
 
     #[test]
     fn custom_default() {
-        let paris = CityDb::builtin().expect("Paris").coord;
+        let paris = CityDb::builtin().named("Paris").coord;
         let db = MaxmindLike::with_default(paris);
         assert_eq!(db.geolocate("1.2.3.4".parse().unwrap()), paris);
         assert!(db.is_empty());

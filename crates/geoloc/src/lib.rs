@@ -27,7 +27,7 @@
 //!
 //! let landmarks = planetlab_landmarks(1);
 //! let cbg = Cbg::calibrate(landmarks, DelayModel::default(), 3, 7);
-//! let target = Endpoint::new(CityDb::builtin().expect("Paris").coord, AccessKind::DataCenter);
+//! let target = Endpoint::new(CityDb::builtin().named("Paris").coord, AccessKind::DataCenter);
 //! let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(99);
 //! let result = cbg.localize(&target, &mut rng);
 //! let err = result.estimate.distance_km(target.coord);

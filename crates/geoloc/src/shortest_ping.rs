@@ -33,7 +33,7 @@ pub struct ShortestPingResult {
 /// use ytcdn_netsim::{planetlab_landmarks, AccessKind, DelayModel, Endpoint, NoiseRng};
 ///
 /// let sp = ShortestPing::new(planetlab_landmarks(1), DelayModel::default(), 3);
-/// let target = Endpoint::new(CityDb::builtin().expect("Berlin").coord, AccessKind::DataCenter);
+/// let target = Endpoint::new(CityDb::builtin().named("Berlin").coord, AccessKind::DataCenter);
 /// let mut rng = NoiseRng::seed_from_u64(5);
 /// let r = sp.localize(&target, &mut rng);
 /// assert!(r.estimate.distance_km(target.coord) < 800.0);
@@ -74,6 +74,7 @@ impl ShortestPing {
             .iter()
             .map(|l| (l, pinger.ping(&l.endpoint(), target, rng).min_ms))
             .min_by(|a, b| a.1.total_cmp(&b.1))
+            // ytcdn-lint: allow(PAN001) — landmark sets are built from the static city table and are never empty
             .expect("landmark set is non-empty");
         ShortestPingResult {
             estimate: lm.coord,
@@ -90,7 +91,7 @@ mod tests {
     use ytcdn_netsim::{landmarks_with_counts, planetlab_landmarks, AccessKind};
 
     fn target(city: &str) -> Endpoint {
-        Endpoint::new(CityDb::builtin().expect(city).coord, AccessKind::DataCenter)
+        Endpoint::new(CityDb::builtin().named(city).coord, AccessKind::DataCenter)
     }
 
     #[test]

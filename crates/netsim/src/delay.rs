@@ -200,7 +200,7 @@ mod tests {
     use ytcdn_geomodel::CityDb;
 
     fn ep(city: &str, access: AccessKind) -> Endpoint {
-        Endpoint::new(CityDb::builtin().expect(city).coord, access)
+        Endpoint::new(CityDb::builtin().named(city).coord, access)
     }
 
     #[test]
@@ -280,7 +280,7 @@ mod tests {
     fn inflation_varies_across_pairs() {
         let model = DelayModel::default();
         let db = CityDb::builtin();
-        let t = db.expect("Turin").coord;
+        let t = db.named("Turin").coord;
         let vals: Vec<f64> = db
             .iter()
             .take(20)

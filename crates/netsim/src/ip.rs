@@ -129,6 +129,27 @@ impl Ipv4Block {
     pub fn iter(self) -> impl Iterator<Item = Ipv4Addr> {
         (0..self.len()).map(move |i| Ipv4Addr::from(self.base + i as u32))
     }
+
+    /// Parses a static CIDR literal from the topology/vantage tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid notation — a bug in a compile-time table, not a
+    /// data condition, which is why this is not a `Result`.
+    pub fn literal(cidr: &str) -> Self {
+        // ytcdn-lint: allow(PAN001) — only ever called on static CIDR literals; a parse failure is a table typo
+        cidr.parse().expect("static CIDR literal")
+    }
+
+    /// Splits the block into /24s; shorthand for the static pool tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is finer than /24.
+    pub fn slash24s(self) -> Subdivide {
+        // ytcdn-lint: allow(PAN001) — only ever called on static pool blocks with prefix <= 24
+        self.subdivide(24).expect("block finer than /24")
+    }
 }
 
 impl fmt::Display for Ipv4Block {

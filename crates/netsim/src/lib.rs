@@ -30,8 +30,8 @@
 //!
 //! let db = CityDb::builtin();
 //! let model = DelayModel::default();
-//! let campus = Endpoint::new(db.expect("West Lafayette").coord, AccessKind::Campus);
-//! let dc = Endpoint::new(db.expect("Washington DC").coord, AccessKind::DataCenter);
+//! let campus = Endpoint::new(db.named("West Lafayette").coord, AccessKind::Campus);
+//! let dc = Endpoint::new(db.named("Washington DC").coord, AccessKind::DataCenter);
 //! let mut pinger = Pinger::new(model, 7);
 //! let m = pinger.ping_seeded(&campus, &dc, 42);
 //! assert!(m.min_ms > 5.0 && m.min_ms < 60.0, "got {}", m.min_ms);

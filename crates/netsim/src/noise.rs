@@ -28,8 +28,8 @@ use rand::{Rng, SeedableRng};
 /// use ytcdn_netsim::{AccessKind, DelayModel, Endpoint, NoiseRng, Pinger};
 ///
 /// let db = CityDb::builtin();
-/// let a = Endpoint::new(db.expect("Turin").coord, AccessKind::Campus);
-/// let b = Endpoint::new(db.expect("Paris").coord, AccessKind::DataCenter);
+/// let a = Endpoint::new(db.named("Turin").coord, AccessKind::Campus);
+/// let b = Endpoint::new(db.named("Paris").coord, AccessKind::DataCenter);
 /// let pinger = Pinger::new(DelayModel::default(), 3);
 /// // Same seed, same noise stream, same measurement.
 /// let m1 = pinger.ping(&a, &b, &mut NoiseRng::seed_from_u64(7));

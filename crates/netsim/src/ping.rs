@@ -32,8 +32,8 @@ pub struct RttMeasurement {
 /// use ytcdn_netsim::{AccessKind, DelayModel, Endpoint, Pinger};
 ///
 /// let db = CityDb::builtin();
-/// let a = Endpoint::new(db.expect("Turin").coord, AccessKind::Campus);
-/// let b = Endpoint::new(db.expect("Paris").coord, AccessKind::DataCenter);
+/// let a = Endpoint::new(db.named("Turin").coord, AccessKind::Campus);
+/// let b = Endpoint::new(db.named("Paris").coord, AccessKind::DataCenter);
 /// let mut pinger = Pinger::new(DelayModel::default(), 10);
 /// let m = pinger.ping_seeded(&a, &b, 1);
 /// assert!(m.min_ms <= m.avg_ms && m.avg_ms <= m.max_ms);
@@ -99,7 +99,7 @@ mod tests {
     use ytcdn_geomodel::CityDb;
 
     fn ep(city: &str, access: AccessKind) -> Endpoint {
-        Endpoint::new(CityDb::builtin().expect(city).coord, access)
+        Endpoint::new(CityDb::builtin().named(city).coord, access)
     }
 
     #[test]

@@ -233,70 +233,58 @@ impl MetricsRegistry {
 
     /// The counter named `name`, created on first use.
     ///
-    /// # Panics
-    ///
-    /// Panics if the registry lock is poisoned.
+    /// A poisoned registry lock is recovered rather than propagated:
+    /// metrics are monotonic aggregates, so the state is usable even if a
+    /// writer panicked mid-update.
     pub fn counter(&self, name: &'static str) -> Counter {
         self.counters
             .lock()
-            .expect("metrics registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .entry(name)
             .or_default()
             .clone()
     }
 
     /// The gauge named `name`, created on first use.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the registry lock is poisoned.
     pub fn gauge(&self, name: &'static str) -> Gauge {
         self.gauges
             .lock()
-            .expect("metrics registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .entry(name)
             .or_default()
             .clone()
     }
 
     /// The histogram named `name`, created with default bounds on first use.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the registry lock is poisoned.
     pub fn histogram(&self, name: &'static str) -> Histogram {
         self.histograms
             .lock()
-            .expect("metrics registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .entry(name)
             .or_insert_with(Histogram::detached)
             .clone()
     }
 
     /// A serializable point-in-time copy of every metric.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a registry lock is poisoned.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = self
             .counters
             .lock()
-            .expect("metrics registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(&k, v)| (k.to_owned(), v.get()))
             .collect();
         let gauges = self
             .gauges
             .lock()
-            .expect("metrics registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(&k, v)| (k.to_owned(), v.get()))
             .collect();
         let histograms = self
             .histograms
             .lock()
-            .expect("metrics registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(&k, v)| (k.to_owned(), HistogramReport::from_snapshot(&v.snapshot())))
             .collect();

@@ -64,7 +64,7 @@ impl RingBufferSink {
     pub fn snapshot(&self) -> Vec<TelemetryRecord> {
         self.buf
             .lock()
-            .expect("ring buffer poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .cloned()
             .collect()
@@ -72,7 +72,10 @@ impl RingBufferSink {
 
     /// Number of records currently buffered.
     pub fn len(&self) -> usize {
-        self.buf.lock().expect("ring buffer poisoned").len()
+        self.buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Whether the buffer is empty.
@@ -83,7 +86,10 @@ impl RingBufferSink {
 
 impl Sink for RingBufferSink {
     fn record(&self, rec: &TelemetryRecord) {
-        let mut buf = self.buf.lock().expect("ring buffer poisoned");
+        let mut buf = self
+            .buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if buf.len() == self.capacity {
             buf.pop_front();
         }
@@ -127,12 +133,11 @@ impl<W: Write + Send> JsonlSink<W> {
     }
 
     /// Flushes and returns the underlying writer (test helper).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the sink's lock is poisoned.
     pub fn into_inner(self) -> W {
-        let mut state = self.inner.into_inner().expect("jsonl sink poisoned");
+        let mut state = self
+            .inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let _ = state.writer.flush();
         state.writer
     }
@@ -140,7 +145,10 @@ impl<W: Write + Send> JsonlSink<W> {
 
 impl<W: Write + Send> Sink for JsonlSink<W> {
     fn record(&self, rec: &TelemetryRecord) {
-        let mut state = self.inner.lock().expect("jsonl sink poisoned");
+        let mut state = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if state.error.is_some() {
             return;
         }
@@ -161,7 +169,10 @@ impl<W: Write + Send> Sink for JsonlSink<W> {
     }
 
     fn flush(&self) -> io::Result<()> {
-        let mut state = self.inner.lock().expect("jsonl sink poisoned");
+        let mut state = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(e) = state.error.take() {
             return Err(e);
         }

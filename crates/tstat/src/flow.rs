@@ -68,6 +68,7 @@ pub struct VideoIdStr([u8; 11]);
 impl VideoIdStr {
     /// The string view of the buffer.
     pub fn as_str(&self) -> &str {
+        // ytcdn-lint: allow(PAN001) — the buffer is filled from the base-64 video-id alphabet, which is ASCII
         std::str::from_utf8(&self.0).expect("alphabet is ASCII")
     }
 }

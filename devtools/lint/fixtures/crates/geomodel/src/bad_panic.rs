@@ -1,5 +1,5 @@
-//! PAN001 fixture: panic paths in library non-test code — two advisory
-//! warnings. The `#[test]` function is exempt.
+//! PAN001 fixture: panic paths in library non-test code — two deny
+//! findings. The `#[test]` function is exempt.
 
 pub fn risky(v: Option<u32>) -> u32 {
     v.unwrap()

@@ -90,8 +90,9 @@ pub static RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "PAN001",
-        severity: Severity::Warn,
-        summary: "unwrap()/expect() in library non-test code (advisory panic-path debt)",
+        severity: Severity::Deny,
+        summary: "unwrap()/expect() in library non-test code: return a typed error \
+                  or suppress with a reasoned invariant",
     },
     RuleInfo {
         id: "LNT001",
@@ -318,10 +319,10 @@ pub fn apply_rules(
                     file: file.to_string(),
                     line: t.line,
                     rule: "PAN001",
-                    severity: Severity::Warn,
+                    severity: Severity::Deny,
                     message: format!(
-                        "`.{}(...)` in library non-test code: panic path (advisory; \
-                         prefer a Result or document the invariant)",
+                        "`.{}(...)` in library non-test code: panic path (return a \
+                         Result or suppress with a reasoned invariant)",
                         t.text
                     ),
                 });

@@ -85,13 +85,13 @@ fn tel001_fires_in_guard_and_else_branch() {
 }
 
 #[test]
-fn pan001_warns_outside_tests_only() {
+fn pan001_denies_outside_tests_only() {
     let (all, _) = fixture_findings();
     let f = in_file(&all, "bad_panic.rs");
     assert_eq!(f.len(), 2, "{f:#?}");
     assert!(f
         .iter()
-        .all(|x| x.rule == "PAN001" && x.severity == Severity::Warn));
+        .all(|x| x.rule == "PAN001" && x.severity == Severity::Deny));
     // The #[test] fn starts at line 12.
     assert!(f.iter().all(|x| x.line < 12));
 }

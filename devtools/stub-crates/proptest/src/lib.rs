@@ -2,7 +2,8 @@
 //! real crate's shape — the `proptest!` macro, `any`, range/tuple/vec
 //! strategies, and the `prop_assert*` macros — for the workspace's property
 //! tests to type-check. Strategy values come from `unimplemented!()`, so the
-//! tests must never be *run* against this stub.
+//! generated tests are emitted with `#[ignore]`: under the stub they compile
+//! and are listed, but never execute their bodies.
 
 use std::marker::PhantomData;
 
@@ -110,6 +111,7 @@ macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*
+            #[ignore = "proptest stub is typecheck-only; run with the real crate"]
             fn $name() {
                 $(let $arg = $crate::strategy::Strategy::__stub_value(&($strat));)*
                 $body

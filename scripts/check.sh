@@ -14,8 +14,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # In-tree determinism lint: SimRng-only simulation, no wall clocks in
 # deterministic crates, ordered containers in output paths, forbid(unsafe)
-# everywhere, no RNG draws under telemetry guards. Exit 1 on any deny
-# finding.
+# everywhere, no RNG draws under telemetry guards, and no unreasoned
+# unwrap()/expect() in library code (PAN001 is a deny rule). Exit 1 on any
+# deny finding.
 echo "==> ytcdn-lint --workspace" >&2
 cargo run --quiet --release -p ytcdn-lint -- --workspace
 
@@ -48,5 +49,16 @@ for jobs in 1 "$max"; do
 done
 cmp "$smoke/repro-1.txt" "$smoke/repro-$max.txt" \
     || { echo "check.sh: repro --jobs $max output differs from sequential" >&2; exit 1; }
+
+# Degenerate-input smoke: an empty capture must not panic anywhere in the
+# analysis layer — the scorecard renders its unanswerable claims as
+# SKIPPED rows and still exits 0.
+echo "==> repro --degenerate empty smoke" >&2
+cargo run --quiet --release -p ytcdn-bench --bin repro -- \
+    --scale 0.004 --seed 7 --degenerate empty --scorecard \
+    > "$smoke/degenerate.txt" 2>/dev/null \
+    || { echo "check.sh: repro --degenerate empty --scorecard exited non-zero" >&2; exit 1; }
+grep -q "SKIPPED:" "$smoke/degenerate.txt" \
+    || { echo "check.sh: degenerate scorecard has no SKIPPED rows" >&2; exit 1; }
 
 echo "check.sh: OK" >&2

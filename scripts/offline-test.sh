@@ -8,9 +8,15 @@
 #
 #   * the cdnsim unit tests — the whole simulation path draws from the
 #     in-tree SimRng, never from `rand`;
+#   * the core unit tests — simulation-driven like cdnsim; the proptest
+#     stub marks its generated tests #[ignore], so property suites are
+#     skipped rather than fed a foreign value stream;
 #   * the sharding differential harness and the golden Table I snapshots —
 #     these pin simulation output, which is rand-free by design (that is
-#     exactly what makes the goldens portable).
+#     exactly what makes the goldens portable);
+#   * the degenerate-dataset robustness harness — typed-error and SKIPPED
+#     semantics over empty/truncated/subnet-less datasets, all driven by
+#     the deterministic simulation.
 #
 # Extra cargo-test arguments are passed through, e.g.
 #   scripts/offline-test.sh -- --nocapture
@@ -42,13 +48,15 @@ EOF
 
 echo "offline-test: scratch workspace at $scratch" >&2
 # Two invocations: cargo's target-selection flags (--lib/--test) are global
-# across -p flags, and ytcdn-core's *lib* tests are not stub-safe (they use
-# proptest, whose stub is typecheck-only).
+# across -p flags, so lib tests and integration tests are selected
+# separately. (ytcdn-core lib tests are stub-safe: the proptest stub
+# #[ignore]s its generated tests instead of running them on a foreign
+# value stream.)
 cargo test --manifest-path "$scratch/Cargo.toml" --offline --release \
-    -p ytcdn-cdnsim --lib "$@"
+    -p ytcdn-cdnsim -p ytcdn-core --lib "$@"
 cargo test --manifest-path "$scratch/Cargo.toml" --offline --release \
     -p ytcdn-core --test sharding_differential --test golden_tables \
-    --test analysis_index_differential "$@"
+    --test analysis_index_differential --test degenerate_datasets "$@"
 
 # The determinism lint is dependency-free, so both its self-tests (lexer,
 # engine, fixture corpus) and a full run over the real tree are stub-safe.

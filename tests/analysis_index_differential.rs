@@ -137,7 +137,8 @@ fn suite_reports_identical_sequential_vs_parallel() {
             .chain(EXTENSION_EXPERIMENTS)
             .copied()
             .collect();
-        let seq_reports: Vec<Option<String>> = ids.iter().map(|id| sequential.run(id)).collect();
+        let seq_reports: Vec<Result<String, ytcdn_core::AnalysisError>> =
+            ids.iter().map(|id| sequential.run(id)).collect();
         assert_eq!(
             parallel.run_many(&ids, parallel.jobs()),
             seq_reports,

@@ -36,8 +36,10 @@ fn cbg_map_agrees_with_ground_truth_on_the_headline_analysis() {
     let locations = geolocate_servers(world, &ds, &cbg, 31);
     let estimates: Vec<_> = locations.iter().map(|l| (l.ip, l.cbg.estimate)).collect();
     let clusters = cluster_by_city(&estimates, &CityDb::builtin());
-    let inferred = DcMap::from_clusters(&clusters, &CityDb::builtin());
-    let ctx_inferred = AnalysisContext::from_map(world, &ds, inferred);
+    let inferred =
+        DcMap::from_clusters(&clusters, &CityDb::builtin()).expect("cluster cities resolve");
+    let ctx_inferred =
+        AnalysisContext::from_map(world, &ds, inferred).expect("CBG map is non-empty");
 
     // Oracle pipeline.
     let ctx_truth = AnalysisContext::from_ground_truth(world, &ds);
@@ -118,10 +120,8 @@ fn cbg_competitive_with_shortest_ping() {
     let mut rng = NoiseRng::seed_from_u64(21);
     let targets = ["Lyon", "Hamburg", "Prague", "Denver", "Nashville", "Osaka"];
     for city in targets {
-        let t = ytcdn_netsim::Endpoint::new(
-            db.expect(city).coord,
-            ytcdn_netsim::AccessKind::DataCenter,
-        );
+        let t =
+            ytcdn_netsim::Endpoint::new(db.named(city).coord, ytcdn_netsim::AccessKind::DataCenter);
         cbg_err += cbg_loc.localize(&t, &mut rng).estimate.distance_km(t.coord);
         sp_err += sp.localize(&t, &mut rng).estimate.distance_km(t.coord);
     }
@@ -151,10 +151,8 @@ fn cbg_radius_scales_with_landmark_density() {
     let mut dense_sum = 0.0;
     let mut rng = NoiseRng::seed_from_u64(11);
     for city in ["Paris", "Berlin", "Madrid", "Chicago", "Boston"] {
-        let t = ytcdn_netsim::Endpoint::new(
-            db.expect(city).coord,
-            ytcdn_netsim::AccessKind::DataCenter,
-        );
+        let t =
+            ytcdn_netsim::Endpoint::new(db.named(city).coord, ytcdn_netsim::AccessKind::DataCenter);
         sparse_sum += sparse.localize(&t, &mut rng).radius_km;
         dense_sum += dense.localize(&t, &mut rng).radius_km;
     }

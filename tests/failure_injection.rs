@@ -47,7 +47,7 @@ fn textlog_with_embedded_garbage_fails_with_line_number() {
 fn cbg_survives_colocated_landmarks() {
     // All landmarks in one metro area: the constraints barely triangulate,
     // so the region must simply be wide — not a panic, not a bogus pinpoint.
-    let turin = CityDb::builtin().expect("Turin").coord;
+    let turin = CityDb::builtin().named("Turin").coord;
     let landmarks: Vec<Landmark> = (0..6)
         .map(|i| Landmark {
             name: format!("colo-{i}"),
@@ -58,7 +58,7 @@ fn cbg_survives_colocated_landmarks() {
     let cbg = Cbg::calibrate(landmarks, DelayModel::default(), 3, 1);
     let mut rng = NoiseRng::seed_from_u64(3);
     let far = Endpoint::new(
-        CityDb::builtin().expect("Tokyo").coord,
+        CityDb::builtin().named("Tokyo").coord,
         AccessKind::DataCenter,
     );
     let r = cbg.localize(&far, &mut rng);
@@ -69,7 +69,7 @@ fn cbg_survives_colocated_landmarks() {
     );
     // And a nearby target still resolves reasonably.
     let near = Endpoint::new(
-        CityDb::builtin().expect("Milan").coord,
+        CityDb::builtin().named("Milan").coord,
         AccessKind::DataCenter,
     );
     let r = cbg.localize(&near, &mut rng);

@@ -22,8 +22,13 @@ fn suite(seed: u64) -> ExperimentSuite {
 fn scorecard_passes_across_seeds() {
     for seed in [7, 1234] {
         let s = suite(seed);
-        let checks = scorecard(&s);
-        let failing: Vec<_> = checks.iter().filter(|c| !c.pass()).cloned().collect();
+        let card = scorecard(&s);
+        assert!(
+            card.skipped.is_empty(),
+            "seed {seed}: unanswerable claims on a normal run: {:?}",
+            card.skipped
+        );
+        let failing: Vec<_> = card.checks.iter().filter(|c| !c.pass()).cloned().collect();
         // Allow at most one borderline miss per seed; systematic failure is
         // a model bug.
         assert!(
