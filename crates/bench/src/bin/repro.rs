@@ -22,7 +22,9 @@ use ytcdn_core::degenerate::DegenerateShape;
 use ytcdn_core::experiments::{
     ExperimentSuite, SuiteConfig, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS,
 };
+use ytcdn_core::{WatchConfig, WatchReport};
 use ytcdn_telemetry::{Progress, Telemetry};
+use ytcdn_tstat::DatasetName;
 
 struct Args {
     exp: Option<String>,
@@ -35,6 +37,7 @@ struct Args {
     bench_out: Option<std::path::PathBuf>,
     plot: bool,
     scorecard: bool,
+    windows: bool,
     degenerate: Option<DegenerateShape>,
 }
 
@@ -50,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         bench_out: None,
         plot: false,
         scorecard: false,
+        windows: false,
         degenerate: None,
     };
     let mut it = std::env::args().skip(1);
@@ -85,6 +89,7 @@ fn parse_args() -> Result<Args, String> {
             "--full-landmarks" => args.full_landmarks = true,
             "--plot" => args.plot = true,
             "--scorecard" => args.scorecard = true,
+            "--windows" => args.windows = true,
             "--degenerate" => {
                 args.degenerate = Some(
                     it.next()
@@ -105,7 +110,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: repro [--exp {}] [--scale S] [--seed N] [--jobs N] [--full-landmarks] [--csv DIR] [--markdown FILE] [--bench-out FILE] [--plot] [--scorecard] [--degenerate {}]",
+                    "usage: repro [--exp {}] [--scale S] [--seed N] [--jobs N] [--full-landmarks] [--csv DIR] [--markdown FILE] [--bench-out FILE] [--plot] [--scorecard] [--windows] [--degenerate {}]",
                     ALL_EXPERIMENTS.join("|"),
                     DegenerateShape::ALL.map(DegenerateShape::as_str).join("|")
                 ));
@@ -202,6 +207,25 @@ fn main() -> ExitCode {
         }
     }
 
+    if args.windows {
+        for name in DatasetName::ALL {
+            println!(
+                "──── windows {name} {}",
+                "─".repeat(52_usize.saturating_sub(name.as_str().len()))
+            );
+            let report = WatchReport::build(
+                suite.context(name),
+                suite.dataset(name),
+                suite.dataset_index(name),
+                WatchConfig::default(),
+            );
+            match report {
+                Ok(report) => println!("{}", report.render_table()),
+                Err(e) => println!("SKIPPED: {e}\n"),
+            }
+        }
+    }
+
     if let Some(path) = &args.markdown {
         let md = ytcdn_core::report::markdown_report(&suite);
         if let Err(e) = std::fs::write(path, md) {
@@ -264,6 +288,15 @@ fn bench_json(
         .telemetry()
         .metrics_snapshot()
         .expect("repro always runs with metrics-only telemetry");
+    // The "index.build" span histogram accumulates every per-dataset index
+    // build (microseconds), on the sequential and the parallel path alike —
+    // it is the index share of build_ms above.
+    let index_build_ms = snapshot
+        .histograms
+        .iter()
+        .find(|(name, _)| name.as_str() == "index.build")
+        .map_or(0.0, |(_, h)| h.sum as f64 / 1000.0);
+    let _ = writeln!(out, "  \"index_build_ms\": {index_build_ms:.3},");
     let _ = writeln!(
         out,
         "  \"index_session_cache_hits\": {},",

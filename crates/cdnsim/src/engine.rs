@@ -33,6 +33,7 @@ use ytcdn_tstat::{Dataset, FlowRecord, Resolution, VideoId, HOUR_MS};
 
 use crate::catalog::{sample_resolution, VideoCatalog, VideoMeta};
 use crate::dns::{DnsCause, DnsDecision, DnsResolver, LdnsPolicy};
+use crate::mutation::MutationSchedule;
 use crate::placement::{ContentStore, PlacementConfig};
 use crate::rng::{stream, SimRng};
 use crate::shard::{ReplicationSchedule, StoreAccess};
@@ -209,16 +210,16 @@ impl StoreView {
         }
     }
 
-    fn has(&self, dc: DataCenterId, video: VideoId) -> bool {
+    fn has(&self, dc: DataCenterId, video: VideoId, hour: u64) -> bool {
         match self {
-            StoreView::Live(s) => s.has(dc, video),
+            StoreView::Live(s) => s.has_at(dc, video, hour),
             StoreView::Timeline {
                 base,
                 schedule,
                 cursor,
                 ..
             } => {
-                base.has(dc, video)
+                base.has_at(dc, video, hour)
                     || schedule
                         .pulled_at(dc, video)
                         .is_some_and(|ord| ord < *cursor)
@@ -307,11 +308,14 @@ pub(crate) struct SessionPrelude {
 /// prepass: both consume exactly these RNG words (in this order) and drive
 /// the DNS resolver's hourly-capacity state identically, which is what
 /// makes the prepass's (data center, video) access log agree with what the
-/// full engine will do.
+/// full engine will do. Scheduled DNS mutations are applied here — *after*
+/// the resolver's draws and capacity accounting, with no RNG of their own —
+/// so mutated runs keep that agreement.
 pub(crate) fn draw_session_prelude(
     vp: &VantagePoint,
     catalog: &VideoCatalog,
     dns: &mut DnsResolver,
+    mutations: &MutationSchedule,
     t: u64,
     rng: &mut SimRng,
 ) -> SessionPrelude {
@@ -326,7 +330,9 @@ pub(crate) fn draw_session_prelude(
         SessionRoute::Pool(ServerPool::ThirdParty)
     } else {
         let ldns = vp.subnets[subnet_idx].ldns;
-        SessionRoute::Google(dns.resolve(ldns, t, rng))
+        let decision = dns.resolve(ldns, t, rng);
+        let decision = mutations.remap(decision, t / HOUR_MS, &dns.policies()[ldns.0]);
+        SessionRoute::Google(decision)
     };
     SessionPrelude {
         client_ip,
@@ -343,6 +349,7 @@ pub struct Engine<'w> {
     vp: &'w VantagePoint,
     config: EngineConfig,
     dns: DnsResolver,
+    mutations: Arc<MutationSchedule>,
     store: StoreView,
     /// Arrivals per (server, hour); the application-layer overload signal.
     arrivals: HashMap<(Ipv4Addr, u64), u32>,
@@ -388,6 +395,7 @@ impl<'w> Engine<'w> {
             vp,
             config,
             dns: DnsResolver::new(policies),
+            mutations: Arc::new(MutationSchedule::default()),
             store: StoreView::Live(store),
             arrivals: HashMap::new(),
             rtt_to_dc,
@@ -409,6 +417,16 @@ impl<'w> Engine<'w> {
             self.dns.set_telemetry(telemetry.clone());
             self.tel = Some(EngineTelemetry::new(telemetry));
         }
+        self
+    }
+
+    /// Attaches a mutation schedule. Note the schedule carries the DNS-level
+    /// mutations only; cache evictions must already be installed on the
+    /// `store` (see [`ContentStore::set_evictions`]) so that the shard
+    /// runner's merge pass — which sees the store but not the engine — reads
+    /// the same presence timeline.
+    pub fn with_mutations(mut self, mutations: Arc<MutationSchedule>) -> Self {
+        self.mutations = mutations;
         self
     }
 
@@ -492,7 +510,14 @@ impl<'w> Engine<'w> {
         for hour in hours {
             for t in model.hour_times(self.seed, hour) {
                 let mut rng = SimRng::for_stream(self.seed, &[stream::SESSION, ordinal]);
-                let p = draw_session_prelude(self.vp, self.catalog, &mut self.dns, t, &mut rng);
+                let p = draw_session_prelude(
+                    self.vp,
+                    self.catalog,
+                    &mut self.dns,
+                    &self.mutations,
+                    t,
+                    &mut rng,
+                );
                 if let SessionRoute::Google(decision) = p.route {
                     accesses.push(StoreAccess {
                         ordinal,
@@ -509,7 +534,14 @@ impl<'w> Engine<'w> {
 
     fn simulate_session(&mut self, t: u64, rng: &mut SimRng) {
         self.outcome.sessions += 1;
-        let p = draw_session_prelude(self.vp, self.catalog, &mut self.dns, t, rng);
+        let p = draw_session_prelude(
+            self.vp,
+            self.catalog,
+            &mut self.dns,
+            &self.mutations,
+            t,
+            rng,
+        );
         let decision = match p.route {
             SessionRoute::Pool(pool) => {
                 match pool {
@@ -623,7 +655,7 @@ impl<'w> Engine<'w> {
         let server0 = self.server_in(dc0, video, rng);
         self.note_arrival(server0, hour);
 
-        if !self.store.has(dc0, video) {
+        if !self.store.has(dc0, video, hour) {
             // Content miss: redirect until the video is found, then pull it
             // into the contacted data center.
             self.outcome.miss_redirects += 1;
@@ -639,9 +671,15 @@ impl<'w> Engine<'w> {
             // A miss at a *non-preferred* data center often bounces the
             // client to the replica closest to it — which is the network's
             // preferred data center when it holds the video. This is the
-            // (non-preferred, preferred) pattern of Figure 10b.
+            // (non-preferred, preferred) pattern of Figure 10b. A preferred
+            // data center decommissioned by the mutation schedule stops
+            // being a bounce target (redirectors drain it like DNS does).
             let home_pref = self.dns.policies()[0].preferred;
-            if dc0 != home_pref && self.store.has(home_pref, video) && rng.gen_bool(0.5) {
+            if dc0 != home_pref
+                && !self.mutations.is_down(home_pref, hour)
+                && self.store.has(home_pref, video, hour)
+                && rng.gen_bool(0.5)
+            {
                 let hs = self.server_in(home_pref, video, rng);
                 self.note_arrival(hs, hour);
                 hops.push((home_pref, hs));
@@ -652,7 +690,7 @@ impl<'w> Engine<'w> {
             let guess_missed = rng.gen_bool(self.config.guess_miss_prob);
             if guess_missed {
                 let g = self.store.guess_holder(video, dc0);
-                if self.store.has(g, video) {
+                if self.store.has(g, video, hour) {
                     let gs = self.server_in(g, video, rng);
                     self.note_arrival(gs, hour);
                     hops.push((g, gs));
@@ -687,7 +725,7 @@ impl<'w> Engine<'w> {
             // server — only tail content concentrated by the video→server
             // mapping can create the paper's hot spots.
             self.outcome.overload_redirects += 1;
-            let target = self.overflow_target(dc0, video);
+            let target = self.overflow_target(dc0, video, hour);
             let ts = self.server_in(target, video, rng);
             self.note_arrival(ts, hour);
             self.observe_redirect(t, RedirectKind::Overload, dc0, target);
@@ -732,16 +770,17 @@ impl<'w> Engine<'w> {
     }
 
     /// Where an overloaded server sheds load: the best alternate that has
-    /// the content, falling back to the video's origin.
-    fn overflow_target(&mut self, dc0: DataCenterId, video: VideoId) -> DataCenterId {
+    /// the content (and is not decommissioned), falling back to the video's
+    /// origin.
+    fn overflow_target(&mut self, dc0: DataCenterId, video: VideoId, hour: u64) -> DataCenterId {
         let alternates: Vec<DataCenterId> = self.dns.policies()[0]
             .alternates
             .iter()
             .copied()
-            .filter(|&d| d != dc0)
+            .filter(|&d| d != dc0 && !self.mutations.is_down(d, hour))
             .collect();
         for d in alternates {
-            if self.store.has(d, video) {
+            if self.store.has(d, video, hour) {
                 return d;
             }
         }

@@ -26,7 +26,10 @@
 //! * deterministic within-dataset parallelism: splittable per-session RNG
 //!   streams ([`rng`]) and hour-sliced shard execution whose output is
 //!   byte-identical to the sequential engine for any shard count
-//!   ([`shard`]).
+//!   ([`shard`]);
+//! * scheduled mid-trace CDN mutations (data-center decommission,
+//!   preferred-mapping flip, cache eviction) giving the change-detection
+//!   workload its ground truth ([`mutation`]).
 //!
 //! The output is a set of [`ytcdn_tstat::Dataset`]s — exactly what a Tstat
 //! probe at the network edge would have recorded — plus a [`World`] handle
@@ -52,6 +55,7 @@ pub mod active;
 pub mod catalog;
 pub mod dns;
 pub mod engine;
+pub mod mutation;
 pub mod placement;
 pub mod rng;
 pub mod scenario;
@@ -64,6 +68,7 @@ pub use active::{ActiveConfig, ActiveExperiment, ActiveProbeSample, NodeTrace};
 pub use catalog::{VideoCatalog, VideoMeta, VotdSchedule};
 pub use dns::{DnsDecision, DnsResolver, LdnsId};
 pub use engine::{Engine, SessionOutcome};
+pub use mutation::{InvalidMutation, MutationSchedule, MutationSpec, MutationSpecKind};
 pub use placement::ContentStore;
 pub use rng::SimRng;
 pub use scenario::{run_span_name, ScenarioConfig, StandardScenario, World};

@@ -60,6 +60,10 @@ pub struct ContentStore {
     /// Videos with a pinned origin (uploaded via [`ContentStore::upload`]),
     /// used by the controlled active experiment.
     uploads: Vec<(VideoId, DataCenterId)>,
+    /// Scheduled warm-tail evictions: (effective week-hour, surviving
+    /// fraction of the presence threshold), sorted by hour. Empty unless a
+    /// `cache-evict` mutation is scheduled.
+    evictions: Vec<(u64, f64)>,
 }
 
 impl ContentStore {
@@ -71,7 +75,20 @@ impl ContentStore {
             dcs,
             replicated: HashSet::new(),
             uploads: Vec::new(),
+            evictions: Vec::new(),
         }
+    }
+
+    /// Installs a warm-tail eviction timetable (from a
+    /// [`MutationSchedule`](crate::mutation::MutationSchedule)): at each
+    /// `(hour, factor)` entry the presence threshold becomes
+    /// `warm_presence_prob * factor`. Because every presence draw is a fixed
+    /// hash of `(video, dc)`, shrinking the threshold evicts a deterministic
+    /// subset of the warm tail — and the set present at a smaller factor is
+    /// always a subset of the set present at a larger one.
+    pub fn set_evictions(&mut self, evictions: Vec<(u64, f64)>) {
+        self.evictions = evictions;
+        self.evictions.sort_by_key(|&(hour, _)| hour);
     }
 
     /// The placement parameters.
@@ -95,8 +112,18 @@ impl ContentStore {
         self.dcs[(h % self.dcs.len() as u64) as usize]
     }
 
-    /// Whether `dc` currently holds `video`.
+    /// Whether `dc` holds `video` at the trace start (week-hour 0). With no
+    /// evictions scheduled — the default — presence never varies over the
+    /// week, and this is the presence predicate outright.
     pub fn has(&self, dc: DataCenterId, video: VideoId) -> bool {
+        self.has_at(dc, video, 0)
+    }
+
+    /// Whether `dc` holds `video` at week-hour `hour`. Replicas pulled
+    /// during the run and pinned uploads are exempt from eviction; only the
+    /// warm-tail presence threshold shrinks when a scheduled eviction is in
+    /// effect.
+    pub fn has_at(&self, dc: DataCenterId, video: VideoId, hour: u64) -> bool {
         if self.replicated.contains(&(dc, video)) {
             return true;
         }
@@ -115,7 +142,18 @@ impl ContentStore {
         }
         // Warm tail: deterministic presence draw per (video, dc).
         let h = splitmix(splitmix(video.index() ^ self.config.seed).wrapping_add(dc.0 as u64));
-        (h >> 11) as f64 / (1u64 << 53) as f64 <= self.config.warm_presence_prob
+        let threshold = self.config.warm_presence_prob * self.evict_factor(hour);
+        (h >> 11) as f64 / (1u64 << 53) as f64 <= threshold
+    }
+
+    /// The surviving warm-tail factor at `hour`: the smallest factor among
+    /// evictions already in effect, 1.0 before any.
+    fn evict_factor(&self, hour: u64) -> f64 {
+        self.evictions
+            .iter()
+            .filter(|&&(h, _)| hour >= h)
+            .map(|&(_, f)| f)
+            .fold(1.0, f64::min)
     }
 
     /// Pulls `video` into `dc` (pull-through replication after a miss).
@@ -258,6 +296,39 @@ mod tests {
                 assert_eq!(a.has(dc, v), b.has(dc, v));
             }
         }
+    }
+
+    #[test]
+    fn eviction_shrinks_warm_tail_monotonically() {
+        let mut s = store();
+        s.set_evictions(vec![(72, 0.5)]);
+        let mut before = 0usize;
+        let mut after = 0usize;
+        for i in 0..2_000u64 {
+            let v = VideoId::from_index(100_000 + i);
+            for &dc in s.dcs() {
+                let b = s.has_at(dc, v, 71);
+                let a = s.has_at(dc, v, 72);
+                assert!(!a || b, "evicted set must be a subset of the warm set");
+                before += usize::from(b);
+                after += usize::from(a);
+            }
+        }
+        assert!(
+            after < before,
+            "eviction removed nothing ({before} -> {after})"
+        );
+        assert!(
+            after > before / 3,
+            "eviction removed nearly everything ({before} -> {after})"
+        );
+        // Pulled replicas and uploads are exempt.
+        let v = VideoId::from_index(950_000);
+        let origin = s.origin_of(v);
+        let other = s.dcs().iter().copied().find(|&d| d != origin).unwrap();
+        s.replicate(other, v);
+        assert!(s.has_at(other, v, 100));
+        assert!(s.has_at(origin, v, 100));
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! infers) — and [`StandardScenario::run_all`] simulates the simultaneous
 //! week-long collection of the paper's Section III-B.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use ytcdn_geomodel::Coord;
@@ -16,6 +18,7 @@ use ytcdn_tstat::{Dataset, DatasetName};
 use crate::catalog::{CatalogConfig, VideoCatalog, VotdSchedule};
 use crate::dns::LdnsPolicy;
 use crate::engine::{Engine, EngineConfig, SessionOutcome};
+use crate::mutation::{InvalidMutation, MutationSchedule, MutationSpec};
 use crate::placement::{ContentStore, PlacementConfig};
 use crate::rng::{stream, SimRng};
 use crate::topology::{DataCenterId, Topology};
@@ -235,6 +238,8 @@ pub struct StandardScenario {
     world: World,
     config: ScenarioConfig,
     telemetry: Telemetry,
+    /// Scheduled mid-trace CDN mutations; empty by default.
+    mutations: Arc<MutationSchedule>,
 }
 
 /// The phase-histogram / span name for one dataset's simulation run.
@@ -344,7 +349,27 @@ impl StandardScenario {
             world,
             config,
             telemetry: Telemetry::disabled(),
+            mutations: Arc::new(MutationSchedule::default()),
         }
+    }
+
+    /// Schedules mid-trace CDN mutations for every subsequent run,
+    /// resolving the parsed specs against this world's topology. The
+    /// schedule applies identically on the sequential and the sharded
+    /// execution path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidMutation`] when a spec names an unknown city.
+    pub fn set_mutations(&mut self, specs: &[MutationSpec]) -> Result<(), InvalidMutation> {
+        self.mutations = Arc::new(MutationSchedule::compile(specs, &self.world.topology)?);
+        Ok(())
+    }
+
+    /// The compiled mutation schedule (empty unless
+    /// [`StandardScenario::set_mutations`] was called).
+    pub fn mutations(&self) -> &MutationSchedule {
+        &self.mutations
     }
 
     /// Attaches a telemetry handle. Every subsequent run instruments its
@@ -370,9 +395,13 @@ impl StandardScenario {
         &self.config
     }
 
-    /// Creates a fresh content store (placement state) for one run.
+    /// Creates a fresh content store (placement state) for one run, with
+    /// any scheduled cache evictions installed — both the engines and the
+    /// shard runner's merge pass must see the same presence timeline.
     pub fn fresh_store(&self) -> ContentStore {
-        ContentStore::new(self.config.placement, &self.world.topology)
+        let mut store = ContentStore::new(self.config.placement, &self.world.topology);
+        store.set_evictions(self.mutations.evictions().to_vec());
+        store
     }
 
     /// The vantage-point index of a dataset.
@@ -406,7 +435,8 @@ impl StandardScenario {
             self.fresh_store(),
             self.config.engine,
             self.dataset_seed(idx),
-        );
+        )
+        .with_mutations(Arc::clone(&self.mutations));
         if instrumented {
             engine.with_telemetry(self.telemetry.with_scope(vp.dataset.as_str()))
         } else {
@@ -641,6 +671,74 @@ mod tests {
             assert_eq!(outcome, seq_outcome, "shards={shards}");
         }
         assert_eq!(s.run_all(), s.run_all_sharded(4));
+    }
+
+    #[test]
+    fn mutated_run_is_sharded_identically() {
+        let specs: Vec<crate::mutation::MutationSpec> = [
+            "dc-down@72:milan",
+            "prefer-flip@96:frankfurt",
+            "cache-evict@48:0.5",
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+        let mut s = StandardScenario::build(ScenarioConfig::with_scale(0.002, 3));
+        s.set_mutations(&specs).unwrap();
+        assert_eq!(s.mutations().effective_hours(), vec![48, 72, 96]);
+        let (seq, seq_outcome) = s.run_with_outcome(DatasetName::Eu1Ftth);
+        for shards in [2, 5] {
+            let (sharded, outcome) = s.run_with_outcome_sharded(DatasetName::Eu1Ftth, shards);
+            assert_eq!(sharded, seq, "shards={shards}");
+            assert_eq!(outcome, seq_outcome, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn dc_down_mutation_drains_the_preferred_dc() {
+        let cfg = ScenarioConfig::with_scale(0.002, 3);
+        let plain = StandardScenario::build(cfg);
+        let mut mutated = StandardScenario::build(cfg);
+        mutated
+            .set_mutations(&["dc-down@72:milan".parse().unwrap()])
+            .unwrap();
+        let w = mutated.world();
+        let pref = w.preferred_dc(DatasetName::Eu1Ftth);
+        assert_eq!(w.topology().dc(pref).city.name, "Milan");
+        let before = plain.run(DatasetName::Eu1Ftth);
+        let after = mutated.run(DatasetName::Eu1Ftth);
+        // Identical up to the mutation hour, drained after it.
+        let cut = 72 * ytcdn_tstat::HOUR_MS;
+        let head = |ds: &Dataset| {
+            ds.iter()
+                .filter(|r| r.start_ms < cut)
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(head(&before), head(&after));
+        let at_pref_after_cut = |ds: &Dataset| {
+            ds.iter()
+                .filter(|r| r.start_ms >= cut)
+                .filter(|r| w.topology().dc_of_ip(r.server_ip) == Some(pref))
+                .count()
+        };
+        let drained = at_pref_after_cut(&after);
+        let baseline = at_pref_after_cut(&before);
+        assert!(baseline > 0);
+        assert!(
+            drained < baseline / 10,
+            "preferred DC kept {drained} of {baseline} post-mutation flows"
+        );
+    }
+
+    #[test]
+    fn unknown_mutation_city_is_rejected() {
+        let mut s = StandardScenario::build(ScenarioConfig::with_scale(0.001, 0));
+        let err = s
+            .set_mutations(&["dc-down@72:atlantis".parse().unwrap()])
+            .unwrap_err();
+        assert!(err.to_string().contains("atlantis"));
+        assert!(s.mutations().is_empty(), "failed set must not mutate");
     }
 
     #[test]

@@ -50,7 +50,7 @@ use std::ops::Range;
 use std::sync::Arc;
 
 use ytcdn_telemetry::Telemetry;
-use ytcdn_tstat::{FlowRecord, VideoId};
+use ytcdn_tstat::{FlowRecord, VideoId, HOUR_MS};
 
 use crate::engine::{Engine, SessionOutcome};
 use crate::placement::ContentStore;
@@ -169,7 +169,11 @@ pub(crate) fn merge_replication_schedule(
                 }
                 continue;
             }
-            if base.has(a.dc, a.video) {
+            // Presence is evaluated at the access's week-hour: a scheduled
+            // cache eviction can turn a pair that hit early in the week
+            // into a miss (and thus a pull) later — exactly as the live
+            // store would, since pulled replicas are exempt from eviction.
+            if base.has_at(a.dc, a.video, a.t_ms / HOUR_MS) {
                 continue;
             }
             // First miss of this (data center, video) pair: in the full

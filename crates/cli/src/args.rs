@@ -1,4 +1,4 @@
-//! Argument parsing for the `ytcdn` CLI (dependency-free).
+//! Argument parsing for the `ytcdn` CLI (hand-rolled, no parser crates).
 
 use std::fmt;
 use std::path::PathBuf;
@@ -11,15 +11,23 @@ ytcdn — the YouTube CDN reproduction toolkit
 
 USAGE:
   ytcdn generate  [--dataset NAME] [--scale S] [--seed N] [--shards K]
-                  [--format jsonl|text] --out PATH
+                  [--mutate SPEC]... [--format jsonl|text] --out PATH
                   (PATH is a file for one dataset, a directory for all five)
   ytcdn analyze   --trace PATH [--scale S] [--seed N]
   ytcdn geolocate --dataset NAME [--landmarks K] [--scale S] [--seed N] [--shards K]
   ytcdn whatif    --scenario feb2011|fixed-peering|no-votd|eu2-capacity|popularity
                   [--scale S] [--seed N]
+  ytcdn watch     --dataset NAME [--scale S] [--seed N] [--shards K]
+                  [--mutate SPEC]... [--window H] [--threshold D] [--min-flows F]
+                  (simulate, then detect CDN changes per H-hour window)
   ytcdn characterize --trace PATH
   ytcdn world     [--scale S] [--seed N]
   ytcdn anonymize --trace PATH --out PATH [--seed KEY]
+
+Scheduled mutations (--mutate, repeatable):
+  dc-down@H:CITY      decommission the CITY data center at trace hour H
+  prefer-flip@H:CITY  flip preferred-mapping answers to CITY from hour H
+  cache-evict@H:F     shrink warm-cache presence to fraction F at hour H
 
 Global flags (any subcommand):
   --telemetry PATH    write structured events as JSON lines to PATH
@@ -73,6 +81,8 @@ pub enum Command {
         format: TraceFormat,
         /// Worker threads per dataset (`None` = available CPUs).
         shards: Option<usize>,
+        /// Scheduled mutation specs (`kind@hour:arg`), applied in order.
+        mutate: Vec<String>,
     },
     /// Analyze a trace file.
     Analyze {
@@ -104,6 +114,25 @@ pub enum Command {
         scale: f64,
         /// Seed.
         seed: u64,
+    },
+    /// Simulate one dataset (optionally mutated) and detect CDN changes.
+    Watch {
+        /// The dataset to simulate and watch.
+        dataset: DatasetName,
+        /// Workload scale.
+        scale: f64,
+        /// Scenario seed.
+        seed: u64,
+        /// Worker threads for the simulation (`None` = available CPUs).
+        shards: Option<usize>,
+        /// Scheduled mutation specs (`kind@hour:arg`), applied in order.
+        mutate: Vec<String>,
+        /// Detection window width, hours.
+        window: u64,
+        /// Change-point threshold on the constellation distance.
+        threshold: f64,
+        /// Windows with fewer analysis flows are treated as idle.
+        min_flows: u64,
     },
     /// Workload characterization of a trace file.
     Characterize {
@@ -180,6 +209,10 @@ struct Flags {
     scenario: Option<String>,
     format: TraceFormat,
     shards: Option<usize>,
+    mutate: Vec<String>,
+    window: u64,
+    threshold: f64,
+    min_flows: u64,
     telemetry: TelemetryOpts,
 }
 
@@ -194,6 +227,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, ParseError> {
         scenario: None,
         format: TraceFormat::default(),
         shards: None,
+        mutate: Vec::new(),
+        window: ytcdn_core::constellation::DEFAULT_WINDOW_HOURS,
+        threshold: ytcdn_core::constellation::DEFAULT_THRESHOLD,
+        min_flows: ytcdn_core::constellation::WatchConfig::default().min_flows,
         telemetry: TelemetryOpts::default(),
     };
     let mut it = args.iter();
@@ -247,6 +284,33 @@ fn parse_flags(args: &[String]) -> Result<Flags, ParseError> {
                 }
                 flags.shards = Some(n);
             }
+            "--mutate" => flags.mutate.push(value("--mutate value")?.clone()),
+            "--window" => {
+                let v = value("--window value")?;
+                let h: u64 = v
+                    .parse()
+                    .map_err(|_| ParseError::Invalid("window", v.clone()))?;
+                if h == 0 {
+                    return Err(ParseError::Invalid("window", v.clone()));
+                }
+                flags.window = h;
+            }
+            "--threshold" => {
+                let v = value("--threshold value")?;
+                let d: f64 = v
+                    .parse()
+                    .map_err(|_| ParseError::Invalid("threshold", v.clone()))?;
+                if !(d > 0.0 && d <= 1.0) {
+                    return Err(ParseError::Invalid("threshold", v.clone()));
+                }
+                flags.threshold = d;
+            }
+            "--min-flows" => {
+                let v = value("--min-flows value")?;
+                flags.min_flows = v
+                    .parse()
+                    .map_err(|_| ParseError::Invalid("min-flows", v.clone()))?;
+            }
             "--telemetry" => {
                 flags.telemetry.events = Some(PathBuf::from(value("--telemetry value")?));
             }
@@ -284,6 +348,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
             out: flags.out.ok_or(ParseError::Missing("--out"))?,
             format: flags.format,
             shards: flags.shards,
+            mutate: flags.mutate.clone(),
         }),
         "analyze" => Ok(Command::Analyze {
             trace: flags.trace.ok_or(ParseError::Missing("--trace"))?,
@@ -301,6 +366,16 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
             scenario: flags.scenario.ok_or(ParseError::Missing("--scenario"))?,
             scale: flags.scale,
             seed: flags.seed,
+        }),
+        "watch" => Ok(Command::Watch {
+            dataset: flags.dataset.ok_or(ParseError::Missing("--dataset"))?,
+            scale: flags.scale,
+            seed: flags.seed,
+            shards: flags.shards,
+            mutate: flags.mutate.clone(),
+            window: flags.window,
+            threshold: flags.threshold,
+            min_flows: flags.min_flows,
         }),
         "characterize" => Ok(Command::Characterize {
             trace: flags.trace.ok_or(ParseError::Missing("--trace"))?,
@@ -353,8 +428,93 @@ mod tests {
                 out: PathBuf::from("trace.jsonl"),
                 format: TraceFormat::Jsonl,
                 shards: None,
+                mutate: vec![],
             }
         );
+    }
+
+    #[test]
+    fn parse_watch_defaults_and_overrides() {
+        let defaults = cmd(&["watch", "--dataset", "EU1-FTTH"]);
+        assert_eq!(
+            defaults,
+            Command::Watch {
+                dataset: DatasetName::Eu1Ftth,
+                scale: 0.02,
+                seed: 42,
+                shards: None,
+                mutate: vec![],
+                window: ytcdn_core::constellation::DEFAULT_WINDOW_HOURS,
+                threshold: ytcdn_core::constellation::DEFAULT_THRESHOLD,
+                min_flows: ytcdn_core::constellation::WatchConfig::default().min_flows,
+            }
+        );
+        let tuned = cmd(&[
+            "watch",
+            "--dataset",
+            "EU2",
+            "--scale",
+            "0.05",
+            "--seed",
+            "7",
+            "--shards",
+            "3",
+            "--mutate",
+            "dc-down@72:milan",
+            "--mutate",
+            "cache-evict@48:0.05",
+            "--window",
+            "12",
+            "--threshold",
+            "0.3",
+            "--min-flows",
+            "10",
+        ]);
+        assert_eq!(
+            tuned,
+            Command::Watch {
+                dataset: DatasetName::Eu2,
+                scale: 0.05,
+                seed: 7,
+                shards: Some(3),
+                mutate: vec!["dc-down@72:milan".into(), "cache-evict@48:0.05".into()],
+                window: 12,
+                threshold: 0.3,
+                min_flows: 10,
+            }
+        );
+        // The dataset is required; window and threshold are validated.
+        assert_eq!(
+            parse(&v(&["watch"])).unwrap_err(),
+            ParseError::Missing("--dataset")
+        );
+        assert!(matches!(
+            parse(&v(&["watch", "--dataset", "EU2", "--window", "0"])).unwrap_err(),
+            ParseError::Invalid("window", _)
+        ));
+        assert!(matches!(
+            parse(&v(&["watch", "--dataset", "EU2", "--threshold", "1.5"])).unwrap_err(),
+            ParseError::Invalid("threshold", _)
+        ));
+        assert!(matches!(
+            parse(&v(&["watch", "--dataset", "EU2", "--min-flows", "lots"])).unwrap_err(),
+            ParseError::Invalid("min-flows", _)
+        ));
+    }
+
+    #[test]
+    fn parse_generate_mutations_ride_along() {
+        let gen = cmd(&[
+            "generate",
+            "--out",
+            "dir",
+            "--mutate",
+            "prefer-flip@96:frankfurt",
+        ]);
+        assert!(matches!(
+            gen,
+            Command::Generate { mutate, .. } if mutate == ["prefer-flip@96:frankfurt"]
+        ));
     }
 
     #[test]

@@ -25,10 +25,10 @@ use std::sync::Arc;
 mod args;
 
 use args::{Command, ParseError, TelemetryOpts};
-use ytcdn_cdnsim::{ScenarioConfig, StandardScenario};
+use ytcdn_cdnsim::{MutationSpec, ScenarioConfig, StandardScenario};
 use ytcdn_core::perf::perf_report;
 use ytcdn_core::whatif;
-use ytcdn_core::{AnalysisContext, DatasetIndex};
+use ytcdn_core::{AnalysisContext, DatasetIndex, WatchConfig, WatchReport};
 use ytcdn_geoloc::{cluster_by_city, Cbg};
 use ytcdn_geomodel::CityDb;
 use ytcdn_telemetry::{JsonlSink, Progress, Telemetry};
@@ -119,15 +119,11 @@ fn run(cmd: Command, ctx: &Ctx) -> ExitCode {
             out,
             format,
             shards,
-        } => generate(
-            dataset,
-            scale,
-            seed,
-            out,
-            format,
-            resolve_shards(shards),
-            ctx,
-        ),
+            mutate,
+        } => match mutated_scenario(scale, seed, &mutate, ctx) {
+            Ok(s) => generate(s, dataset, out, format, resolve_shards(shards), ctx),
+            Err(code) => code,
+        },
         Command::Analyze { trace, scale, seed } => analyze(&trace, scale, seed, ctx),
         Command::Geolocate {
             dataset,
@@ -141,6 +137,29 @@ fn run(cmd: Command, ctx: &Ctx) -> ExitCode {
             scale,
             seed,
         } => what_if(&scenario, scale, seed, ctx),
+        Command::Watch {
+            dataset,
+            scale,
+            seed,
+            shards,
+            mutate,
+            window,
+            threshold,
+            min_flows,
+        } => match mutated_scenario(scale, seed, &mutate, ctx) {
+            Ok(s) => watch(
+                s,
+                dataset,
+                resolve_shards(shards),
+                WatchConfig {
+                    window_hours: window,
+                    threshold,
+                    min_flows,
+                },
+                ctx,
+            ),
+            Err(code) => code,
+        },
         Command::Characterize { trace } => characterize_trace(&trace),
         Command::World { scale, seed } => describe_world(scale, seed, ctx),
         Command::Anonymize { trace, out, seed } => anonymize_trace(&trace, &out, seed, ctx),
@@ -247,16 +266,44 @@ fn scenario(scale: f64, seed: u64, ctx: &Ctx) -> StandardScenario {
     )
 }
 
-fn generate(
-    dataset: Option<DatasetName>,
+/// Builds the standard scenario and installs every `--mutate` spec as a
+/// compiled schedule. Any malformed spec or unknown city is reported here
+/// and the subcommand exits without running.
+fn mutated_scenario(
     scale: f64,
     seed: u64,
+    specs: &[String],
+    ctx: &Ctx,
+) -> Result<StandardScenario, ExitCode> {
+    let mut s = scenario(scale, seed, ctx);
+    let parsed: Result<Vec<MutationSpec>, String> = specs
+        .iter()
+        .map(|spec| spec.parse().map_err(|e| format!("{e}")))
+        .collect();
+    let installed = parsed.and_then(|specs| {
+        if specs.is_empty() {
+            Ok(())
+        } else {
+            s.set_mutations(&specs).map_err(|e| format!("{e}"))
+        }
+    });
+    match installed {
+        Ok(()) => Ok(s),
+        Err(e) => {
+            eprintln!("error: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn generate(
+    s: StandardScenario,
+    dataset: Option<DatasetName>,
     out: PathBuf,
     format: args::TraceFormat,
     shards: usize,
     ctx: &Ctx,
 ) -> ExitCode {
-    let s = scenario(scale, seed, ctx);
     let ext = match format {
         args::TraceFormat::Jsonl => "jsonl",
         args::TraceFormat::Text => "log",
@@ -306,6 +353,40 @@ fn generate(
             .note(&format!("wrote {} ({} flows)", path.display(), ds.len()));
     }
     drop(export_span);
+    ExitCode::SUCCESS
+}
+
+/// `ytcdn watch`: simulate one dataset (optionally with scheduled
+/// mutations), window it, and print the change-point table. Windowed
+/// metrics and detected change points also go to the telemetry stream when
+/// `--telemetry` is given, scoped to the dataset name.
+fn watch(
+    s: StandardScenario,
+    dataset: DatasetName,
+    shards: usize,
+    config: WatchConfig,
+    ctx: &Ctx,
+) -> ExitCode {
+    let ds = if shards == 1 {
+        s.run(dataset)
+    } else {
+        s.run_sharded(dataset, shards)
+    };
+    let _span = ctx.telemetry.span("analysis.watch");
+    let actx = AnalysisContext::from_ground_truth(s.world(), &ds);
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let index = DatasetIndex::build(&actx, &ds, jobs, ctx.telemetry.clone());
+    let report = match WatchReport::build(&actx, &ds, &index, config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    report.emit(&ctx.telemetry.with_scope(dataset.as_str()));
+    println!("{}", report.render_table());
     ExitCode::SUCCESS
 }
 

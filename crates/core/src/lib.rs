@@ -24,6 +24,7 @@
 //! | active cold-video experiment (Figs. 17–18) | [`active_analysis`] |
 //! | empirical CDFs and binning | [`stats`] |
 //! | shared per-dataset columnar index | [`index`] |
+//! | constellation tracking / change-point detection | [`constellation`] |
 //! | one driver per table/figure | [`experiments`] |
 //! | CSV export of every figure's curves | [`export`] |
 //! | user-performance cost of redirections | [`perf`] |
@@ -55,6 +56,7 @@
 pub mod active_analysis;
 pub mod as_analysis;
 pub mod characterize;
+pub mod constellation;
 pub mod dcmap;
 pub mod degenerate;
 pub mod error;
@@ -75,6 +77,7 @@ pub mod timeseries;
 pub mod videos;
 pub mod whatif;
 
+pub use constellation::{ChangePoint, WatchConfig, WatchReport};
 pub use dcmap::{AnalysisContext, DcInfo, DcMap};
 pub use error::{AnalysisError, AnalysisResult};
 pub use index::DatasetIndex;

@@ -119,6 +119,56 @@ pub enum Event {
         /// Wall-clock duration in microseconds.
         wall_us: u64,
     },
+    /// Windowed SLO metrics of one analysis window (the watch workload):
+    /// session metrics plus the constellation distance to the previous
+    /// (active) window.
+    WindowMetrics {
+        /// Zero-based window ordinal within the trace.
+        window: u64,
+        /// First trace hour the window covers.
+        start_hour: u64,
+        /// One past the last trace hour the window covers.
+        end_hour: u64,
+        /// Flows starting in the window.
+        flows: u64,
+        /// Sessions starting in the window.
+        sessions: u64,
+        /// Analysis bytes served in the window.
+        bytes: u64,
+        /// Median first-flow duration of the window's sessions, ms (the
+        /// startup-RTT proxy).
+        startup_ms_p50: f64,
+        /// 90th-percentile first-flow duration, ms.
+        startup_ms_p90: f64,
+        /// 99th-percentile first-flow duration, ms.
+        startup_ms_p99: f64,
+        /// Fraction of the window's video flows served by a non-preferred
+        /// data center.
+        non_preferred_fraction: f64,
+        /// Median of the window's per-data-center byte totals.
+        dc_bytes_p50: f64,
+        /// 90th percentile of the per-data-center byte totals.
+        dc_bytes_p90: f64,
+        /// 99th percentile of the per-data-center byte totals.
+        dc_bytes_p99: f64,
+        /// Server /24 clusters (the constellation) observed in the window.
+        clusters: u64,
+        /// Total-variation distance of the cluster byte shares against the
+        /// previous active window (0 for the first window).
+        constellation_distance: f64,
+    },
+    /// The constellation detector flagged a CDN reconfiguration.
+    ChangePointDetected {
+        /// Window ordinal whose constellation shifted.
+        window: u64,
+        /// First trace hour of that window (the detection timestamp).
+        hour: u64,
+        /// The constellation distance that crossed the threshold.
+        distance: f64,
+        /// Comma-separated cities of the data centers whose byte share
+        /// moved the most.
+        affected: String,
+    },
 }
 
 /// An event plus the scope (usually the dataset / vantage point) it was
@@ -186,6 +236,35 @@ mod tests {
                 event: Event::Phase {
                     name: "scenario.build".to_owned(),
                     wall_us: 88_000,
+                },
+            },
+            TelemetryRecord {
+                scope: Some("EU1-FTTH".to_owned()),
+                event: Event::WindowMetrics {
+                    window: 12,
+                    start_hour: 72,
+                    end_hour: 78,
+                    flows: 4_321,
+                    sessions: 3_000,
+                    bytes: 9_876_543,
+                    startup_ms_p50: 310.0,
+                    startup_ms_p90: 950.5,
+                    startup_ms_p99: 2_400.0,
+                    non_preferred_fraction: 0.11,
+                    dc_bytes_p50: 1_000.0,
+                    dc_bytes_p90: 250_000.0,
+                    dc_bytes_p99: 9_000_000.0,
+                    clusters: 14,
+                    constellation_distance: 0.42,
+                },
+            },
+            TelemetryRecord {
+                scope: Some("EU1-FTTH".to_owned()),
+                event: Event::ChangePointDetected {
+                    window: 12,
+                    hour: 72,
+                    distance: 0.42,
+                    affected: "Milan, Paris".to_owned(),
                 },
             },
         ];

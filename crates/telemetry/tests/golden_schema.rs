@@ -1,0 +1,219 @@
+//! Golden schema of the telemetry JSONL stream.
+//!
+//! The JSONL sink is the crate's external interface: dashboards and ad-hoc
+//! `jq` pipelines key on exact field names and JSON types. These tests emit
+//! one record of every [`Event`] variant through a real [`JsonlSink`] and
+//! pin, per variant, the exact key set and the JSON type of every value.
+//! Renaming, removing, or retyping a field fails here first — bump the
+//! consumers together with this golden, never silently.
+//!
+//! Gated behind the `golden-schema` feature: parsing the stream back
+//! needs the real `serde_json::Value`, which the offline stub does not
+//! provide. CI runs `cargo test -p ytcdn-telemetry --test golden_schema
+//! --features golden-schema`; the offline harness skips it.
+
+use std::sync::Arc;
+
+use ytcdn_telemetry::{DnsCauseKind, Event, JsonlSink, RedirectKind, Telemetry};
+
+/// Every variant once, with a scope, in a fixed order.
+fn one_of_each() -> Vec<Event> {
+    vec![
+        Event::DnsResolution {
+            t_ms: 1_234,
+            ldns: 0,
+            dc: 7,
+            cause: DnsCauseKind::LoadBalanced,
+        },
+        Event::Redirect {
+            t_ms: 99,
+            kind: RedirectKind::WrongGuess,
+            from_dc: 1,
+            to_dc: 2,
+        },
+        Event::CacheMiss {
+            t_ms: 5,
+            dc: 3,
+            video_rank: 900_001,
+        },
+        Event::Replication {
+            t_ms: 6,
+            dc: 3,
+            video_rank: 900_001,
+        },
+        Event::Phase {
+            name: "scenario.build".to_owned(),
+            wall_us: 88_000,
+        },
+        Event::WindowMetrics {
+            window: 12,
+            start_hour: 72,
+            end_hour: 78,
+            flows: 4_321,
+            sessions: 3_000,
+            bytes: 9_876_543,
+            startup_ms_p50: 310.0,
+            startup_ms_p90: 950.5,
+            startup_ms_p99: 2_400.0,
+            non_preferred_fraction: 0.11,
+            dc_bytes_p50: 1_000.0,
+            dc_bytes_p90: 250_000.0,
+            dc_bytes_p99: 9_000_000.0,
+            clusters: 14,
+            constellation_distance: 0.42,
+        },
+        Event::ChangePointDetected {
+            window: 12,
+            hour: 72,
+            distance: 0.42,
+            affected: "Zurich, Milan".to_owned(),
+        },
+    ]
+}
+
+/// `(tag, [(field, json type)])` for every variant, `scope` included.
+/// "uint" means a non-negative integer with no fractional part; "float"
+/// accepts any JSON number.
+const GOLDEN: &[(&str, &[(&str, &str)])] = &[
+    (
+        "dns_resolution",
+        &[
+            ("scope", "string"),
+            ("t_ms", "uint"),
+            ("ldns", "uint"),
+            ("dc", "uint"),
+            ("cause", "string"),
+        ],
+    ),
+    (
+        "redirect",
+        &[
+            ("scope", "string"),
+            ("t_ms", "uint"),
+            ("kind", "string"),
+            ("from_dc", "uint"),
+            ("to_dc", "uint"),
+        ],
+    ),
+    (
+        "cache_miss",
+        &[
+            ("scope", "string"),
+            ("t_ms", "uint"),
+            ("dc", "uint"),
+            ("video_rank", "uint"),
+        ],
+    ),
+    (
+        "replication",
+        &[
+            ("scope", "string"),
+            ("t_ms", "uint"),
+            ("dc", "uint"),
+            ("video_rank", "uint"),
+        ],
+    ),
+    (
+        "phase",
+        &[("scope", "string"), ("name", "string"), ("wall_us", "uint")],
+    ),
+    (
+        "window_metrics",
+        &[
+            ("scope", "string"),
+            ("window", "uint"),
+            ("start_hour", "uint"),
+            ("end_hour", "uint"),
+            ("flows", "uint"),
+            ("sessions", "uint"),
+            ("bytes", "uint"),
+            ("startup_ms_p50", "float"),
+            ("startup_ms_p90", "float"),
+            ("startup_ms_p99", "float"),
+            ("non_preferred_fraction", "float"),
+            ("dc_bytes_p50", "float"),
+            ("dc_bytes_p90", "float"),
+            ("dc_bytes_p99", "float"),
+            ("clusters", "uint"),
+            ("constellation_distance", "float"),
+        ],
+    ),
+    (
+        "change_point_detected",
+        &[
+            ("scope", "string"),
+            ("window", "uint"),
+            ("hour", "uint"),
+            ("distance", "float"),
+            ("affected", "string"),
+        ],
+    ),
+];
+
+fn type_matches(v: &serde_json::Value, ty: &str) -> bool {
+    match ty {
+        "string" => v.is_string(),
+        "uint" => v.is_u64(),
+        "float" => v.is_number(),
+        other => panic!("unknown golden type {other:?}"),
+    }
+}
+
+/// Writes one record per variant through the real sink and returns the
+/// parsed lines.
+fn emitted_lines() -> Vec<serde_json::Value> {
+    let dir = std::env::temp_dir().join(format!("ytcdn-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("events.jsonl");
+    {
+        let sink = JsonlSink::create(&path).unwrap();
+        let telemetry = Telemetry::with_sink(Arc::new(sink)).with_scope("EU1-FTTH");
+        for event in one_of_each() {
+            telemetry.emit(|| event.clone());
+        }
+        telemetry.flush().unwrap();
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    text.lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect()
+}
+
+#[test]
+fn every_variant_matches_the_golden_schema() {
+    let lines = emitted_lines();
+    assert_eq!(lines.len(), GOLDEN.len(), "one line per variant");
+    for (line, (tag, fields)) in lines.iter().zip(GOLDEN) {
+        let obj = line
+            .as_object()
+            .unwrap_or_else(|| panic!("not an object: {line}"));
+        assert_eq!(
+            obj.get("event").and_then(|v| v.as_str()),
+            Some(*tag),
+            "tag of {line}"
+        );
+        let mut expected: Vec<&str> = fields.iter().map(|(f, _)| *f).collect();
+        expected.push("event");
+        expected.sort_unstable();
+        let mut actual: Vec<&str> = obj.keys().map(String::as_str).collect();
+        actual.sort_unstable();
+        assert_eq!(actual, expected, "key set of {tag}");
+        for (field, ty) in *fields {
+            let v = &obj[*field];
+            assert!(type_matches(v, ty), "{tag}.{field} should be {ty}, got {v}");
+        }
+    }
+}
+
+#[test]
+fn metric_like_names_stay_lowercase_dotted() {
+    // The event tags double as stream filters; keep them machine-friendly.
+    for (tag, _) in GOLDEN {
+        assert!(
+            tag.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.'),
+            "tag {tag:?} is not lowercase [a-z0-9_.]"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! TEL002 fixture: metric/span name hygiene at registry call sites.
+//!
+//! Three findings: an uppercase literal, a space-separated literal, and a
+//! `format!`-built span name. Ident and path arguments (named constants,
+//! vetted helpers) pass, a reasoned allow suppresses, and nothing fires
+//! inside `#[cfg(test)]`.
+
+pub fn good(tel: &Telemetry) {
+    tel.counter("engine.cache_miss").inc();
+    tel.gauge("scenario.sessions_per_sec").set(1.0);
+    let _s = tel.span("analysis.watch");
+    tel.histogram(SPAN_NAME).record(1.0);
+    tel.counter(RedirectKind::Overload.counter_name()).inc();
+}
+
+pub fn bad(tel: &Telemetry, dc: usize) {
+    tel.counter("Engine.CacheMiss").inc();
+    tel.gauge("bytes per dc").set(dc as f64);
+    let _s = tel.span(&format!("run.{dc}"));
+    // ytcdn-lint: allow(TEL002) — legacy dashboard key, renamed in the next schema rev
+    tel.counter("Legacy.Name").inc();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_names_are_unpoliced() {
+        tel.counter("TEST.ONLY").inc();
+        let _s = tel.span(&format!("probe.{n}"));
+    }
+}

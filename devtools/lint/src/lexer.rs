@@ -6,8 +6,11 @@
 //! two worlds: it walks the source once, collects every comment with its
 //! line number, and emits a token stream (identifiers and punctuation) of
 //! the code only. String, byte-string, raw-string, and char literals are
-//! reduced to a single `TokKind::Literal` token so rules can still reason
-//! about token adjacency without seeing literal contents.
+//! reduced to a single `TokKind::Literal` token, so identifier rules reason
+//! about token adjacency without trigger tokens inside literals leaking
+//! into the identifier stream. Plain string literals additionally keep
+//! their contents on the token for the rules that validate literal
+//! *values* (metric-name hygiene).
 //!
 //! This is a scanner, not a parser: it understands exactly as much Rust
 //! syntax as the rules need (nesting block comments, raw-string hash
@@ -21,7 +24,11 @@ pub enum TokKind {
     Ident,
     /// A single punctuation byte (`{`, `:`, `.`, `#`).
     Punct,
-    /// A string/char/byte literal, contents hidden.
+    /// A string/char/byte literal. Plain `"…"` strings keep their contents
+    /// in `text` (rules that validate literal *values*, like TEL002, need
+    /// them); raw/byte/char literals carry an empty `text`. Identifier
+    /// rules never fire on literals regardless — they match on
+    /// [`TokKind::Ident`].
     Literal,
     /// A numeric literal.
     Number,
@@ -128,10 +135,19 @@ pub fn lex(src: &str) -> Lexed {
                 i = j;
             }
             b'"' => {
+                let start = i + 1;
                 i = skip_string(b, i + 1, &mut line);
+                // Plain string literals keep their contents (TEL002
+                // validates metric-name literals); rules stay safe because
+                // trigger-token matching is on `TokKind::Ident` only.
+                let end = if i > start && b.get(i - 1) == Some(&b'"') {
+                    i - 1
+                } else {
+                    i
+                };
                 out.tokens.push(Tok {
                     kind: TokKind::Literal,
-                    text: String::new(),
+                    text: src.get(start..end).unwrap_or("").to_string(),
                     line,
                 });
             }
@@ -363,6 +379,24 @@ mod tests {
         let l = lex(r#"let s = "rand::thread_rng inside"; let t = s;"#);
         assert!(!l.tokens.iter().any(|t| t.is_ident("thread_rng")));
         assert!(l.tokens.iter().any(|t| t.kind == TokKind::Literal));
+    }
+
+    #[test]
+    fn plain_string_contents_ride_on_the_literal_token() {
+        let l = lex(r#"tel.counter("dns.cause.noise");"#);
+        let lit = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Literal)
+            .expect("literal");
+        assert_eq!(lit.text, "dns.cause.noise");
+        // Raw strings and char literals stay contentless.
+        let raw = lex(r##"let s = r#"Raw.Name"#; let c = 'x';"##);
+        assert!(raw
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .all(|t| t.text.is_empty()));
     }
 
     #[test]

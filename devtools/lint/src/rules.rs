@@ -89,6 +89,13 @@ pub static RULES: &[RuleInfo] = &[
                   observability must never consume or condition an RNG stream",
     },
     RuleInfo {
+        id: "TEL002",
+        severity: Severity::Deny,
+        summary: "telemetry metric/span names must be lowercase dot-separated string \
+                  literals (or named constants); no `format!` in a registry call — \
+                  hot-loop names must not allocate",
+    },
+    RuleInfo {
         id: "PAN001",
         severity: Severity::Deny,
         summary: "unwrap()/expect() in library non-test code: return a typed error \
@@ -184,6 +191,9 @@ const TEL001_DRAWS: &[&str] = &[
     "sample",
     "sample_rtt_ms",
 ];
+
+/// Methods whose first argument is a metric/span name (TEL002 scope).
+const TEL002_METHODS: &[&str] = &["counter", "gauge", "histogram", "span"];
 
 /// True if the crate named `name` matches `set`.
 fn crate_in(class: &FileClass, set: &[&str]) -> bool {
@@ -305,6 +315,63 @@ pub fn apply_rules(
         }
     }
 
+    // TEL002 — metric/span name hygiene at registry call sites.
+    if class.kind == FileKind::Src {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident
+                || !TEL002_METHODS.contains(&t.text.as_str())
+                || !non_test(i)
+                || i == 0
+                || !toks[i - 1].is_punct('.')
+                || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                continue;
+            }
+            let open = i + 1;
+            let close = matching_paren(toks, open).unwrap_or(toks.len());
+            // Runtime formatting anywhere in the argument list: the name
+            // would be rebuilt (and allocated) on every call.
+            for j in open + 1..close.min(toks.len()) {
+                if toks[j].is_ident("format") && toks.get(j + 1).is_some_and(|n| n.is_punct('!')) {
+                    out.push(Finding {
+                        file: file.to_string(),
+                        line: toks[j].line,
+                        rule: "TEL002",
+                        severity: Severity::Deny,
+                        message: format!(
+                            "`format!` inside `.{}(…)`: telemetry names must be \
+                             'static literals or named constants — a formatted name \
+                             allocates on every call in the hot loop",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            // A literal first argument (past an optional `&`) must be a
+            // lowercase dot-separated name. Ident/path arguments (named
+            // constants, helper calls) pass: they resolve to vetted names.
+            let mut a = open + 1;
+            if toks.get(a).is_some_and(|n| n.is_punct('&')) {
+                a += 1;
+            }
+            if let Some(arg) = toks.get(a).filter(|n| n.kind == TokKind::Literal) {
+                if !is_metric_name(&arg.text) {
+                    out.push(Finding {
+                        file: file.to_string(),
+                        line: arg.line,
+                        rule: "TEL002",
+                        severity: Severity::Deny,
+                        message: format!(
+                            "telemetry name {:?} is not lowercase dot-separated \
+                             ([a-z0-9_] segments joined by '.')",
+                            arg.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
     // PAN001 — panic paths in library non-test code.
     if class.kind == FileKind::Src && !crate_in(class, PAN_EXEMPT_CRATES) {
         for (i, t) in toks.iter().enumerate() {
@@ -331,6 +398,35 @@ pub fn apply_rules(
     }
 
     out
+}
+
+/// TEL002's shape for a metric/span name: non-empty `[a-z0-9_]` segments
+/// joined by single dots, starting with a letter.
+fn is_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.starts_with(|c: char| c.is_ascii_lowercase())
+        && name.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
 }
 
 /// If `toks[i]` is followed by `::ident`, returns that identifier's text.
@@ -413,4 +509,30 @@ pub(crate) fn matching_brace(toks: &[Tok], open: usize) -> Option<usize> {
         }
     }
     None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::is_metric_name;
+
+    #[test]
+    fn metric_name_shapes() {
+        for good in ["engine.cache_miss", "x", "index.build", "run2.a_b", "a.b.c"] {
+            assert!(is_metric_name(good), "{good}");
+        }
+        for bad in [
+            "",
+            "Engine.CacheMiss",
+            "bytes per dc",
+            ".leading",
+            "trailing.",
+            "a..b",
+            "2fast",
+            "_private",
+            "run.EU2",
+            "dash-ed",
+        ] {
+            assert!(!is_metric_name(bad), "{bad}");
+        }
+    }
 }

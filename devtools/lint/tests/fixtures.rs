@@ -19,7 +19,7 @@ fn in_file<'f>(all: &'f [Finding], suffix: &str) -> Vec<&'f Finding> {
 #[test]
 fn scans_the_whole_corpus() {
     let (_, scanned) = fixture_findings();
-    assert_eq!(scanned, 9, "one per fixture file");
+    assert_eq!(scanned, 10, "one per fixture file");
 }
 
 #[test]
@@ -82,6 +82,21 @@ fn tel001_fires_in_guard_and_else_branch() {
     assert!(f.iter().all(|x| x.rule == "TEL001"));
     // The reasoned DET002 allow on the span-like timer suppressed it.
     assert!(f.iter().all(|x| x.rule != "DET002"));
+}
+
+#[test]
+fn tel002_polices_literal_names_and_format_macros() {
+    let (all, _) = fixture_findings();
+    let f = in_file(&all, "bad_names.rs");
+    assert_eq!(f.len(), 3, "{f:#?}");
+    assert!(f
+        .iter()
+        .all(|x| x.rule == "TEL002" && x.severity == Severity::Deny));
+    // One finding is the format!-built span name.
+    assert!(f.iter().any(|x| x.message.contains("format!")), "{f:#?}");
+    // The good block (through line 14), the reasoned allow, and the
+    // #[cfg(test)] module (line 24 on) stay silent.
+    assert!(f.iter().all(|x| x.line > 14 && x.line < 24), "{f:#?}");
 }
 
 #[test]

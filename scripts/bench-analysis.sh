@@ -4,17 +4,21 @@
 # combines the two per-run timing files (repro --bench-out) into
 # BENCH_analysis.json at the repo root with the measured speedup.
 #
-#   scripts/bench-analysis.sh [SCALE] [SEED]
+#   scripts/bench-analysis.sh [SCALE] [SEED] [JOBS]
 #
-# defaults: SCALE=0.05 SEED=42. Requires a primed cargo cache or network
-# access (same constraint as scripts/check.sh).
+# defaults: SCALE=0.05 SEED=42 JOBS=$(nproc). Pass JOBS explicitly to
+# measure a parallel degree other than this host's CPU count (the committed
+# BENCH_analysis.json records jobs_max=4 regardless of the measuring host;
+# host_cpus in the file says what the host actually had). Requires a primed
+# cargo cache or network access (same constraint as scripts/check.sh).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 scale="${1:-0.05}"
 seed="${2:-42}"
-max="$(nproc 2>/dev/null || echo 4)"
+host_cpus="$(nproc 2>/dev/null || echo 4)"
+max="${3:-$host_cpus}"
 out="BENCH_analysis.json"
 
 work="$(mktemp -d "${TMPDIR:-/tmp}/ytcdn-bench.XXXXXX")"
@@ -45,6 +49,7 @@ speedup="$(awk -v a="$total_seq" -v b="$total_par" 'BEGIN {printf "%.3f", a / b}
     echo "  \"scale\": $scale,"
     echo "  \"seed\": $seed,"
     echo "  \"jobs_max\": $max,"
+    echo "  \"host_cpus\": $host_cpus,"
     echo "  \"total_ms_sequential\": $total_seq,"
     echo "  \"total_ms_parallel\": $total_par,"
     echo "  \"speedup\": $speedup,"

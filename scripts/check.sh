@@ -23,6 +23,11 @@ cargo run --quiet --release -p ytcdn-lint -- --workspace
 echo "==> cargo test" >&2
 cargo test --workspace -q
 
+# The JSONL golden-schema test needs the real serde_json (Value parsing),
+# so it sits behind a feature the offline stub harness never enables.
+echo "==> telemetry JSONL golden schema" >&2
+cargo test -q -p ytcdn-telemetry --test golden_schema --features golden-schema
+
 # Shards matrix: the CLI must emit byte-identical traces at --shards 1
 # (sequential engine) and --shards <max> (fully sharded). The in-process
 # differential suite covers K ∈ {1,2,4,7,16}; this leg covers the CLI
@@ -38,6 +43,19 @@ for shards in 1 "$max"; do
 done
 cmp "$smoke/eu2-1.log" "$smoke/eu2-$max.log" \
     || { echo "check.sh: --shards $max output differs from sequential" >&2; exit 1; }
+
+# Watchtower smoke: a trace with one scheduled mutation must produce at
+# least one change point (and exit 0); the windowed-metrics JSONL must
+# carry the detection event.
+echo "==> watch smoke (mutated trace fires the change detector)" >&2
+cargo run --quiet --release -p ytcdn-cli -- watch \
+    --dataset EU1-FTTH --scale 0.01 --seed 5 --mutate dc-down@72:milan \
+    --telemetry "$smoke/watch-events.jsonl" > "$smoke/watch.txt" 2>/dev/null \
+    || { echo "check.sh: watch exited non-zero" >&2; exit 1; }
+grep -q "CHANGE" "$smoke/watch.txt" \
+    || { echo "check.sh: watch found no change point on a mutated trace" >&2; exit 1; }
+grep -q '"event":"change_point_detected"' "$smoke/watch-events.jsonl" \
+    || { echo "check.sh: no change_point_detected event in the JSONL stream" >&2; exit 1; }
 
 # Analysis pipeline: repro must print byte-identical reports at --jobs 1
 # (sequential index build + experiment loop) and --jobs <max> (parallel

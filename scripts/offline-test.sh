@@ -56,7 +56,17 @@ cargo test --manifest-path "$scratch/Cargo.toml" --offline --release \
     -p ytcdn-cdnsim -p ytcdn-core --lib "$@"
 cargo test --manifest-path "$scratch/Cargo.toml" --offline --release \
     -p ytcdn-core --test sharding_differential --test golden_tables \
-    --test analysis_index_differential --test degenerate_datasets "$@"
+    --test analysis_index_differential --test degenerate_datasets \
+    --test change_detection "$@"
+
+# Watchtower smoke: a mutated trace must fire the change detector and exit
+# zero. No --telemetry here — the JSONL sink needs the real serde_json,
+# and the stub panics; the table on stdout exercises the same pipeline.
+cargo run --manifest-path "$scratch/Cargo.toml" --offline --release --quiet \
+    -p ytcdn-cli -- watch --dataset EU1-FTTH --scale 0.01 --seed 5 \
+    --mutate dc-down@72:milan > "$scratch/watch.txt"
+grep -q "CHANGE" "$scratch/watch.txt" \
+    || { echo "offline-test: watch found no change point on a mutated trace" >&2; exit 1; }
 
 # The determinism lint is dependency-free, so both its self-tests (lexer,
 # engine, fixture corpus) and a full run over the real tree are stub-safe.
