@@ -9,6 +9,9 @@
 //! cargo run --release -p ytcdn-bench --bin repro -- --jobs 8
 //! # full paper scale with the full 215-landmark CBG (slow):
 //! cargo run --release -p ytcdn-bench --bin repro -- --scale 1.0 --full-landmarks
+//! # analyse a generated .ytc file, skipping simulation (the file's
+//! # recorded scale/seed/mutations supersede --scale/--seed):
+//! cargo run --release -p ytcdn-bench --bin repro -- --from dataset.ytc
 //! ```
 
 #![forbid(unsafe_code)]
@@ -22,7 +25,7 @@ use ytcdn_core::degenerate::DegenerateShape;
 use ytcdn_core::experiments::{
     ExperimentSuite, SuiteConfig, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS,
 };
-use ytcdn_core::{WatchConfig, WatchReport};
+use ytcdn_core::{WatchConfig, WatchReport, YtcFile};
 use ytcdn_telemetry::{Progress, Telemetry};
 use ytcdn_tstat::DatasetName;
 
@@ -39,6 +42,7 @@ struct Args {
     scorecard: bool,
     windows: bool,
     degenerate: Option<DegenerateShape>,
+    from: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         scorecard: false,
         windows: false,
         degenerate: None,
+        from: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -98,6 +103,11 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("{e}"))?,
                 );
             }
+            "--from" => {
+                args.from = Some(std::path::PathBuf::from(
+                    it.next().ok_or("--from needs a .ytc file path")?,
+                ))
+            }
             "--markdown" => {
                 args.markdown = Some(std::path::PathBuf::from(
                     it.next().ok_or("--markdown needs a file path")?,
@@ -110,7 +120,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: repro [--exp {}] [--scale S] [--seed N] [--jobs N] [--full-landmarks] [--csv DIR] [--markdown FILE] [--bench-out FILE] [--plot] [--scorecard] [--windows] [--degenerate {}]",
+                    "usage: repro [--exp {}] [--scale S] [--seed N] [--jobs N] [--from FILE.ytc] [--full-landmarks] [--csv DIR] [--markdown FILE] [--bench-out FILE] [--plot] [--scorecard] [--windows] [--degenerate {}]",
                     ALL_EXPERIMENTS.join("|"),
                     DegenerateShape::ALL.map(DegenerateShape::as_str).join("|")
                 ));
@@ -120,6 +130,13 @@ fn parse_args() -> Result<Args, String> {
     }
     if !(0.0..=1.0).contains(&args.scale) || args.scale <= 0.0 {
         return Err(format!("--scale must be in (0, 1], got {}", args.scale));
+    }
+    if args.from.is_some() && args.degenerate.is_some() {
+        return Err(
+            "--from and --degenerate are mutually exclusive: the .ytc file already fixes the \
+             dataset shapes"
+                .to_owned(),
+        );
     }
     Ok(args)
 }
@@ -146,25 +163,67 @@ fn main() -> ExitCode {
     }
 
     let progress = Progress::stderr();
-    progress.note(&format!(
-        "building world and simulating 5 datasets (scale {}, seed {})…",
-        args.scale, args.seed
-    ));
     // Metrics-only telemetry: phase timings cost nothing measurable and the
     // summary below shows where the wall time went. Reports on stdout are
     // unaffected.
+    let telemetry = Telemetry::metrics_only();
     let t_start = std::time::Instant::now();
-    let config = SuiteConfig {
-        scenario: ScenarioConfig::with_scale(args.scale, args.seed),
-        full_landmarks: args.full_landmarks,
-        jobs: args.jobs,
-    };
-    let suite = match args.degenerate {
-        Some(shape) => {
-            progress.note(&format!("degrading every dataset to shape {shape}"));
-            ExperimentSuite::with_degenerate(config, Telemetry::metrics_only(), shape)
+    let suite = if let Some(path) = &args.from {
+        // Load the datasets off the columnar file instead of simulating.
+        // The file's recorded provenance supersedes --scale/--seed: the
+        // analysis world must match the world the flows were simulated in.
+        let source = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot open {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let file = match YtcFile::read_from(std::io::BufReader::new(source), &telemetry) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let header = file.header.clone();
+        progress.note(&format!(
+            "loaded {} flows from {} (scale {}, seed {}, {} mutation(s)); skipping simulation",
+            file.total_flows(),
+            path.display(),
+            header.scale,
+            header.seed,
+            header.mutations.len()
+        ));
+        let config = SuiteConfig {
+            scenario: ScenarioConfig::with_scale(header.scale, header.seed),
+            full_landmarks: args.full_landmarks,
+            jobs: args.jobs,
+        };
+        match ExperimentSuite::from_columnar(config, telemetry, file.into_columnar_datasets()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot analyse {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
         }
-        None => ExperimentSuite::with_telemetry(config, Telemetry::metrics_only()),
+    } else {
+        progress.note(&format!(
+            "building world and simulating 5 datasets (scale {}, seed {})…",
+            args.scale, args.seed
+        ));
+        let config = SuiteConfig {
+            scenario: ScenarioConfig::with_scale(args.scale, args.seed),
+            full_landmarks: args.full_landmarks,
+            jobs: args.jobs,
+        };
+        match args.degenerate {
+            Some(shape) => {
+                progress.note(&format!("degrading every dataset to shape {shape}"));
+                ExperimentSuite::with_degenerate(config, telemetry, shape)
+            }
+            None => ExperimentSuite::with_telemetry(config, telemetry),
+        }
     };
     let build_ms = t_start.elapsed().as_secs_f64() * 1000.0;
 

@@ -11,15 +11,19 @@ ytcdn — the YouTube CDN reproduction toolkit
 
 USAGE:
   ytcdn generate  [--dataset NAME] [--scale S] [--seed N] [--shards K]
-                  [--mutate SPEC]... [--format jsonl|text] --out PATH
-                  (PATH is a file for one dataset, a directory for all five)
+                  [--mutate SPEC]... [--format jsonl|text|ytc] --out PATH
+                  (PATH is a file for one dataset, a directory for all five —
+                  except ytc, where PATH is always one file carrying every
+                  generated dataset; a .ytc extension implies --format ytc)
   ytcdn analyze   --trace PATH [--scale S] [--seed N]
   ytcdn geolocate --dataset NAME [--landmarks K] [--scale S] [--seed N] [--shards K]
   ytcdn whatif    --scenario feb2011|fixed-peering|no-votd|eu2-capacity|popularity
                   [--scale S] [--seed N]
   ytcdn watch     --dataset NAME [--scale S] [--seed N] [--shards K]
                   [--mutate SPEC]... [--window H] [--threshold D] [--min-flows F]
-                  (simulate, then detect CDN changes per H-hour window)
+                  [--from PATH.ytc]
+                  (simulate — or load PATH.ytc, skipping simulation — then
+                  detect CDN changes per H-hour window)
   ytcdn characterize --trace PATH
   ytcdn world     [--scale S] [--seed N]
   ytcdn anonymize --trace PATH --out PATH [--seed KEY]
@@ -75,9 +79,9 @@ pub enum Command {
         scale: f64,
         /// Scenario seed.
         seed: u64,
-        /// Output file (single dataset) or directory (all).
+        /// Output file (single dataset or `.ytc`) or directory (all).
         out: PathBuf,
-        /// Output format.
+        /// Output format (`--format`, or implied by a `.ytc` extension).
         format: TraceFormat,
         /// Worker threads per dataset (`None` = available CPUs).
         shards: Option<usize>,
@@ -133,6 +137,9 @@ pub enum Command {
         threshold: f64,
         /// Windows with fewer analysis flows are treated as idle.
         min_flows: u64,
+        /// Load the dataset from this `.ytc` file instead of simulating
+        /// (the file's recorded scale/seed/mutations win).
+        from: Option<PathBuf>,
     },
     /// Workload characterization of a trace file.
     Characterize {
@@ -165,6 +172,9 @@ pub enum TraceFormat {
     Jsonl,
     /// Tstat-style whitespace columns (`.log`).
     Text,
+    /// Compact columnar binary (`.ytc`) — one checksummed file carrying
+    /// every generated dataset plus its scale/seed/mutation provenance.
+    Ytc,
 }
 
 /// Parse failure.
@@ -207,12 +217,13 @@ struct Flags {
     trace: Option<PathBuf>,
     landmarks: usize,
     scenario: Option<String>,
-    format: TraceFormat,
+    format: Option<TraceFormat>,
     shards: Option<usize>,
     mutate: Vec<String>,
     window: u64,
     threshold: f64,
     min_flows: u64,
+    from: Option<PathBuf>,
     telemetry: TelemetryOpts,
 }
 
@@ -225,12 +236,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, ParseError> {
         trace: None,
         landmarks: 50,
         scenario: None,
-        format: TraceFormat::default(),
+        format: None,
         shards: None,
         mutate: Vec::new(),
         window: ytcdn_core::constellation::DEFAULT_WINDOW_HOURS,
         threshold: ytcdn_core::constellation::DEFAULT_THRESHOLD,
         min_flows: ytcdn_core::constellation::WatchConfig::default().min_flows,
+        from: None,
         telemetry: TelemetryOpts::default(),
     };
     let mut it = args.iter();
@@ -319,12 +331,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, ParseError> {
             }
             "--format" => {
                 let v = value("--format value")?;
-                flags.format = match v.as_str() {
+                flags.format = Some(match v.as_str() {
                     "jsonl" => TraceFormat::Jsonl,
                     "text" => TraceFormat::Text,
+                    "ytc" => TraceFormat::Ytc,
                     _ => return Err(ParseError::Invalid("format", v.clone())),
-                };
+                });
             }
+            "--from" => flags.from = Some(PathBuf::from(value("--from value")?)),
             other => return Err(ParseError::UnknownFlag(other.to_owned())),
         }
     }
@@ -341,15 +355,27 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let flags = parse_flags(rest)?;
     let telemetry = flags.telemetry.clone();
     let command = match sub.as_str() {
-        "generate" => Ok(Command::Generate {
-            dataset: flags.dataset,
-            scale: flags.scale,
-            seed: flags.seed,
-            out: flags.out.ok_or(ParseError::Missing("--out"))?,
-            format: flags.format,
-            shards: flags.shards,
-            mutate: flags.mutate.clone(),
-        }),
+        "generate" => {
+            let out = flags.out.ok_or(ParseError::Missing("--out"))?;
+            // An explicit --format wins; otherwise a .ytc extension selects
+            // the columnar format and everything else stays JSONL.
+            let format = flags.format.unwrap_or({
+                if out.extension().is_some_and(|e| e == "ytc") {
+                    TraceFormat::Ytc
+                } else {
+                    TraceFormat::Jsonl
+                }
+            });
+            Ok(Command::Generate {
+                dataset: flags.dataset,
+                scale: flags.scale,
+                seed: flags.seed,
+                out,
+                format,
+                shards: flags.shards,
+                mutate: flags.mutate.clone(),
+            })
+        }
         "analyze" => Ok(Command::Analyze {
             trace: flags.trace.ok_or(ParseError::Missing("--trace"))?,
             scale: flags.scale,
@@ -367,16 +393,28 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
             scale: flags.scale,
             seed: flags.seed,
         }),
-        "watch" => Ok(Command::Watch {
-            dataset: flags.dataset.ok_or(ParseError::Missing("--dataset"))?,
-            scale: flags.scale,
-            seed: flags.seed,
-            shards: flags.shards,
-            mutate: flags.mutate.clone(),
-            window: flags.window,
-            threshold: flags.threshold,
-            min_flows: flags.min_flows,
-        }),
+        "watch" => {
+            if flags.from.is_some() && !flags.mutate.is_empty() {
+                // The file already records its mutations; a second set here
+                // would silently disagree with the provenance header.
+                return Err(ParseError::Invalid(
+                    "--mutate",
+                    "cannot be combined with --from (the .ytc file records its own mutations)"
+                        .to_owned(),
+                ));
+            }
+            Ok(Command::Watch {
+                dataset: flags.dataset.ok_or(ParseError::Missing("--dataset"))?,
+                scale: flags.scale,
+                seed: flags.seed,
+                shards: flags.shards,
+                mutate: flags.mutate.clone(),
+                window: flags.window,
+                threshold: flags.threshold,
+                min_flows: flags.min_flows,
+                from: flags.from.clone(),
+            })
+        }
         "characterize" => Ok(Command::Characterize {
             trace: flags.trace.ok_or(ParseError::Missing("--trace"))?,
         }),
@@ -447,6 +485,7 @@ mod tests {
                 window: ytcdn_core::constellation::DEFAULT_WINDOW_HOURS,
                 threshold: ytcdn_core::constellation::DEFAULT_THRESHOLD,
                 min_flows: ytcdn_core::constellation::WatchConfig::default().min_flows,
+                from: None,
             }
         );
         let tuned = cmd(&[
@@ -481,6 +520,7 @@ mod tests {
                 window: 12,
                 threshold: 0.3,
                 min_flows: 10,
+                from: None,
             }
         );
         // The dataset is required; window and threshold are validated.
@@ -564,6 +604,73 @@ mod tests {
             parse(&v(&["generate", "--format", "xml", "--out", "d"])).unwrap_err(),
             ParseError::Invalid("format", _)
         ));
+    }
+
+    #[test]
+    fn parse_generate_ytc_format() {
+        // Explicit flag.
+        let explicit = cmd(&["generate", "--format", "ytc", "--out", "data.bin"]);
+        assert!(matches!(
+            explicit,
+            Command::Generate {
+                format: TraceFormat::Ytc,
+                ..
+            }
+        ));
+        // Implied by the extension.
+        let implied = cmd(&["generate", "--out", "dataset.ytc"]);
+        assert!(matches!(
+            implied,
+            Command::Generate {
+                format: TraceFormat::Ytc,
+                ..
+            }
+        ));
+        // An explicit flag wins over the extension.
+        let overridden = cmd(&["generate", "--format", "jsonl", "--out", "dataset.ytc"]);
+        assert!(matches!(
+            overridden,
+            Command::Generate {
+                format: TraceFormat::Jsonl,
+                ..
+            }
+        ));
+        // Other extensions keep the JSONL default.
+        let default = cmd(&["generate", "--out", "trace.jsonl"]);
+        assert!(matches!(
+            default,
+            Command::Generate {
+                format: TraceFormat::Jsonl,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_watch_from_ytc() {
+        let loaded = cmd(&["watch", "--dataset", "EU2", "--from", "dataset.ytc"]);
+        assert!(matches!(
+            loaded,
+            Command::Watch { from: Some(ref p), .. } if p == &PathBuf::from("dataset.ytc")
+        ));
+        // --from records its own mutations; combining is rejected.
+        assert!(matches!(
+            parse(&v(&[
+                "watch",
+                "--dataset",
+                "EU2",
+                "--from",
+                "dataset.ytc",
+                "--mutate",
+                "dc-down@72:milan",
+            ]))
+            .unwrap_err(),
+            ParseError::Invalid("--mutate", _)
+        ));
+        assert_eq!(
+            parse(&v(&["watch", "--dataset", "EU2", "--from"])).unwrap_err(),
+            ParseError::Missing("--from value")
+        );
     }
 
     #[test]

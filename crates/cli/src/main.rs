@@ -7,11 +7,14 @@
 //! ytcdn whatif   --scenario feb2011
 //! ```
 //!
-//! `generate` writes a Tstat-style JSON-lines flow log; `analyze` re-reads
-//! one (from `generate` or any tool emitting the same schema) and runs the
-//! paper's methodology on it; `geolocate` runs CBG over a dataset's
-//! servers; `whatif` evaluates the counterfactuals of
-//! [`ytcdn_core::whatif`].
+//! `generate` writes a Tstat-style JSON-lines flow log — or, with
+//! `--out dataset.ytc`, one compact columnar file carrying every generated
+//! dataset plus its provenance (see `ytcdn_core::columnar`); `analyze`
+//! re-reads a trace (from `generate` or any tool emitting the same schema)
+//! and runs the paper's methodology on it; `geolocate` runs CBG over a
+//! dataset's servers; `whatif` evaluates the counterfactuals of
+//! [`ytcdn_core::whatif`]; `watch --from dataset.ytc` detects CDN changes
+//! straight off a columnar file, skipping simulation.
 
 #![forbid(unsafe_code)]
 // Tables and analysis results go to stdout: that is this binary's product.
@@ -28,7 +31,7 @@ use args::{Command, ParseError, TelemetryOpts};
 use ytcdn_cdnsim::{MutationSpec, ScenarioConfig, StandardScenario};
 use ytcdn_core::perf::perf_report;
 use ytcdn_core::whatif;
-use ytcdn_core::{AnalysisContext, DatasetIndex, WatchConfig, WatchReport};
+use ytcdn_core::{AnalysisContext, DatasetIndex, WatchConfig, WatchReport, YtcFile, YtcHeader};
 use ytcdn_geoloc::{cluster_by_city, Cbg};
 use ytcdn_geomodel::CityDb;
 use ytcdn_telemetry::{JsonlSink, Progress, Telemetry};
@@ -121,7 +124,19 @@ fn run(cmd: Command, ctx: &Ctx) -> ExitCode {
             shards,
             mutate,
         } => match mutated_scenario(scale, seed, &mutate, ctx) {
-            Ok(s) => generate(s, dataset, out, format, resolve_shards(shards), ctx),
+            Ok(s) => generate(
+                s,
+                dataset,
+                out,
+                format,
+                resolve_shards(shards),
+                YtcHeader {
+                    scale,
+                    seed,
+                    mutations: mutate,
+                },
+                ctx,
+            ),
             Err(code) => code,
         },
         Command::Analyze { trace, scale, seed } => analyze(&trace, scale, seed, ctx),
@@ -146,20 +161,21 @@ fn run(cmd: Command, ctx: &Ctx) -> ExitCode {
             window,
             threshold,
             min_flows,
-        } => match mutated_scenario(scale, seed, &mutate, ctx) {
-            Ok(s) => watch(
-                s,
-                dataset,
-                resolve_shards(shards),
-                WatchConfig {
-                    window_hours: window,
-                    threshold,
-                    min_flows,
+            from,
+        } => {
+            let config = WatchConfig {
+                window_hours: window,
+                threshold,
+                min_flows,
+            };
+            match from {
+                Some(path) => watch_from(&path, dataset, config, ctx),
+                None => match mutated_scenario(scale, seed, &mutate, ctx) {
+                    Ok(s) => watch(s, dataset, resolve_shards(shards), config, ctx),
+                    Err(code) => code,
                 },
-                ctx,
-            ),
-            Err(code) => code,
-        },
+            }
+        }
         Command::Characterize { trace } => characterize_trace(&trace),
         Command::World { scale, seed } => describe_world(scale, seed, ctx),
         Command::Anonymize { trace, out, seed } => anonymize_trace(&trace, &out, seed, ctx),
@@ -211,14 +227,33 @@ fn read_trace(trace: &PathBuf) -> Result<Dataset, String> {
     let file =
         std::fs::File::open(trace).map_err(|e| format!("cannot open {}: {e}", trace.display()))?;
     let mut reader = BufReader::new(file);
-    let is_text = {
+    // Sniff the first bytes: `#` opens a Tstat text log, the YTCF magic a
+    // columnar file, anything else is treated as JSONL.
+    let (is_text, is_ytc) = {
         use std::io::BufRead as _;
         reader
             .fill_buf()
-            .map(|b| b.first() == Some(&b'#'))
-            .unwrap_or(false)
+            .map(|b| {
+                (
+                    b.first() == Some(&b'#'),
+                    b.starts_with(&ytcdn_core::columnar::MAGIC),
+                )
+            })
+            .unwrap_or((false, false))
     };
-    if is_text {
+    if is_ytc {
+        let file = YtcFile::read_from(reader, &Telemetry::disabled()).map_err(|e| e.to_string())?;
+        let mut datasets = file.into_datasets();
+        if datasets.len() != 1 {
+            return Err(format!(
+                "{} carries {} datasets; this command reads exactly one \
+                 (generate it with --dataset NAME)",
+                trace.display(),
+                datasets.len()
+            ));
+        }
+        datasets.pop().ok_or_else(|| "empty .ytc file".to_owned())
+    } else if is_text {
         ytcdn_tstat::read_textlog(reader).map_err(|e| e.to_string())
     } else {
         Dataset::read_jsonl(reader).map_err(|e| e.to_string())
@@ -302,11 +337,13 @@ fn generate(
     out: PathBuf,
     format: args::TraceFormat,
     shards: usize,
+    header: YtcHeader,
     ctx: &Ctx,
 ) -> ExitCode {
     let ext = match format {
         args::TraceFormat::Jsonl => "jsonl",
         args::TraceFormat::Text => "log",
+        args::TraceFormat::Ytc => "ytc",
     };
     let datasets: Vec<Dataset> = match dataset {
         Some(n) if shards == 1 => vec![s.run(n)],
@@ -314,6 +351,11 @@ fn generate(
         None if shards == 1 => s.run_all(),
         None => s.run_all_sharded(shards),
     };
+    if format == args::TraceFormat::Ytc {
+        // The columnar format is one file carrying every generated dataset
+        // plus its provenance — `out` is always a file path here.
+        return generate_ytc(header, datasets, &out, ctx);
+    }
     let export_span = ctx.telemetry.span("export");
     for ds in datasets {
         let name = ds.name();
@@ -344,6 +386,7 @@ fn generate(
             args::TraceFormat::Text => {
                 ytcdn_tstat::write_textlog(&ds, BufWriter::new(file)).map_err(|e| e.to_string())
             }
+            args::TraceFormat::Ytc => unreachable!("ytc takes the single-file path above"),
         };
         if let Err(e) = write_result {
             eprintln!("cannot write {}: {e}", path.display());
@@ -353,6 +396,109 @@ fn generate(
             .note(&format!("wrote {} ({} flows)", path.display(), ds.len()));
     }
     drop(export_span);
+    ExitCode::SUCCESS
+}
+
+/// Writes every generated dataset into one checksummed `.ytc` file. The
+/// encoding is deterministic, so the same scale/seed/mutations produce
+/// byte-identical files whatever `--shards` was.
+fn generate_ytc(header: YtcHeader, datasets: Vec<Dataset>, out: &PathBuf, ctx: &Ctx) -> ExitCode {
+    let file = match YtcFile::new(header, datasets) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let target = match std::fs::File::create(out) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match file.write_to(BufWriter::new(target), &ctx.telemetry) {
+        Ok(bytes) => {
+            ctx.progress.note(&format!(
+                "wrote {} ({} bytes, {} flows across {} datasets)",
+                out.display(),
+                bytes,
+                file.total_flows(),
+                file.datasets().len()
+            ));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `ytcdn watch --from`: load one dataset off a `.ytc` file instead of
+/// simulating. The world is rebuilt from the scale/seed/mutations recorded
+/// in the file's header (any `--scale`/`--seed` flags are superseded), so
+/// the change-point table is byte-identical to the simulate-then-watch
+/// path that produced the file.
+fn watch_from(path: &PathBuf, dataset: DatasetName, config: WatchConfig, ctx: &Ctx) -> ExitCode {
+    let source = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let file = match YtcFile::read_from(BufReader::new(source), &ctx.telemetry) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let columnar = match file.dataset(dataset) {
+        Ok(c) => c.clone(),
+        Err(e) => {
+            eprintln!("error: {e} in {}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let header = file.header.clone();
+    ctx.progress.note(&format!(
+        "loaded {} ({} flows) from {} — scale {}, seed {}, {} mutation(s); skipping simulation",
+        dataset,
+        columnar.dataset().len(),
+        path.display(),
+        header.scale,
+        header.seed,
+        header.mutations.len()
+    ));
+    let s = match mutated_scenario(header.scale, header.seed, &header.mutations, ctx) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let _span = ctx.telemetry.span("analysis.watch");
+    let actx = AnalysisContext::from_ground_truth(s.world(), columnar.dataset());
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let index = DatasetIndex::from_columnar(&actx, &columnar, jobs, ctx.telemetry.clone());
+    let report = match WatchReport::build(&actx, columnar.dataset(), &index, config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    report.emit(&ctx.telemetry.with_scope(dataset.as_str()));
+    println!("{}", report.render_table());
     ExitCode::SUCCESS
 }
 

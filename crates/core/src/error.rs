@@ -58,6 +58,12 @@ pub enum AnalysisError {
     },
     /// The active-measurement phase produced no node traces.
     NoActiveTraces,
+    /// A vantage-point dataset the suite needs is absent from the input
+    /// set (e.g. a `.ytc` file that does not carry all five datasets).
+    MissingDataset {
+        /// The absent vantage-point dataset.
+        dataset: String,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -85,6 +91,9 @@ impl fmt::Display for AnalysisError {
                 write!(f, "city {city:?} is not in the built-in city table")
             }
             Self::NoActiveTraces => write!(f, "no active-measurement traces recorded"),
+            Self::MissingDataset { dataset } => {
+                write!(f, "dataset {dataset} missing from the input set")
+            }
         }
     }
 }

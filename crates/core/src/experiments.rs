@@ -128,6 +128,82 @@ impl ExperimentSuite {
         Self::build(config, telemetry, Some(shape))
     }
 
+    /// Builds the suite from datasets decoded off a `.ytc` file, skipping
+    /// simulation entirely: the world is still constructed from
+    /// `config.scenario` (so ground-truth contexts and the what-if
+    /// experiments keep working — the caller must pass the scale and seed
+    /// recorded in the file's [`crate::columnar::YtcHeader`]), but the
+    /// flow logs come straight off the decoded columns, indexes included
+    /// via [`DatasetIndex::from_columnar`]. Reports are byte-identical to
+    /// the simulate-in-memory path for matching scale/seed/mutations.
+    ///
+    /// Datasets may arrive in any order; if the same vantage point appears
+    /// twice the last one wins ([`crate::columnar::YtcFile::decode`]
+    /// already rejects duplicate sections).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::MissingDataset`] when any of the five vantage
+    /// points is absent — the per-figure drivers address all of them.
+    pub fn from_columnar(
+        config: SuiteConfig,
+        telemetry: Telemetry,
+        columnar: Vec<crate::columnar::ColumnarDataset>,
+    ) -> AnalysisResult<Self> {
+        let jobs = if config.jobs > 0 {
+            config.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let scenario = StandardScenario::build_instrumented(config.scenario, telemetry.clone());
+        let mut slots: Vec<Option<crate::columnar::ColumnarDataset>> =
+            DatasetName::ALL.iter().map(|_| None).collect();
+        for c in columnar {
+            let slot = Self::slot(c.dataset().name());
+            slots[slot] = Some(c);
+        }
+        let columnar: Vec<crate::columnar::ColumnarDataset> = slots
+            .into_iter()
+            .zip(DatasetName::ALL)
+            .map(|(slot, name)| {
+                slot.ok_or_else(|| AnalysisError::MissingDataset {
+                    dataset: name.to_string(),
+                })
+            })
+            .collect::<AnalysisResult<_>>()?;
+        let contexts: Vec<AnalysisContext> = {
+            let _span = telemetry.span("suite.contexts");
+            columnar
+                .iter()
+                .map(|c| AnalysisContext::from_ground_truth(scenario.world(), c.dataset()))
+                .collect()
+        };
+        let indexes = {
+            let _span = telemetry.span("suite.indexes");
+            columnar
+                .iter()
+                .zip(&contexts)
+                .map(|(c, ctx)| DatasetIndex::from_columnar(ctx, c, jobs, telemetry.clone()))
+                .collect()
+        };
+        let datasets = columnar
+            .into_iter()
+            .map(crate::columnar::ColumnarDataset::into_dataset)
+            .collect();
+        Ok(Self {
+            config,
+            jobs,
+            scenario,
+            datasets,
+            contexts,
+            indexes,
+            cbg: std::sync::OnceLock::new(),
+            telemetry,
+        })
+    }
+
     fn build(config: SuiteConfig, telemetry: Telemetry, shape: Option<DegenerateShape>) -> Self {
         let jobs = if config.jobs > 0 {
             config.jobs

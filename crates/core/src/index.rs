@@ -94,6 +94,40 @@ impl DatasetIndex {
         jobs: usize,
         telemetry: Telemetry,
     ) -> Self {
+        Self::build_inner(ctx, dataset, None, jobs, telemetry)
+    }
+
+    /// Builds the index from decoded `.ytc` columns, reusing the hour
+    /// index that came off disk instead of re-scanning the timestamps —
+    /// output-identical to [`DatasetIndex::build`] over the same records
+    /// (the decoder already cross-validated the ranges against the
+    /// timestamp column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` was built from a different dataset.
+    pub fn from_columnar(
+        ctx: &AnalysisContext,
+        columnar: &crate::columnar::ColumnarDataset,
+        jobs: usize,
+        telemetry: Telemetry,
+    ) -> Self {
+        Self::build_inner(
+            ctx,
+            columnar.dataset(),
+            Some(columnar.hour_ranges().to_vec()),
+            jobs,
+            telemetry,
+        )
+    }
+
+    fn build_inner(
+        ctx: &AnalysisContext,
+        dataset: &Dataset,
+        precomputed_hours: Option<Vec<Range<usize>>>,
+        jobs: usize,
+        telemetry: Telemetry,
+    ) -> Self {
         let span = telemetry.span("index.build");
         let jobs = jobs.max(1);
         let records = dataset.records();
@@ -124,23 +158,30 @@ impl DatasetIndex {
 
         // Records are sorted by start time, so each hour is one contiguous
         // index range; an empty dataset still gets its hour-0 range so the
-        // hourly analyses keep their "at least one sample" shape.
-        let hours = records
-            .iter()
-            .map(|r| r.start_ms / HOUR_MS)
-            .max()
-            .unwrap_or(0)
-            + 1;
-        let mut hour_ranges: Vec<Range<usize>> = Vec::with_capacity(hours as usize);
-        let mut pos = 0usize;
-        for h in 0..hours {
-            let start = pos;
-            while pos < n && records[pos].start_ms / HOUR_MS == h {
-                pos += 1;
+        // hourly analyses keep their "at least one sample" shape. A `.ytc`
+        // load hands the ranges in pre-validated, skipping the scan.
+        let hour_ranges = match precomputed_hours {
+            Some(ranges) => ranges,
+            None => {
+                let hours = records
+                    .iter()
+                    .map(|r| r.start_ms / HOUR_MS)
+                    .max()
+                    .unwrap_or(0)
+                    + 1;
+                let mut hour_ranges: Vec<Range<usize>> = Vec::with_capacity(hours as usize);
+                let mut pos = 0usize;
+                for h in 0..hours {
+                    let start = pos;
+                    while pos < n && records[pos].start_ms / HOUR_MS == h {
+                        pos += 1;
+                    }
+                    hour_ranges.push(start..pos);
+                }
+                assert_eq!(pos, n, "dataset records must be sorted by start time");
+                hour_ranges
             }
-            hour_ranges.push(start..pos);
-        }
-        assert_eq!(pos, n, "dataset records must be sorted by start time");
+        };
 
         let sessions = Arc::new(group_sessions_parallel(dataset, DEFAULT_GAP_MS, jobs));
         telemetry.counter("index.flows").add(n as u64);
@@ -432,6 +473,25 @@ mod tests {
                 crate::session::flows_per_session(&ds, gap_s * 1000),
                 "gap {gap_s}s"
             );
+        }
+    }
+
+    #[test]
+    fn from_columnar_matches_build() {
+        let (ds, ctx) = setup(DatasetName::Eu1Ftth);
+        let built = DatasetIndex::build(&ctx, &ds, 2, Telemetry::disabled());
+        let columnar =
+            crate::columnar::ColumnarDataset::from_dataset(ds.clone()).expect("well-formed");
+        let from_ytc = DatasetIndex::from_columnar(&ctx, &columnar, 2, Telemetry::disabled());
+        assert_eq!(from_ytc.hour_ranges(), built.hour_ranges());
+        assert_eq!(from_ytc.sessions(), built.sessions());
+        assert_eq!(from_ytc.patterns(), built.patterns());
+        assert_eq!(from_ytc.servers(), built.servers());
+        assert_eq!(from_ytc.dc_flows(), built.dc_flows());
+        assert_eq!(from_ytc.dc_bytes(), built.dc_bytes());
+        for i in 0..ds.len() {
+            assert_eq!(from_ytc.dc_of_flow(i), built.dc_of_flow(i));
+            assert_eq!(from_ytc.is_video_flow(i), built.is_video_flow(i));
         }
     }
 

@@ -24,6 +24,7 @@
 //! | active cold-video experiment (Figs. 17–18) | [`active_analysis`] |
 //! | empirical CDFs and binning | [`stats`] |
 //! | shared per-dataset columnar index | [`index`] |
+//! | compact `.ytc` on-disk columnar format | [`columnar`] |
 //! | constellation tracking / change-point detection | [`constellation`] |
 //! | one driver per table/figure | [`experiments`] |
 //! | CSV export of every figure's curves | [`export`] |
@@ -56,6 +57,7 @@
 pub mod active_analysis;
 pub mod as_analysis;
 pub mod characterize;
+pub mod columnar;
 pub mod constellation;
 pub mod dcmap;
 pub mod degenerate;
@@ -71,12 +73,14 @@ pub mod preferred;
 pub mod report;
 pub mod scorecard;
 pub mod session;
+pub mod sha256;
 pub mod stats;
 pub mod subnet;
 pub mod timeseries;
 pub mod videos;
 pub mod whatif;
 
+pub use columnar::{ColumnarDataset, FormatError, FormatResult, YtcFile, YtcHeader};
 pub use constellation::{ChangePoint, WatchConfig, WatchReport};
 pub use dcmap::{AnalysisContext, DcInfo, DcMap};
 pub use error::{AnalysisError, AnalysisResult};

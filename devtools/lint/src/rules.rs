@@ -146,6 +146,7 @@ const PAN_EXEMPT_CRATES: &[&str] = &["bench", "cli", "lint"];
 /// anything that renders bytes a golden test or a user might diff.
 const OUTPUT_STEMS: &[&str] = &[
     "anonymize",
+    "columnar",
     "dataset",
     "event",
     "export",
@@ -155,6 +156,7 @@ const OUTPUT_STEMS: &[&str] = &[
     "scorecard",
     "serialization",
     "serialize",
+    "sha256",
     "sink",
     "summary",
     "textlog",

@@ -68,6 +68,39 @@ done
 cmp "$smoke/repro-1.txt" "$smoke/repro-$max.txt" \
     || { echo "check.sh: repro --jobs $max output differs from sequential" >&2; exit 1; }
 
+# Columnar .ytc smoke, three legs. (1) Byte stability: the encoded file is
+# identical at --shards 1 and --shards <max> — the .ytc twin of the text
+# differential above, sha256 so the transcript shows the digest. (2) Replay
+# fidelity: `repro --from dataset.ytc` must print the report byte-identical
+# to the simulate-in-memory run at the same scale/seed. (3) Corruption:
+# a flipped byte must exit non-zero with the reason on stderr, never panic.
+echo "==> .ytc columnar smoke (stability, replay, corruption)" >&2
+for shards in 1 "$max"; do
+    cargo run --quiet --release -p ytcdn-cli -- generate \
+        --scale 0.004 --seed 7 --shards "$shards" \
+        --out "$smoke/ds-$shards.ytc" 2>/dev/null
+done
+sha1="$(sha256sum "$smoke/ds-1.ytc" | cut -d' ' -f1)"
+shaN="$(sha256sum "$smoke/ds-$max.ytc" | cut -d' ' -f1)"
+echo "    dataset.ytc sha256 $sha1" >&2
+[ "$sha1" = "$shaN" ] \
+    || { echo "check.sh: .ytc at --shards $max differs from sequential" >&2; exit 1; }
+cargo run --quiet --release -p ytcdn-bench --bin repro -- \
+    --from "$smoke/ds-1.ytc" --jobs 1 > "$smoke/repro-from.txt" 2>/dev/null \
+    || { echo "check.sh: repro --from exited non-zero on a valid file" >&2; exit 1; }
+cmp "$smoke/repro-1.txt" "$smoke/repro-from.txt" \
+    || { echo "check.sh: repro --from output differs from the in-memory run" >&2; exit 1; }
+# Chop the trailing byte: guaranteed damage (the whole-file digest no
+# longer fits), whatever the file's contents.
+bytes="$(stat -c%s "$smoke/ds-1.ytc" 2>/dev/null || stat -f%z "$smoke/ds-1.ytc")"
+head -c "$((bytes - 1))" "$smoke/ds-1.ytc" > "$smoke/corrupt.ytc"
+if cargo run --quiet --release -p ytcdn-bench --bin repro -- \
+    --from "$smoke/corrupt.ytc" > /dev/null 2> "$smoke/corrupt-err.txt"; then
+    echo "check.sh: repro --from accepted a corrupt .ytc" >&2; exit 1
+fi
+grep -qi "checksum\|truncated\|corrupt" "$smoke/corrupt-err.txt" \
+    || { echo "check.sh: corrupt .ytc rejection gave no reason on stderr" >&2; exit 1; }
+
 # Degenerate-input smoke: an empty capture must not panic anywhere in the
 # analysis layer — the scorecard renders its unanswerable claims as
 # SKIPPED rows and still exits 0.

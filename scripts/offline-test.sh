@@ -57,7 +57,8 @@ cargo test --manifest-path "$scratch/Cargo.toml" --offline --release \
 cargo test --manifest-path "$scratch/Cargo.toml" --offline --release \
     -p ytcdn-core --test sharding_differential --test golden_tables \
     --test analysis_index_differential --test degenerate_datasets \
-    --test change_detection "$@"
+    --test change_detection --test columnar_roundtrip \
+    --test columnar_corruption "$@"
 
 # Watchtower smoke: a mutated trace must fire the change detector and exit
 # zero. No --telemetry here — the JSONL sink needs the real serde_json,
@@ -67,6 +68,24 @@ cargo run --manifest-path "$scratch/Cargo.toml" --offline --release --quiet \
     --mutate dc-down@72:milan > "$scratch/watch.txt"
 grep -q "CHANGE" "$scratch/watch.txt" \
     || { echo "offline-test: watch found no change point on a mutated trace" >&2; exit 1; }
+
+# Columnar smoke: the same mutated trace written as .ytc must be
+# byte-identical across shard counts, and `watch --from` (skipping
+# simulation, rebuilding the world from the recorded provenance) must
+# reproduce the simulate-and-watch table above exactly.
+for shards in 1 4; do
+    cargo run --manifest-path "$scratch/Cargo.toml" --offline --release --quiet \
+        -p ytcdn-cli -- generate --dataset EU1-FTTH --scale 0.01 --seed 5 \
+        --mutate dc-down@72:milan --shards "$shards" \
+        --out "$scratch/watch-$shards.ytc"
+done
+cmp "$scratch/watch-1.ytc" "$scratch/watch-4.ytc" \
+    || { echo "offline-test: .ytc bytes differ across shard counts" >&2; exit 1; }
+cargo run --manifest-path "$scratch/Cargo.toml" --offline --release --quiet \
+    -p ytcdn-cli -- watch --dataset EU1-FTTH --from "$scratch/watch-1.ytc" \
+    > "$scratch/watch-from.txt"
+cmp "$scratch/watch.txt" "$scratch/watch-from.txt" \
+    || { echo "offline-test: watch --from differs from the simulate path" >&2; exit 1; }
 
 # The determinism lint is dependency-free, so both its self-tests (lexer,
 # engine, fixture corpus) and a full run over the real tree are stub-safe.

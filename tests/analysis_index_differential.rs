@@ -7,6 +7,7 @@
 //! byte-identical reports whether built and run with one thread or many.
 
 use ytcdn_cdnsim::{ScenarioConfig, StandardScenario};
+use ytcdn_core::columnar::{YtcFile, YtcHeader};
 use ytcdn_core::experiments::{
     ExperimentSuite, SuiteConfig, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS,
 };
@@ -16,6 +17,7 @@ use ytcdn_core::hotspot::{
 };
 use ytcdn_core::index::{DatasetIndex, DEFAULT_GAP_MS};
 use ytcdn_core::patterns::classify_sessions;
+use ytcdn_core::scorecard::{render_scorecard, scorecard};
 use ytcdn_core::session::{group_sessions, group_sessions_parallel};
 use ytcdn_core::timeseries::{hourly_samples, hourly_samples_indexed};
 use ytcdn_core::videos::{nonpreferred_video_stats, nonpreferred_video_stats_indexed};
@@ -157,5 +159,94 @@ fn suite_reports_identical_sequential_vs_parallel() {
                 "{name}: patterns differ"
             );
         }
+    }
+}
+
+/// The `.ytc` acceptance criterion: a suite rebuilt from decoded columnar
+/// datasets (`repro --from dataset.ytc`) emits the full report set and
+/// scorecard byte-identical to the simulate-in-memory path, single- and
+/// multi-threaded alike.
+#[test]
+fn suite_from_ytc_matches_in_memory() {
+    for (scale, seed) in [(0.003, 7), (0.004, 2)] {
+        // What `ytcdn generate --out dataset.ytc` writes...
+        let s = scenario(scale, seed);
+        let file = YtcFile::new(
+            YtcHeader {
+                scale,
+                seed,
+                mutations: vec![],
+            },
+            s.run_all(),
+        )
+        .expect("full scenario output is encodable");
+        // ...round-tripped through the wire form, exactly as `--from` sees it.
+        let decoded = YtcFile::decode(&file.encode()).expect("own encode decodes");
+
+        let config = |jobs| SuiteConfig {
+            scenario: ScenarioConfig::with_scale(scale, seed),
+            full_landmarks: false,
+            jobs,
+        };
+        let in_memory = ExperimentSuite::new(config(1));
+        let ids: Vec<&str> = ALL_EXPERIMENTS
+            .iter()
+            .chain(EXTENSION_EXPERIMENTS)
+            .copied()
+            .collect();
+        let want_reports: Vec<Result<String, ytcdn_core::AnalysisError>> =
+            ids.iter().map(|id| in_memory.run(id)).collect();
+        let want_card = render_scorecard(&scorecard(&in_memory));
+
+        for jobs in [1, 4] {
+            let from_ytc = ExperimentSuite::from_columnar(
+                config(jobs),
+                Telemetry::disabled(),
+                decoded.clone().into_columnar_datasets(),
+            )
+            .expect("five datasets decoded from the file");
+            assert_eq!(
+                from_ytc.run_many(&ids, jobs),
+                want_reports,
+                "scale={scale} seed={seed} jobs={jobs}: reports from .ytc differ"
+            );
+            assert_eq!(
+                render_scorecard(&scorecard(&from_ytc)),
+                want_card,
+                "scale={scale} seed={seed} jobs={jobs}: scorecard from .ytc differs"
+            );
+        }
+    }
+}
+
+/// A `.ytc` file missing a vantage point is a typed analysis error, not a
+/// panic, when fed to the suite.
+#[test]
+fn suite_from_partial_ytc_is_a_typed_error() {
+    let s = scenario(0.003, 7);
+    let file = YtcFile::new(
+        YtcHeader {
+            scale: 0.003,
+            seed: 7,
+            mutations: vec![],
+        },
+        vec![s.run(DatasetName::Eu2)],
+    )
+    .expect("a single dataset is encodable");
+    let result = ExperimentSuite::from_columnar(
+        SuiteConfig {
+            scenario: ScenarioConfig::with_scale(0.003, 7),
+            full_landmarks: false,
+            jobs: 1,
+        },
+        Telemetry::disabled(),
+        file.into_columnar_datasets(),
+    );
+    match result {
+        Ok(_) => panic!("a partial .ytc must not build a suite"),
+        Err(err) => assert!(
+            matches!(err, ytcdn_core::AnalysisError::MissingDataset { ref dataset } if dataset == "US-Campus"),
+            "got {err}"
+        ),
     }
 }

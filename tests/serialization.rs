@@ -52,6 +52,52 @@ fn jsonl_is_line_oriented_and_appendable() {
     assert_eq!(partial.len(), lines.len() / 2 - 1);
 }
 
+/// The latent gap: an empty dataset (what `--degenerate empty` exports)
+/// must survive every serialization path, not just the populated ones.
+#[test]
+fn empty_dataset_roundtrips_through_every_format() {
+    let empty = Dataset::new(DatasetName::Eu1Adsl);
+
+    // JSONL: header line only, reads back empty.
+    let mut buf = Vec::new();
+    empty.write_jsonl(&mut buf).expect("serialize empty");
+    let text = String::from_utf8(buf.clone()).unwrap();
+    assert_eq!(text.lines().count(), 1, "header line only");
+    let back = Dataset::read_jsonl(&buf[..]).expect("deserialize empty");
+    assert_eq!(back, empty);
+    assert_eq!(back.len(), 0);
+
+    // .ytc: a zero-flow section round-trips, hour index included.
+    let file = ytcdn_core::YtcFile::new(
+        ytcdn_core::YtcHeader {
+            scale: 0.001,
+            seed: 6,
+            mutations: vec![],
+        },
+        vec![empty.clone()],
+    )
+    .expect("empty dataset is encodable");
+    let decoded = ytcdn_core::YtcFile::decode(&file.encode()).expect("decode empty");
+    assert_eq!(decoded.total_flows(), 0);
+    let columnar = decoded.dataset(DatasetName::Eu1Adsl).expect("present");
+    assert_eq!(
+        columnar.hour_ranges().len(),
+        1,
+        "one empty hour, never zero"
+    );
+    assert_eq!(columnar.hour_ranges()[0], 0..0);
+    assert_eq!(columnar.dataset(), &empty);
+
+    // Analysis still degrades gracefully rather than panicking.
+    let scenario = StandardScenario::build(ScenarioConfig::with_scale(0.001, 6));
+    let ctx = AnalysisContext::from_ground_truth(scenario.world(), &empty);
+    assert!(group_sessions(&back, 1_000).is_empty());
+    assert_eq!(
+        classify_sessions(&ctx, &back, &[]),
+        ytcdn_core::patterns::PatternStats::default()
+    );
+}
+
 #[test]
 fn disk_roundtrip_through_tempfile() {
     let scenario = StandardScenario::build(ScenarioConfig::with_scale(0.001, 5));
