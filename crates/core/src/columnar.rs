@@ -146,6 +146,15 @@ pub enum FormatError {
         /// The value implied by the payload.
         found: u64,
     },
+    /// A wire-declared length or count does not fit this platform's
+    /// address space (only reachable where `usize` is narrower than the
+    /// u64 wire field, or when a derived byte length overflows).
+    LengthOverflow {
+        /// Which field was being converted.
+        what: &'static str,
+        /// The declared value.
+        value: u64,
+    },
 }
 
 impl fmt::Display for FormatError {
@@ -193,15 +202,20 @@ impl fmt::Display for FormatError {
                 expected,
                 found,
             } => write!(f, "{what}: declared {expected}, payload implies {found}"),
+            Self::LengthOverflow { what, value } => write!(
+                f,
+                "{what}: declared {value} exceeds this platform's address space"
+            ),
         }
     }
 }
 
 impl std::error::Error for FormatError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            Self::Io(e) => Some(e),
-            _ => None,
+        if let Self::Io(e) = self {
+            Some(e)
+        } else {
+            None
         }
     }
 }
@@ -214,6 +228,14 @@ impl From<std::io::Error> for FormatError {
 
 /// Convenience alias for this module's results.
 pub type FormatResult<T> = Result<T, FormatError>;
+
+/// Converts a wire-declared length or count to `usize`, surfacing values
+/// that cannot index memory on this platform as a typed error instead of
+/// truncating (`.ytc` counts are u64 on the wire; `usize` may be
+/// narrower).
+fn wire_len(v: u64, what: &'static str) -> FormatResult<usize> {
+    usize::try_from(v).map_err(|_| FormatError::LengthOverflow { what, value: v })
+}
 
 /// The provenance a `.ytc` file records: the scenario inputs that produced
 /// its datasets, so `repro --from` and `watch --from` can rebuild the same
@@ -413,7 +435,7 @@ impl YtcFile {
             return Err(FormatError::UnsupportedVersion { found: version });
         }
 
-        let header_len = r.u32_le("header length")? as usize;
+        let header_len = wire_len(u64::from(r.u32_le("header length")?), "header length")?;
         let header_bytes = r.take(header_len, "header payload")?;
         let header_digest = r.take(DIGEST_LEN, "header checksum")?;
         if sha256(header_bytes) != header_digest {
@@ -426,7 +448,7 @@ impl YtcFile {
         let mut datasets = Vec::new();
         let mut seen = [false; DatasetName::ALL.len()];
         for i in 0..dataset_count {
-            let section_len = r.u64_le("section length")? as usize;
+            let section_len = wire_len(r.u64_le("section length")?, "section length")?;
             let payload = r.take(section_len, "dataset section payload")?;
             let digest = r.take(DIGEST_LEN, "dataset section checksum")?;
             if sha256(payload) != digest {
@@ -435,7 +457,7 @@ impl YtcFile {
                 });
             }
             let columnar = decode_section(payload)?;
-            let slot = name_code(columnar.dataset().name()) as usize;
+            let slot = usize::from(name_code(columnar.dataset().name()));
             if seen[slot] {
                 return Err(FormatError::DuplicateDataset {
                     name: columnar.dataset().name().to_string(),
@@ -696,11 +718,13 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize, what: &'static str) -> FormatResult<&'a [u8]> {
-        if self.remaining() < n {
-            return Err(FormatError::Truncated { what });
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(FormatError::Truncated { what })?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(out)
     }
 
@@ -727,21 +751,23 @@ impl<'a> Reader<'a> {
 
     fn varint(&mut self, what: &'static str) -> FormatResult<u64> {
         let mut v = 0u64;
-        let mut shift = 0u32;
-        loop {
+        // LEB128: at most ten 7-bit groups for a u64 (shifts 0, 7, …, 63).
+        for shift in (0..=63u32).step_by(7) {
             let byte = self.take(1, what)?[0];
             if shift == 63 && byte > 1 {
+                // The tenth group may only contribute the top bit.
                 return Err(FormatError::BadVarint { what });
             }
-            v |= u64::from(byte & 0x7f) << shift;
+            let group = u64::from(byte & 0x7f)
+                .checked_shl(shift)
+                .ok_or(FormatError::BadVarint { what })?;
+            v |= group;
             if byte & 0x80 == 0 {
                 return Ok(v);
             }
-            shift += 7;
-            if shift > 63 {
-                return Err(FormatError::BadVarint { what });
-            }
         }
+        // A continuation bit on the tenth byte would run past 64 bits.
+        Err(FormatError::BadVarint { what })
     }
 }
 
@@ -752,7 +778,7 @@ fn decode_header(bytes: &[u8]) -> FormatResult<(YtcHeader, u64)> {
     let mutation_count = r.varint("mutation count")?;
     let mut mutations = Vec::new();
     for _ in 0..mutation_count {
-        let len = r.varint("mutation length")? as usize;
+        let len = wire_len(r.varint("mutation length")?, "mutation length")?;
         let raw = r.take(len, "mutation spec")?;
         let spec = std::str::from_utf8(raw)
             .map_err(|_| FormatError::BadVarint {
@@ -789,7 +815,7 @@ fn take_block<'a>(r: &mut Reader<'a>, expected: u8) -> FormatResult<&'a [u8]> {
             found: tag,
         });
     }
-    let len = r.varint("block length")? as usize;
+    let len = wire_len(r.varint("block length")?, "block length")?;
     r.take(len, "block data")
 }
 
@@ -807,20 +833,22 @@ fn decode_varint_column(block: &[u8], n: usize, what: &'static str) -> FormatRes
         return Err(FormatError::CountMismatch {
             what,
             expected: n as u64,
-            found: n as u64 + r.remaining() as u64,
+            found: (n as u64).saturating_add(r.remaining() as u64),
         });
     }
     Ok(out)
 }
 
-/// Decodes a dictionary block into (sorted entries, per-flow ranks).
+/// Decodes a dictionary block into (sorted entries, per-flow ranks). The
+/// ranks come back as `usize` — each one is validated against `dict_len`
+/// here, so callers can index the entries directly.
 fn decode_dict_block(
     block: &[u8],
     n: usize,
     what: &'static str,
-) -> FormatResult<(Vec<u64>, Vec<u64>)> {
+) -> FormatResult<(Vec<u64>, Vec<usize>)> {
     let mut r = Reader::new(block);
-    let dict_len = r.varint(what)? as usize;
+    let dict_len = wire_len(r.varint(what)?, what)?;
     let mut entries = Vec::with_capacity(dict_len.min(block.len()));
     let mut prev = 0u64;
     for i in 0..dict_len {
@@ -843,19 +871,20 @@ fn decode_dict_block(
     }
     let mut refs = Vec::with_capacity(n.min(block.len()));
     for _ in 0..n {
-        let rank = r.varint(what)?;
-        if rank as usize >= dict_len {
-            return Err(FormatError::BadDictionary {
-                what: format!("{what}: reference {rank} out of range (dict has {dict_len})"),
-            });
-        }
+        let raw = r.varint(what)?;
+        let rank = usize::try_from(raw)
+            .ok()
+            .filter(|&k| k < dict_len)
+            .ok_or_else(|| FormatError::BadDictionary {
+                what: format!("{what}: reference {raw} out of range (dict has {dict_len})"),
+            })?;
         refs.push(rank);
     }
     if r.remaining() != 0 {
         return Err(FormatError::CountMismatch {
             what,
             expected: n as u64,
-            found: n as u64 + r.remaining() as u64,
+            found: (n as u64).saturating_add(r.remaining() as u64),
         });
     }
     Ok((entries, refs))
@@ -864,12 +893,12 @@ fn decode_dict_block(
 fn decode_section(payload: &[u8]) -> FormatResult<ColumnarDataset> {
     let mut r = Reader::new(payload);
     let name = name_from_code(r.u8("dataset name")?)?;
-    let n = r.varint("flow count")? as usize;
+    let n = wire_len(r.varint("flow count")?, "flow count")?;
 
     // 1: hour index.
     let hour_block = take_block(&mut r, TAG_HOUR_INDEX)?;
     let mut hr = Reader::new(hour_block);
-    let hour_count = hr.varint("hour count")? as usize;
+    let hour_count = wire_len(hr.varint("hour count")?, "hour count")?;
     if hour_count == 0 {
         return Err(FormatError::BadHourIndex {
             reason: "zero hours (even an empty dataset has one)".to_owned(),
@@ -878,7 +907,7 @@ fn decode_section(payload: &[u8]) -> FormatResult<ColumnarDataset> {
     let mut hour_ranges: Vec<Range<usize>> = Vec::with_capacity(hour_count.min(hour_block.len()));
     let mut covered = 0usize;
     for _ in 0..hour_count {
-        let count = hr.varint("hour flow count")? as usize;
+        let count = wire_len(hr.varint("hour flow count")?, "hour flow count")?;
         let end = covered
             .checked_add(count)
             .filter(|&e| e <= n)
@@ -892,7 +921,7 @@ fn decode_section(payload: &[u8]) -> FormatResult<ColumnarDataset> {
         return Err(FormatError::CountMismatch {
             what: "hour index block",
             expected: hour_count as u64,
-            found: hour_count as u64 + hr.remaining() as u64,
+            found: (hour_count as u64).saturating_add(hr.remaining() as u64),
         });
     }
     if covered != n {
@@ -908,10 +937,14 @@ fn decode_section(payload: &[u8]) -> FormatResult<ColumnarDataset> {
 
     // 5: client addresses — exactly four bytes per flow.
     let client_block = take_block(&mut r, TAG_CLIENT_IP)?;
-    if client_block.len() != n * 4 {
+    let client_len = n.checked_mul(4).ok_or(FormatError::LengthOverflow {
+        what: "client address block",
+        value: (n as u64).saturating_mul(4),
+    })?;
+    if client_block.len() != client_len {
         return Err(FormatError::CountMismatch {
             what: "client address block",
-            expected: (n * 4) as u64,
+            expected: (n as u64).saturating_mul(4),
             found: client_block.len() as u64,
         });
     }
@@ -944,10 +977,12 @@ fn decode_section(payload: &[u8]) -> FormatResult<ColumnarDataset> {
         });
     }
 
-    // Reassemble the rows.
+    // Reassemble the rows. `chunks_exact(4)` yields exactly `n` client
+    // address chunks (the block length was validated above), so `i` ranges
+    // over every flow without any index arithmetic.
     let mut records: Vec<FlowRecord> = Vec::with_capacity(n);
     let mut start = 0u64;
-    for i in 0..n {
+    for (i, octets) in client_block.chunks_exact(4).enumerate() {
         start = start
             .checked_add(start_deltas[i])
             .ok_or(FormatError::BadVarint { what: "start_ms" })?;
@@ -957,20 +992,21 @@ fn decode_section(payload: &[u8]) -> FormatResult<ColumnarDataset> {
                 what: "duration_ms",
             })?;
         let resolution = *Resolution::ALL
-            .get(res_block[i] as usize)
+            .get(usize::from(res_block[i]))
             .ok_or(FormatError::BadResolution { code: res_block[i] })?;
+        // Every dictionary entry was range-checked against u32::MAX above;
+        // the try_from keeps the decode path free of lossy casts anyway.
+        let server_raw = server_dict[server_refs[i]];
+        let server_ip = u32::try_from(server_raw).map_err(|_| FormatError::BadDictionary {
+            what: format!("server dictionary: entry {server_raw} exceeds an IPv4 address"),
+        })?;
         records.push(FlowRecord {
-            client_ip: Ipv4Addr::new(
-                client_block[i * 4],
-                client_block[i * 4 + 1],
-                client_block[i * 4 + 2],
-                client_block[i * 4 + 3],
-            ),
-            server_ip: Ipv4Addr::from(server_dict[server_refs[i] as usize] as u32),
+            client_ip: Ipv4Addr::new(octets[0], octets[1], octets[2], octets[3]),
+            server_ip: Ipv4Addr::from(server_ip),
             start_ms: start,
             end_ms: end,
             bytes: byte_counts[i],
-            video_id: VideoId::from_index(video_dict[video_refs[i] as usize]),
+            video_id: VideoId::from_index(video_dict[video_refs[i]]),
             resolution,
         });
     }
@@ -994,9 +1030,9 @@ fn decode_section(payload: &[u8]) -> FormatResult<ColumnarDataset> {
         .iter()
         .map(|r| r.start_ms / HOUR_MS)
         .max()
-        .unwrap_or(0) as usize
-        + 1;
-    if hour_ranges.len() != expected_hours {
+        .unwrap_or(0)
+        .saturating_add(1);
+    if hour_ranges.len() as u64 != expected_hours {
         return Err(FormatError::BadHourIndex {
             reason: format!(
                 "{} hours indexed, timestamps span {expected_hours}",

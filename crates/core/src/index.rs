@@ -75,6 +75,10 @@ pub struct DatasetIndex {
     dc_bytes: Vec<u64>,
     sessions: Arc<Vec<Session>>,
     patterns: PatternStats,
+    // Memo cache of pure values: every entry is a pure function of
+    // (dataset, gap), so lock-acquisition order can never change what any
+    // reader observes.
+    // ytcdn-lint: allow(CON002) — memo cache of pure (dataset, gap) values
     session_cache: RwLock<BTreeMap<u64, Arc<Vec<Session>>>>,
 }
 
@@ -203,6 +207,9 @@ impl DatasetIndex {
             dc_bytes,
             sessions: Arc::clone(&sessions),
             patterns: PatternStats::default(),
+            // Seeds the memo cache above with the deterministic default-gap
+            // grouping computed on this thread.
+            // ytcdn-lint: allow(CON002) — memo cache of pure (dataset, gap) values
             session_cache: RwLock::new(BTreeMap::from([(DEFAULT_GAP_MS, sessions)])),
         };
         index.patterns = index.classify(index.sessions.as_slice());

@@ -152,7 +152,12 @@ impl FromStr for VideoId {
                 .iter()
                 .position(|&a| a == b)
                 .ok_or_else(|| ParseVideoIdError(s.to_owned()))? as u128;
-            v = (v << 6) | digit;
+            // 11 digits × 6 bits = 66 bits, well inside the u128
+            // accumulator; checked_shl makes that headroom explicit.
+            v = v
+                .checked_shl(6)
+                .ok_or_else(|| ParseVideoIdError(s.to_owned()))?
+                | digit;
         }
         // The top two of the 66 encoded bits must be zero for a u64 index.
         if v >> 64 != 0 {

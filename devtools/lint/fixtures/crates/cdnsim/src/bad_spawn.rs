@@ -1,0 +1,40 @@
+//! CON001 fixture: scoped-thread closures and captured state.
+
+/// Fires twice: a mutating method call and an indexed write, both on the
+/// captured `totals`.
+pub fn shard_bad(scope: &Scope, totals: &mut Vec<u64>) {
+    scope.spawn(|| {
+        totals.push(1);
+        totals[0] = 7;
+    });
+}
+
+/// Per-thread locals merged after join — the blessed shape: passes.
+pub fn shard_good(scope: &Scope, shards: &[Shard]) -> Vec<u64> {
+    let handles: Vec<_> = shards
+        .iter()
+        .map(|shard| {
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                local.push(shard.total());
+                local
+            })
+        })
+        .collect();
+    handles.into_iter().flat_map(|h| h.join()).collect()
+}
+
+/// Atomics are the blessed shared-counter pattern: passes.
+pub fn shard_atomic(scope: &Scope, total: &AtomicU64) {
+    scope.spawn(|| {
+        total.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// A justified write: each spawn receives a disjoint `&mut` slot.
+pub fn shard_disjoint(scope: &Scope, slot: &mut u64) {
+    scope.spawn(|| {
+        // ytcdn-lint: allow(CON001) — slot is a per-shard &mut, provably disjoint
+        *slot = 9;
+    });
+}

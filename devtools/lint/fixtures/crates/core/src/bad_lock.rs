@@ -1,0 +1,31 @@
+//! CON002 fixture: lock types in a deterministic crate.
+
+use std::sync::{Mutex, RwLock};
+
+/// Fires: a Mutex field in simulation state.
+pub struct SharedCounts {
+    counts: Mutex<Vec<u64>>,
+}
+
+/// Fires: an RwLock in a signature.
+pub fn with_lock(shared: &RwLock<u64>) -> u64 {
+    let _ = shared;
+    0
+}
+
+/// A justified memo cache of pure values.
+pub struct Memo {
+    // ytcdn-lint: allow(CON002) — memo cache of pure values, order-free
+    cache: RwLock<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    #[test]
+    fn locks_in_tests_are_fine() {
+        let m = Mutex::new(0u64);
+        let _ = m;
+    }
+}

@@ -1,0 +1,59 @@
+//! EXH001 fixture: wildcard arms on closed taxonomies.
+
+/// A stand-in for the wire format's closed error taxonomy.
+pub enum FormatError {
+    Io,
+    Truncated,
+    ChecksumMismatch,
+}
+
+/// Fires: the wildcard arm would swallow a new variant silently.
+pub fn classify_bad(e: &FormatError) -> &'static str {
+    match e {
+        FormatError::Io => "io",
+        _ => "corrupt",
+    }
+}
+
+/// Exhaustive: passes — the compiler flags additions.
+pub fn classify_good(e: &FormatError) -> &'static str {
+    match e {
+        FormatError::Io => "io",
+        FormatError::Truncated => "truncated",
+        FormatError::ChecksumMismatch => "checksum",
+    }
+}
+
+impl FormatError {
+    /// The wildcard is caught through `Self` in the pattern (the impl type
+    /// is guarded); the reasoned allow suppresses it.
+    pub fn is_io(&self) -> bool {
+        match self {
+            Self::Io => true,
+            // ytcdn-lint: allow(EXH001) — boolean predicate: new variants are non-io by definition
+            _ => false,
+        }
+    }
+}
+
+/// Matches on open types (Option here) are out of scope: passes.
+pub fn first(xs: &[u64]) -> u64 {
+    match xs.first() {
+        Some(&x) => x,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::FormatError;
+
+    #[test]
+    fn wildcards_in_tests_are_fine() {
+        let s = match FormatError::Io {
+            FormatError::Io => "io",
+            _ => "other",
+        };
+        assert_eq!(s, "io");
+    }
+}

@@ -1,0 +1,44 @@
+//! OVF001/OVF002 fixture: unchecked arithmetic and lossy casts on the
+//! decode side of a wire-format module (stem `columnar`).
+
+pub struct FormatError;
+
+/// Decode side: every unchecked operator and narrowing cast fires.
+pub fn decode_len(raw: u64, extra: u64) -> Result<u64, FormatError> {
+    let total = raw + extra;
+    let scaled = total * 4;
+    let shifted = scaled << 2;
+    let narrowed = shifted as u32;
+    Ok(u64::from(narrowed))
+}
+
+/// Encode side: the same operators are out of scope by function name —
+/// encoded values are already-validated in-memory data.
+pub fn encode_len(raw: u64, extra: u64) -> u64 {
+    (raw + extra) * 4
+}
+
+/// Decode side done right: checked arithmetic and try_from pass.
+pub fn decode_checked(raw: u64, extra: u64) -> Result<u32, FormatError> {
+    let total = raw.checked_add(extra).ok_or(FormatError)?;
+    u32::try_from(total).map_err(|_| FormatError)
+}
+
+/// Decode side with a justified wrap.
+pub fn decode_mixed(word: u64) -> Result<u64, FormatError> {
+    // ytcdn-lint: allow(OVF001) — hash mixing step, wrapping is the point
+    Ok(word * 0x9e37_79b9)
+}
+
+#[cfg(test)]
+mod tests {
+    /// Unchecked arithmetic in a decode-named test helper is masked.
+    pub fn decode_fast(raw: u64, extra: u64) -> u64 {
+        (raw + extra) as u32 as u64
+    }
+
+    #[test]
+    fn fast_path_matches() {
+        assert_eq!(decode_fast(1, 2), 3);
+    }
+}

@@ -1,0 +1,40 @@
+//! DET004 fixture: NoiseRng-derived values and output sinks.
+
+use netsim::NoiseRng;
+
+/// Fires: a drawn latency is written to a report.
+pub fn report_latency(rng: &mut NoiseRng, out: &mut String) {
+    let rtt = rng.sample_rtt_ms(42);
+    writeln!(out, "rtt {}", rtt).ok();
+}
+
+/// Fires: a noise-derived value recorded into telemetry.
+pub fn observe_noise(rng: &mut NoiseRng, gauge: &Gauge) {
+    let wobble = rng.gen_f64();
+    gauge.record(wobble);
+}
+
+/// Fires: the tainted name appears only as a `{name}` format capture.
+pub fn print_noise(rng: &mut NoiseRng) {
+    let skew = rng.gen_range(0, 9);
+    println!("skew {skew}");
+}
+
+/// Returning a derived value is the sanctioned shape — callers feed it
+/// back into the simulation as ordinary input: passes.
+pub fn jittered_rtt(rng: &mut NoiseRng, base_ms: u64) -> u64 {
+    let noise = rng.sample_rtt_ms(base_ms);
+    base_ms.saturating_add(noise)
+}
+
+/// A justified diagnostic in a debug-only helper.
+pub fn debug_noise(rng: &mut NoiseRng) {
+    let drawn = rng.next_u64();
+    // ytcdn-lint: allow(DET004) — debug-only helper, never on the dataset path
+    eprintln!("noise {drawn}");
+}
+
+/// No noise in sight: sinks over plain values pass.
+pub fn report_plain(out: &mut String, total: u64) {
+    writeln!(out, "total {total}").ok();
+}

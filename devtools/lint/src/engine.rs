@@ -12,8 +12,9 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use crate::lexer::{lex, Comment, Tok};
+use crate::lexer::{lex, Comment, Lexed, Tok};
 use crate::rules::{apply_rules, matching_brace, rule, Finding, Severity};
+use crate::syntax::{parse, Symbols, Syntax};
 
 /// What kind of compilation unit a file belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -241,12 +242,29 @@ fn parse_suppressions(comments: &[Comment]) -> Vec<Suppression> {
     out
 }
 
-/// Lints one file's source text given its classification. This is the
-/// fixture-test entry point; [`lint_root`] drives it over a real tree.
+/// Lints one file's source text given its classification, resolving
+/// symbols from the file itself only. This is the fixture-test entry
+/// point; [`lint_root`] drives the two-phase variant (workspace-wide
+/// symbol table) over a real tree.
 pub fn lint_source(class: &FileClass, file: &str, src: &str) -> Vec<Finding> {
     let lexed = lex(src);
+    let syn = parse(&lexed.tokens);
+    let mut symbols = Symbols::default();
+    symbols.absorb(&syn);
+    lint_lexed(class, file, &lexed, &syn, &symbols)
+}
+
+/// Lints one already-lexed and parsed file against a (possibly
+/// workspace-wide) symbol table.
+fn lint_lexed(
+    class: &FileClass,
+    file: &str,
+    lexed: &Lexed,
+    syn: &Syntax,
+    symbols: &Symbols,
+) -> Vec<Finding> {
     let mask = test_mask(&lexed.tokens);
-    let raw = apply_rules(class, file, &lexed.tokens, &mask);
+    let raw = apply_rules(class, file, &lexed.tokens, &mask, syn, symbols);
     let sups = parse_suppressions(&lexed.comments);
 
     let mut used = vec![false; sups.len()];
@@ -302,7 +320,7 @@ pub fn lint_source(class: &FileClass, file: &str, src: &str) -> Vec<Finding> {
                 file: file.to_string(),
                 line: s.line,
                 rule: "LNT003",
-                severity: Severity::Warn,
+                severity: Severity::Deny,
                 message: format!(
                     "stale suppression: allow({}) matched no finding on this or the next line",
                     s.rules.join(", ")
@@ -341,7 +359,11 @@ fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> 
     Ok(())
 }
 
-/// Lints every classified file under a workspace root. Returns the sorted
+/// Lints every classified file under a workspace root. Two-phase: the
+/// first pass lexes, parses, and folds every file's definitions into one
+/// workspace symbol table; the second applies the rules with that table in
+/// scope (so, e.g., EXH001 can report how many variants a wildcard arm
+/// hides even when the enum lives in another crate). Returns the sorted
 /// findings and the number of files scanned.
 pub fn lint_root(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
     let mut files = Vec::new();
@@ -350,13 +372,21 @@ pub fn lint_root(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
     }
     files.sort();
 
-    let mut findings = Vec::new();
-    let mut scanned = 0usize;
+    let mut prepared = Vec::new();
+    let mut symbols = Symbols::default();
     for rel in &files {
         let Some(class) = classify(rel) else { continue };
-        scanned += 1;
         let src = fs::read_to_string(root.join(rel))?;
-        findings.extend(lint_source(&class, rel, &src));
+        let lexed = lex(&src);
+        let syn = parse(&lexed.tokens);
+        symbols.absorb(&syn);
+        prepared.push((class, rel, lexed, syn));
+    }
+
+    let scanned = prepared.len();
+    let mut findings = Vec::new();
+    for (class, rel, lexed, syn) in &prepared {
+        findings.extend(lint_lexed(class, rel, lexed, syn, &symbols));
     }
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));

@@ -30,8 +30,10 @@ pub mod engine;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod syntax;
 
 pub use engine::{classify, lint_root, lint_source, FileClass, FileKind};
 pub use lexer::{Lexed, Tok, TokKind};
-pub use report::{human, json, Report};
+pub use report::{baseline, baseline_key, human, json, parse_baseline, sarif, Report};
 pub use rules::{Finding, Severity, RULES};
+pub use syntax::{parse, Symbols, Syntax};

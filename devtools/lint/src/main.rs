@@ -1,12 +1,19 @@
 //! `ytcdn-lint` CLI.
 //!
 //! ```text
-//! ytcdn-lint --workspace [--root DIR] [--format human|json] [--out FILE]
+//! ytcdn-lint --workspace [--root DIR] [--format human|json|sarif|baseline]
+//!            [--out FILE] [--sarif-out FILE] [--baseline FILE]
 //!            [--deny-warnings] [--list-rules] [PATH ...]
 //! ```
 //!
 //! Exit codes: 0 clean (or warn-only), 1 at least one deny finding (or any
 //! finding under `--deny-warnings`), 2 usage or I/O error.
+//!
+//! `--baseline FILE` filters findings listed in a committed baseline (see
+//! `scripts/lint-baseline.sh`) out of the report, counts, and exit code —
+//! CI then fails only on *new* findings. `--format baseline` prints the
+//! current findings in that file's format; `--format sarif`/`--sarif-out`
+//! emit SARIF 2.1.0 for code-scanning UIs.
 
 #![forbid(unsafe_code)]
 // Reports go to stdout: that is this binary's product.
@@ -17,13 +24,18 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use ytcdn_lint::{classify, human, json, lint_root, lint_source, Report, Severity, RULES};
+use ytcdn_lint::{
+    baseline, baseline_key, classify, human, json, lint_root, lint_source, parse_baseline, sarif,
+    Report, RULES,
+};
 
 struct Args {
     workspace: bool,
     root: Option<PathBuf>,
     format: Format,
     out: Option<PathBuf>,
+    sarif_out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
     deny_warnings: bool,
     list_rules: bool,
     paths: Vec<String>,
@@ -33,11 +45,14 @@ struct Args {
 enum Format {
     Human,
     Json,
+    Sarif,
+    Baseline,
 }
 
 fn usage() -> &'static str {
-    "usage: ytcdn-lint [--workspace] [--root DIR] [--format human|json] \
-     [--out FILE] [--deny-warnings] [--list-rules] [PATH ...]"
+    "usage: ytcdn-lint [--workspace] [--root DIR] \
+     [--format human|json|sarif|baseline] [--out FILE] [--sarif-out FILE] \
+     [--baseline FILE] [--deny-warnings] [--list-rules] [PATH ...]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +61,8 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         format: Format::Human,
         out: None,
+        sarif_out: None,
+        baseline: None,
         deny_warnings: false,
         list_rules: false,
         paths: Vec::new(),
@@ -61,11 +78,23 @@ fn parse_args() -> Result<Args, String> {
             "--format" => match it.next().as_deref() {
                 Some("human") => args.format = Format::Human,
                 Some("json") => args.format = Format::Json,
-                _ => return Err("--format needs `human` or `json`".to_string()),
+                Some("sarif") => args.format = Format::Sarif,
+                Some("baseline") => args.format = Format::Baseline,
+                _ => {
+                    return Err("--format needs `human`, `json`, `sarif`, or `baseline`".to_string())
+                }
             },
             "--out" => {
                 let v = it.next().ok_or("--out needs a file path")?;
                 args.out = Some(PathBuf::from(v));
+            }
+            "--sarif-out" => {
+                let v = it.next().ok_or("--sarif-out needs a file path")?;
+                args.sarif_out = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a file path")?;
+                args.baseline = Some(PathBuf::from(v));
             }
             "--deny-warnings" => args.deny_warnings = true,
             "--list-rules" => args.list_rules = true,
@@ -115,7 +144,7 @@ fn run() -> Result<ExitCode, String> {
             .ok_or("no workspace root found (no ancestor Cargo.toml with [workspace])")?,
     };
 
-    let (findings, files_scanned) = if args.workspace {
+    let (mut findings, files_scanned) = if args.workspace {
         lint_root(&root).map_err(|e| format!("walking {}: {e}", root.display()))?
     } else {
         let mut findings = Vec::new();
@@ -136,23 +165,37 @@ fn run() -> Result<ExitCode, String> {
         (findings, scanned)
     };
 
+    let mut baselined = 0usize;
+    if let Some(path) = &args.baseline {
+        let contents = fs::read_to_string(path)
+            .map_err(|e| format!("reading baseline {}: {e}", path.display()))?;
+        let keys = parse_baseline(&contents).map_err(|e| format!("{}: {e}", path.display()))?;
+        let before = findings.len();
+        findings.retain(|f| !keys.contains(&baseline_key(f)));
+        baselined = before - findings.len();
+    }
+
     let report = Report {
         root: root.display().to_string(),
         files_scanned,
         findings,
+        baselined,
     };
 
     match args.format {
         Format::Human => print!("{}", human(&report)),
         Format::Json => print!("{}", json(&report)),
+        Format::Sarif => print!("{}", sarif(&report)),
+        Format::Baseline => print!("{}", baseline(&report)),
     }
     if let Some(out) = &args.out {
         fs::write(out, json(&report)).map_err(|e| format!("writing {}: {e}", out.display()))?;
     }
+    if let Some(out) = &args.sarif_out {
+        fs::write(out, sarif(&report)).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    }
 
-    let failing = report.deny_count() > 0
-        || (args.deny_warnings && report.warn_count() > 0)
-        || report.findings.iter().any(|f| f.severity == Severity::Deny);
+    let failing = report.deny_count() > 0 || (args.deny_warnings && report.warn_count() > 0);
     Ok(if failing {
         ExitCode::from(1)
     } else {

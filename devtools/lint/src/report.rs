@@ -1,10 +1,14 @@
-//! Human and JSON rendering of a lint run.
+//! Human, JSON, SARIF, and baseline rendering of a lint run.
 //!
-//! The JSON writer is hand-rolled (the crate is dependency-free by design);
-//! the schema is small and stable so CI can archive `lint-report.json` as
-//! an artifact and diff it across runs.
+//! All writers are hand-rolled (the crate is dependency-free by design).
+//! The JSON schema is small and stable so CI can archive
+//! `lint-report.json` as an artifact and diff it across runs; the SARIF
+//! writer emits the minimal SARIF 2.1.0 shape code-scanning UIs consume;
+//! the baseline format is a line-oriented `rule<TAB>file<TAB>message`
+//! list so known findings can be committed and new ones still fail CI.
 
-use crate::rules::{Finding, Severity};
+use crate::rules::{Finding, Severity, RULES};
+use std::collections::BTreeSet;
 
 /// The result of one lint run, ready for rendering.
 #[derive(Debug)]
@@ -15,6 +19,9 @@ pub struct Report {
     pub files_scanned: usize,
     /// All findings, sorted by (file, line, rule).
     pub findings: Vec<Finding>,
+    /// Findings filtered out by a `--baseline` file (they are neither
+    /// rendered nor counted; this records how many).
+    pub baselined: usize,
 }
 
 impl Report {
@@ -49,11 +56,17 @@ pub fn human(report: &Report) -> String {
             f.message
         ));
     }
+    let baselined = if report.baselined > 0 {
+        format!(" ({} baselined)", report.baselined)
+    } else {
+        String::new()
+    };
     out.push_str(&format!(
-        "ytcdn-lint: {} file(s) scanned, {} deny, {} warn\n",
+        "ytcdn-lint: {} file(s) scanned, {} deny, {} warn{}\n",
         report.files_scanned,
         report.deny_count(),
-        report.warn_count()
+        report.warn_count(),
+        baselined
     ));
     out
 }
@@ -65,9 +78,10 @@ pub fn json(report: &Report) -> String {
     out.push_str(&format!("  \"root\": {},\n", escape(&report.root)));
     out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
     out.push_str(&format!(
-        "  \"counts\": {{ \"deny\": {}, \"warn\": {} }},\n",
+        "  \"counts\": {{ \"deny\": {}, \"warn\": {}, \"baselined\": {} }},\n",
         report.deny_count(),
-        report.warn_count()
+        report.warn_count(),
+        report.baselined
     ));
     out.push_str("  \"findings\": [");
     for (i, f) in report.findings.iter().enumerate() {
@@ -88,6 +102,122 @@ pub fn json(report: &Report) -> String {
     }
     out.push_str("]\n}\n");
     out
+}
+
+/// Renders the report as SARIF 2.1.0 — the minimal shape code-scanning
+/// UIs consume: one run, a tool driver carrying the rule catalog, and one
+/// result per finding with a physical location. Severities map deny →
+/// `error`, warn → `warning`.
+pub fn sarif(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/\
+         Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"ytcdn-lint\",\n");
+    out.push_str(
+        "          \"informationUri\": \"https://example.invalid/ytcdn-repro/DESIGN.md\",\n",
+    );
+    out.push_str("          \"rules\": [");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{ \"id\": {}, \"shortDescription\": {{ \"text\": {} }} }}",
+            escape(r.id),
+            escape(r.summary)
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let level = match f.severity {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+        };
+        out.push_str(&format!(
+            "\n        {{\n          \"ruleId\": {},\n          \"level\": {},\n          \
+             \"message\": {{ \"text\": {} }},\n          \"locations\": [\n            \
+             {{ \"physicalLocation\": {{ \"artifactLocation\": {{ \"uri\": {} }}, \
+             \"region\": {{ \"startLine\": {} }} }} }}\n          ]\n        }}",
+            escape(f.rule),
+            escape(level),
+            escape(&f.message),
+            escape(&f.file),
+            f.line
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+/// One finding's baseline identity: rule, file, and message, with the
+/// message flattened so the key survives the line-oriented file format.
+/// Line numbers are deliberately excluded — unrelated edits above a known
+/// finding must not un-baseline it.
+pub fn baseline_key(f: &Finding) -> String {
+    let flat: String = f
+        .message
+        .chars()
+        .map(|c| {
+            if c == '\t' || c == '\n' || c == '\r' {
+                ' '
+            } else {
+                c
+            }
+        })
+        .collect();
+    format!("{}\t{}\t{}", f.rule, f.file, flat)
+}
+
+/// Renders the report as a baseline file: a comment header plus one
+/// [`baseline_key`] line per finding, sorted and deduplicated.
+pub fn baseline(report: &Report) -> String {
+    let mut out = String::from(
+        "# ytcdn-lint baseline v1: one `rule<TAB>file<TAB>message` per known finding.\n\
+         # Findings listed here are filtered from counts and the exit code so CI\n\
+         # fails only on NEW findings. Regenerate with scripts/lint-baseline.sh;\n\
+         # shrink it whenever a listed finding is fixed (never grow it to dodge one).\n",
+    );
+    let keys: BTreeSet<String> = report.findings.iter().map(baseline_key).collect();
+    for k in keys {
+        out.push_str(&k);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a baseline file's contents into the set of suppressed keys.
+/// Blank lines and `#` comments are ignored; anything else must have the
+/// three-field shape, or the whole file is rejected (a malformed baseline
+/// silently suppressing nothing — or everything — is worse than an error).
+pub fn parse_baseline(contents: &str) -> Result<BTreeSet<String>, String> {
+    let mut keys = BTreeSet::new();
+    for (n, line) in contents.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.split('\t').count() != 3 {
+            return Err(format!(
+                "baseline line {}: expected `rule<TAB>file<TAB>message`, got {:?}",
+                n + 1,
+                line
+            ));
+        }
+        keys.insert(line.to_string());
+    }
+    Ok(keys)
 }
 
 /// JSON string escaping for the characters that can appear in paths and
@@ -125,6 +255,7 @@ mod tests {
                 severity: Severity::Deny,
                 message: "`thread_rng`: bad \"quote\"".to_string(),
             }],
+            baselined: 0,
         }
     }
 
@@ -150,8 +281,47 @@ mod tests {
             root: ".".to_string(),
             files_scanned: 0,
             findings: Vec::new(),
+            baselined: 0,
         };
         let j = json(&r);
         assert!(j.contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn human_reports_baselined_count() {
+        let mut r = sample();
+        r.baselined = 3;
+        assert!(human(&r).contains("1 deny, 0 warn (3 baselined)"));
+        r.baselined = 0;
+        assert!(!human(&r).contains("baselined"));
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_parse() {
+        let r = sample();
+        let text = baseline(&r);
+        let keys = parse_baseline(&text).expect("own output parses");
+        assert_eq!(keys.len(), 1);
+        assert!(keys.contains(&baseline_key(&r.findings[0])));
+    }
+
+    #[test]
+    fn baseline_rejects_malformed_lines() {
+        assert!(parse_baseline("# comment\n\n")
+            .expect("comments ok")
+            .is_empty());
+        assert!(parse_baseline("no tabs here\n").is_err());
+        assert!(parse_baseline("one\ttab\n").is_err());
+    }
+
+    #[test]
+    fn baseline_key_flattens_and_ignores_lines() {
+        let mut f = sample().findings.remove(0);
+        f.message = "line\none\ttwo".to_string();
+        let k = baseline_key(&f);
+        assert_eq!(k.split('\t').count(), 3);
+        let line_before = k.clone();
+        f.line = 999;
+        assert_eq!(baseline_key(&f), line_before, "line number must not matter");
     }
 }

@@ -1,0 +1,633 @@
+//! A lightweight brace-tree/item parser over the token stream.
+//!
+//! The token-level rules of the original linter reason about adjacency
+//! only; the v2 rule families (OVF, CON, EXH, DET004) need *structure*:
+//! which `fn` a token lives in, what the enclosing `impl` type is, where
+//! a `match` expression's arms begin and end, which identifiers a closure
+//! binds locally. This module recovers exactly that much structure from
+//! the [`crate::lexer`] stream — and nothing more.
+//!
+//! It is deliberately not a Rust parser. It tracks four item kinds (`use`,
+//! `impl`, `enum`, `fn`) plus `match` expressions, matches delimiters, and
+//! skips generic-parameter lists with an angle-bracket counter that knows
+//! about `->`. Everything it cannot understand it walks over token by
+//! token. The failure mode is therefore *omission* (a construct the
+//! parser didn't recognise simply yields no `FnInfo`/`MatchInfo`), never
+//! a crash or a misattributed span — the right bias for a linter that
+//! must hold the whole tree to zero findings.
+
+use crate::lexer::{Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// A `fn` item, free or inside an `impl`.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// Token-index range of the parameter list, exclusive of the parens.
+    pub params: (usize, usize),
+    /// Token-index range of the body, exclusive of the braces; `None` for
+    /// bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Self type of the enclosing `impl` block, if any.
+    pub impl_type: Option<String>,
+}
+
+/// One arm of a `match` expression.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// 1-based line of the arm's first pattern token.
+    pub line: u32,
+    /// Token-index range of the pattern (including any `if` guard).
+    pub pat: (usize, usize),
+    /// Token-index range of the arm body.
+    pub body: (usize, usize),
+}
+
+/// A `match` expression.
+#[derive(Debug, Clone)]
+pub struct MatchInfo {
+    /// Token index of the `match` keyword.
+    pub kw: usize,
+    /// 1-based line of the `match` keyword.
+    pub line: u32,
+    /// Token-index range of the scrutinee expression.
+    pub scrutinee: (usize, usize),
+    /// The arms, in source order.
+    pub arms: Vec<Arm>,
+    /// Self type of the enclosing `impl` block, if any (resolves `Self::`
+    /// patterns).
+    pub impl_type: Option<String>,
+}
+
+/// An `enum` definition.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// The enum's name.
+    pub name: String,
+    /// Variant names, in source order.
+    pub variants: Vec<String>,
+}
+
+/// The recovered structure of one file.
+#[derive(Debug, Clone, Default)]
+pub struct Syntax {
+    /// Every `fn` item, outermost first.
+    pub fns: Vec<FnInfo>,
+    /// Every `match` expression.
+    pub matches: Vec<MatchInfo>,
+    /// Every `enum` definition.
+    pub enums: Vec<EnumDef>,
+    /// Token-index ranges (inclusive start, exclusive end) of `use … ;`
+    /// items — rules that police type names skip these.
+    pub use_spans: Vec<(usize, usize)>,
+}
+
+impl Syntax {
+    /// True if token `i` lies inside a `use` item.
+    pub fn in_use(&self, i: usize) -> bool {
+        self.use_spans.iter().any(|&(s, e)| s <= i && i < e)
+    }
+
+    /// The innermost `fn` whose body contains token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnInfo> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(s, e)| s <= i && i < e))
+            .min_by_key(|f| f.body.map_or(usize::MAX, |(s, e)| e - s))
+    }
+}
+
+/// Workspace-wide symbol table, accumulated over every parsed file.
+#[derive(Debug, Clone, Default)]
+pub struct Symbols {
+    /// Enum name → variant names. First definition wins on a (cross-crate)
+    /// name collision; the rules only use this for diagnostics.
+    pub enums: BTreeMap<String, Vec<String>>,
+}
+
+impl Symbols {
+    /// Folds one file's definitions into the table.
+    pub fn absorb(&mut self, syn: &Syntax) {
+        for e in &syn.enums {
+            self.enums
+                .entry(e.name.clone())
+                .or_insert_with(|| e.variants.clone());
+        }
+    }
+}
+
+/// Parses a token stream into its [`Syntax`] skeleton.
+pub fn parse(toks: &[Tok]) -> Syntax {
+    let mut syn = Syntax::default();
+    walk(toks, 0, toks.len(), None, &mut syn);
+    syn
+}
+
+/// Finds the matching `close` for the `open` delimiter at `open_at`,
+/// counting nested pairs of the same kind.
+fn matching(toks: &[Tok], open_at: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open_at) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Skips a generic-parameter list starting at the `<` at `open_at`,
+/// returning the index just past the matching `>`. `->` arrows inside
+/// (e.g. `F: Fn(u32) -> u32`) do not close the list.
+fn skip_angles(toks: &[Tok], open_at: usize, end: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = open_at;
+    while i < end {
+        if toks[i].is_punct('<') {
+            depth += 1;
+        } else if toks[i].is_punct('>') && !(i > 0 && toks[i - 1].is_punct('-')) {
+            depth = depth.checked_sub(1)?;
+            if depth == 0 {
+                return Some(i + 1);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The self type of an `impl` header: the last path segment of the type
+/// after `for` (trait impls) or directly after the generic parameters
+/// (inherent impls), stopping at its own generic arguments.
+fn impl_self_type(toks: &[Tok], start: usize, open: usize) -> Option<String> {
+    let mut seg = start;
+    if toks.get(seg).is_some_and(|t| t.is_punct('<')) {
+        seg = skip_angles(toks, seg, open)?;
+    }
+    if let Some(f) = (seg..open).find(|&k| toks[k].is_ident("for")) {
+        seg = f + 1;
+    }
+    let mut last = None;
+    let mut k = seg;
+    while k < open {
+        let t = &toks[k];
+        if t.kind == TokKind::Ident {
+            if t.text == "where" {
+                break;
+            }
+            last = Some(t.text.clone());
+        } else if t.is_punct('<') {
+            break;
+        }
+        k += 1;
+    }
+    last
+}
+
+/// One recursive descent over `toks[start..end]`, collecting items into
+/// `syn`. `impl_type` is the self type of the innermost enclosing `impl`.
+fn walk(toks: &[Tok], start: usize, end: usize, impl_type: Option<&str>, syn: &mut Syntax) {
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.is_ident("use") {
+            let s = i;
+            while i < end && !toks[i].is_punct(';') {
+                i += 1;
+            }
+            syn.use_spans.push((s, (i + 1).min(end)));
+            i += 1;
+        } else if t.is_ident("impl") {
+            let Some(open) = (i + 1..end).find(|&k| toks[k].is_punct('{')) else {
+                i += 1;
+                continue;
+            };
+            let close = matching(toks, open, '{', '}').unwrap_or(end);
+            let ty = impl_self_type(toks, i + 1, open);
+            walk(toks, open + 1, close.min(end), ty.as_deref(), syn);
+            i = close.saturating_add(1).max(open + 1);
+        } else if t.is_ident("enum") {
+            i = parse_enum(toks, i, end, syn);
+        } else if t.is_ident("fn") {
+            i = parse_fn(toks, i, end, impl_type, syn);
+        } else if t.is_ident("match") {
+            i = parse_match(toks, i, end, impl_type, syn);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Parses the `enum` at keyword index `i`; returns the index to resume at.
+fn parse_enum(toks: &[Tok], i: usize, end: usize, syn: &mut Syntax) -> usize {
+    let Some(name) = toks
+        .get(i + 1)
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+    else {
+        return i + 1;
+    };
+    let Some(open) = (i + 2..end).find(|&k| toks[k].is_punct('{')) else {
+        return i + 1;
+    };
+    let Some(close) = matching(toks, open, '{', '}') else {
+        return i + 1;
+    };
+    let mut variants = Vec::new();
+    let mut depth = 0usize;
+    let mut expecting = true;
+    let mut k = open + 1;
+    while k < close {
+        let t = &toks[k];
+        if depth == 0 && t.is_punct('#') && toks.get(k + 1).is_some_and(|n| n.is_punct('[')) {
+            // Skip a variant attribute like `#[serde(rename = "…")]`.
+            k = matching(toks, k + 1, '[', ']').map_or(close, |c| c + 1);
+            continue;
+        }
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') || t.is_punct('>') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.is_punct(',') {
+            expecting = true;
+        } else if depth == 0 && expecting && t.kind == TokKind::Ident && t.text != "pub" {
+            variants.push(t.text.clone());
+            expecting = false;
+        }
+        k += 1;
+    }
+    syn.enums.push(EnumDef { name, variants });
+    close + 1
+}
+
+/// Parses the `fn` at keyword index `i`; returns the index to resume at.
+/// Recurses into the body so nested items and `match` expressions are
+/// collected with the same `impl_type`.
+fn parse_fn(
+    toks: &[Tok],
+    i: usize,
+    end: usize,
+    impl_type: Option<&str>,
+    syn: &mut Syntax,
+) -> usize {
+    // `fn` in type position (`F: fn(u32) -> u32`) has no name ident next.
+    let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+        return i + 1;
+    };
+    let mut j = i + 2;
+    if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+        let Some(past) = skip_angles(toks, j, end) else {
+            return i + 1;
+        };
+        j = past;
+    }
+    if !toks.get(j).is_some_and(|t| t.is_punct('(')) {
+        return i + 1;
+    }
+    let Some(pclose) = matching(toks, j, '(', ')') else {
+        return i + 1;
+    };
+    // Between the parameter list and the body sit the return type and any
+    // `where` clause; the body is the first `{`, a `;` means a bodyless
+    // trait declaration. Angle groups are skipped so a `Fn() -> Ordering`
+    // bound or `Vec<{integer}>`-free generics never confuse the scan.
+    let mut k = pclose + 1;
+    let mut body = None;
+    let mut resume = pclose + 1;
+    while k < end {
+        if toks[k].is_punct(';') {
+            resume = k + 1;
+            break;
+        }
+        if toks[k].is_punct('{') {
+            let Some(close) = matching(toks, k, '{', '}') else {
+                resume = k + 1;
+                break;
+            };
+            body = Some((k + 1, close));
+            resume = close + 1;
+            break;
+        }
+        if toks[k].is_punct('<') {
+            k = match skip_angles(toks, k, end) {
+                Some(past) => past,
+                None => break,
+            };
+            continue;
+        }
+        k += 1;
+    }
+    syn.fns.push(FnInfo {
+        name: name_tok.text.clone(),
+        line: name_tok.line,
+        params: (j + 1, pclose),
+        body,
+        impl_type: impl_type.map(str::to_owned),
+    });
+    if let Some((bs, be)) = body {
+        walk(toks, bs, be, impl_type, syn);
+    }
+    resume
+}
+
+/// Parses the `match` expression at keyword index `i`; returns the index
+/// to resume at. Recurses into the body for nested matches.
+fn parse_match(
+    toks: &[Tok],
+    i: usize,
+    end: usize,
+    impl_type: Option<&str>,
+    syn: &mut Syntax,
+) -> usize {
+    // Scrutinee: everything up to the body `{` at delimiter depth 0. A
+    // closure literal in the scrutinee (`match f(|| { … })`) nests its
+    // braces inside parens, so braces count toward depth when nested.
+    let mut depth = 0usize;
+    let mut k = i + 1;
+    let mut open = None;
+    while k < end {
+        let t = &toks[k];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct('{') {
+            if depth == 0 {
+                open = Some(k);
+                break;
+            }
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct(';') && depth == 0 {
+            break;
+        }
+        k += 1;
+    }
+    let Some(open) = open else {
+        return i + 1;
+    };
+    let Some(close) = matching(toks, open, '{', '}') else {
+        return i + 1;
+    };
+    let arms = parse_arms(toks, open + 1, close);
+    syn.matches.push(MatchInfo {
+        kw: i,
+        line: toks[i].line,
+        scrutinee: (i + 1, open),
+        arms,
+        impl_type: impl_type.map(str::to_owned),
+    });
+    walk(toks, open + 1, close, impl_type, syn);
+    close + 1
+}
+
+/// Splits `toks[start..end]` (a match body) into arms. Each arm is a
+/// pattern (everything before `=>` at delimiter depth 0, including any
+/// `if` guard), then either a braced block or an expression running to
+/// the next `,` at depth 0.
+fn parse_arms(toks: &[Tok], start: usize, end: usize) -> Vec<Arm> {
+    let mut arms = Vec::new();
+    let mut k = start;
+    while k < end {
+        let pat_start = k;
+        // Find `=>` at depth 0.
+        let mut depth = 0usize;
+        let mut arrow = None;
+        while k < end {
+            let t = &toks[k];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0
+                && t.is_punct('=')
+                && toks.get(k + 1).is_some_and(|n| n.is_punct('>'))
+            {
+                arrow = Some(k);
+                break;
+            }
+            k += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        if arrow == pat_start {
+            // Malformed (empty pattern); bail out of this body.
+            break;
+        }
+        let body_start = arrow + 2;
+        let body_end;
+        if toks.get(body_start).is_some_and(|t| t.is_punct('{')) {
+            let Some(close) = matching(toks, body_start, '{', '}') else {
+                break;
+            };
+            body_end = close + 1;
+        } else {
+            // Expression body: runs to the `,` at depth 0 (or the match
+            // body's end).
+            let mut depth = 0usize;
+            let mut j = body_start;
+            while j < end {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth = depth.saturating_sub(1);
+                } else if depth == 0 && t.is_punct(',') {
+                    break;
+                }
+                j += 1;
+            }
+            body_end = j;
+        }
+        arms.push(Arm {
+            line: toks[pat_start].line,
+            pat: (pat_start, arrow),
+            body: (body_start, body_end),
+        });
+        k = body_end;
+        // Skip the separating comma, if any.
+        if toks.get(k).is_some_and(|t| t.is_punct(',')) {
+            k += 1;
+        }
+    }
+    arms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> Syntax {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn free_and_impl_fns_are_extracted() {
+        let syn = parsed(
+            "fn alpha(x: u32) -> u32 { x }\n\
+             struct Reader;\n\
+             impl Reader {\n\
+                 fn take(&mut self, n: usize) -> usize { n }\n\
+             }\n\
+             impl std::fmt::Display for Reader {\n\
+                 fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }\n\
+             }",
+        );
+        let names: Vec<(&str, Option<&str>)> = syn
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_type.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("alpha", None),
+                ("take", Some("Reader")),
+                ("fmt", Some("Reader")),
+            ]
+        );
+        assert!(syn.fns.iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn generic_fn_with_fn_bound_finds_its_params() {
+        let syn = parsed("fn pick<F: Fn(u32) -> bool>(xs: &[u32], f: F) -> u32 { xs[0] }");
+        assert_eq!(syn.fns.len(), 1);
+        let f = &syn.fns[0];
+        assert_eq!(f.name, "pick");
+        // Params span covers `xs: &[u32], f: F`, not the `Fn(u32)` bound.
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn generic_impl_yields_the_bare_type_name() {
+        let syn = parsed("impl<'a> Reader<'a> { fn pos(&self) -> usize { 0 } }");
+        assert_eq!(syn.fns[0].impl_type.as_deref(), Some("Reader"));
+    }
+
+    #[test]
+    fn trait_declaration_without_body_is_bodyless() {
+        let syn = parsed("trait T { fn required(&self) -> u32; fn given(&self) -> u32 { 1 } }");
+        assert_eq!(syn.fns.len(), 2);
+        assert!(syn.fns[0].body.is_none());
+        assert!(syn.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn nested_fns_and_enclosing_fn_resolution() {
+        let syn = parsed("fn outer() { fn inner(n: u32) -> u32 { n } inner(3); }");
+        assert_eq!(syn.fns.len(), 2);
+        let (outer, inner) = (&syn.fns[0], &syn.fns[1]);
+        assert_eq!(outer.name, "outer");
+        assert_eq!(inner.name, "inner");
+        let (is_, _ie) = inner.body.expect("inner has a body");
+        // enclosing_fn picks the innermost body containing the token.
+        assert_eq!(
+            syn.enclosing_fn(is_).map(|f| f.name.as_str()),
+            Some("inner")
+        );
+    }
+
+    #[test]
+    fn match_arms_patterns_and_wildcards() {
+        let syn = parsed(
+            "fn f(e: &E) -> u8 {\n\
+                 match e {\n\
+                     E::A => 0,\n\
+                     E::B(x) if *x > 2 => 1,\n\
+                     _ => { 9 }\n\
+                 }\n\
+             }",
+        );
+        assert_eq!(syn.matches.len(), 1);
+        let m = &syn.matches[0];
+        assert_eq!(m.arms.len(), 3);
+        assert_eq!(m.arms[0].line, 3);
+        assert_eq!(m.arms[2].line, 5);
+        // Third arm's pattern is the single `_` token.
+        let toks = lex("fn f(e: &E) -> u8 {\n\
+                 match e {\n\
+                     E::A => 0,\n\
+                     E::B(x) if *x > 2 => 1,\n\
+                     _ => { 9 }\n\
+                 }\n\
+             }")
+        .tokens;
+        let (ps, pe) = m.arms[2].pat;
+        assert_eq!(pe - ps, 1);
+        assert!(toks[ps].is_ident("_"));
+    }
+
+    #[test]
+    fn nested_match_inside_an_arm_body() {
+        let syn = parsed(
+            "fn f(a: u8, b: u8) -> u8 {\n\
+                 match a {\n\
+                     0 => match b { 0 => 1, _ => 2 },\n\
+                     _ => 3,\n\
+                 }\n\
+             }",
+        );
+        assert_eq!(syn.matches.len(), 2);
+        assert_eq!(syn.matches[0].arms.len(), 2);
+        assert_eq!(syn.matches[1].arms.len(), 2);
+    }
+
+    #[test]
+    fn match_in_impl_carries_the_self_type() {
+        let syn = parsed(
+            "impl FormatError {\n\
+                 fn code(&self) -> u8 { match self { Self::Io => 0, _ => 1 } }\n\
+             }",
+        );
+        assert_eq!(syn.matches[0].impl_type.as_deref(), Some("FormatError"));
+    }
+
+    #[test]
+    fn enum_variants_with_payloads_and_attrs() {
+        let syn = parsed(
+            "pub enum FormatError {\n\
+                 Io(std::io::Error),\n\
+                 #[allow(dead_code)]\n\
+                 Truncated { what: &'static str },\n\
+                 ChecksumMismatch,\n\
+             }",
+        );
+        assert_eq!(syn.enums.len(), 1);
+        assert_eq!(syn.enums[0].name, "FormatError");
+        assert_eq!(
+            syn.enums[0].variants,
+            vec!["Io", "Truncated", "ChecksumMismatch"]
+        );
+    }
+
+    #[test]
+    fn use_spans_cover_the_whole_item() {
+        let src = "use std::sync::Mutex;\nfn f() -> u32 { Mutex }\n";
+        let syn = parsed(src);
+        let toks = lex(src).tokens;
+        let uses: Vec<usize> = (0..toks.len()).filter(|&i| syn.in_use(i)).collect();
+        // `use` `std` `:` `:` `sync` `:` `:` `Mutex` `;` = 9 tokens
+        // (each `::` is two puncts), all inside the span.
+        assert_eq!(uses.len(), 9);
+        let late = toks.iter().rposition(|t| t.is_ident("Mutex")).expect("two");
+        assert!(!syn.in_use(late));
+    }
+
+    #[test]
+    fn symbols_accumulate_across_files() {
+        let mut sym = Symbols::default();
+        sym.absorb(&parsed("enum A { X, Y }"));
+        sym.absorb(&parsed("enum B { Z }"));
+        assert_eq!(sym.enums["A"], vec!["X", "Y"]);
+        assert_eq!(sym.enums["B"], vec!["Z"]);
+    }
+}

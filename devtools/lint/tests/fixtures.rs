@@ -19,7 +19,7 @@ fn in_file<'f>(all: &'f [Finding], suffix: &str) -> Vec<&'f Finding> {
 #[test]
 fn scans_the_whole_corpus() {
     let (_, scanned) = fixture_findings();
-    assert_eq!(scanned, 10, "one per fixture file");
+    assert_eq!(scanned, 15, "one per fixture file");
 }
 
 #[test]
@@ -120,7 +120,77 @@ fn suppression_hygiene_rules() {
     // A bare allow is itself an error AND fails to suppress.
     assert!(f.iter().any(|x| x.rule == "DET001"));
     let stale = f.iter().find(|x| x.rule == "LNT003").expect("stale allow");
-    assert_eq!(stale.severity, Severity::Warn);
+    assert_eq!(stale.severity, Severity::Deny, "LNT003 graduated to deny");
+}
+
+#[test]
+fn ovf_rules_police_the_decode_side_only() {
+    let (all, _) = fixture_findings();
+    let f = in_file(&all, "core/src/columnar.rs");
+    assert_eq!(f.len(), 4, "{f:#?}");
+    let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+    assert_eq!(rules, ["OVF001", "OVF001", "OVF001", "OVF002"], "{f:#?}");
+    // `+`, `*`, `<<`, `as u32` — one finding per operator, in decode_len
+    // only. encode_len (same operators), decode_checked (checked_*/
+    // try_from), the suppressed mix, and the #[cfg(test)] helper all pass.
+    assert!(f.iter().all(|x| x.message.contains("decode_len")), "{f:#?}");
+    assert!(
+        f.iter().all(|x| x.rule != "LNT003"),
+        "allow(OVF001) is live"
+    );
+}
+
+#[test]
+fn con001_flags_captured_writes_not_local_ones() {
+    let (all, _) = fixture_findings();
+    let f = in_file(&all, "bad_spawn.rs");
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(f
+        .iter()
+        .all(|x| x.rule == "CON001" && x.message.contains("`totals`")));
+    // shard_good (join-and-collect), shard_atomic (fetch_add), and the
+    // suppressed disjoint write are all silent.
+    assert!(f.iter().all(|x| x.line < 12), "{f:#?}");
+}
+
+#[test]
+fn con002_denies_locks_outside_tests_and_uses() {
+    let (all, _) = fixture_findings();
+    let f = in_file(&all, "bad_lock.rs");
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(f.iter().all(|x| x.rule == "CON002"));
+    // The `use std::sync::{Mutex, RwLock}` line (3) is inert; the memo
+    // cache is suppressed; the #[cfg(test)] Mutex is masked.
+    assert!(f.iter().all(|x| x.line > 3 && x.line < 17), "{f:#?}");
+}
+
+#[test]
+fn exh001_counts_variants_and_spares_open_matches() {
+    let (all, _) = fixture_findings();
+    let f = in_file(&all, "bad_match.rs");
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert_eq!(f[0].rule, "EXH001");
+    // The workspace symbol pass resolved the fixture enum's arity.
+    assert!(f[0].message.contains("3 variants"), "{:?}", f[0].message);
+    // classify_good (exhaustive), is_io (suppressed via Self), first
+    // (Option is open), and the test-mod wildcard are all silent.
+    assert!(f[0].line < 17, "{f:#?}");
+}
+
+#[test]
+fn det004_tracks_noise_into_sinks_only() {
+    let (all, _) = fixture_findings();
+    let f = in_file(&all, "bad_taint.rs");
+    assert_eq!(f.len(), 3, "{f:#?}");
+    assert!(f.iter().all(|x| x.rule == "DET004"));
+    // One sink of each kind: an output macro with an explicit argument, a
+    // telemetry value method, and a `{name}` inline format capture.
+    assert!(f.iter().any(|x| x.message.contains("`writeln!`")));
+    assert!(f.iter().any(|x| x.message.contains("`.record(…)`")));
+    assert!(f.iter().any(|x| x.message.contains("`skew`")));
+    // jittered_rtt (derived return), debug_noise (suppressed), and
+    // report_plain (no noise) are all silent.
+    assert!(f.iter().all(|x| x.line < 22), "{f:#?}");
 }
 
 #[test]

@@ -1,0 +1,172 @@
+//! Pins the SARIF emitter to the minimal SARIF 2.1.0 shape code-scanning
+//! UIs consume. The crate is dependency-free, so instead of a schema
+//! validator this test combines a small structural JSON checker (the
+//! output must be well-formed) with assertions on every required key of
+//! the 2.1.0 profile: `$schema`, `version`, `runs[].tool.driver` with a
+//! rule catalog, and `results[]` with `ruleId`/`level`/`message.text`/
+//! `locations[].physicalLocation`.
+
+use ytcdn_lint::{sarif, Finding, Report, Severity, RULES};
+
+fn sample_report() -> Report {
+    Report {
+        root: "/tmp/ws".to_string(),
+        files_scanned: 3,
+        findings: vec![
+            Finding {
+                file: "crates/core/src/columnar.rs".to_string(),
+                line: 41,
+                rule: "OVF001",
+                severity: Severity::Deny,
+                message: "unchecked `+` with \"quotes\" and a \\ backslash".to_string(),
+            },
+            Finding {
+                file: "crates/cdnsim/src/engine.rs".to_string(),
+                line: 7,
+                rule: "LNT003",
+                severity: Severity::Warn,
+                message: "stale suppression".to_string(),
+            },
+        ],
+        baselined: 1,
+    }
+}
+
+/// A structural JSON well-formedness check: values parse, strings escape
+/// correctly, and every bracket closes. Returns the rest of the input
+/// after one value.
+fn skip_value(s: &[u8], mut i: usize) -> Result<usize, String> {
+    let ws = |s: &[u8], mut i: usize| {
+        while i < s.len() && (s[i] as char).is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    };
+    i = ws(s, i);
+    match s.get(i) {
+        Some(b'{') | Some(b'[') => {
+            let (open, close) = if s[i] == b'{' {
+                (b'{', b'}')
+            } else {
+                (b'[', b']')
+            };
+            i += 1;
+            i = ws(s, i);
+            if s.get(i) == Some(&close) {
+                return Ok(i + 1);
+            }
+            loop {
+                if open == b'{' {
+                    i = ws(s, i);
+                    if s.get(i) != Some(&b'"') {
+                        return Err(format!("object key must be a string at byte {i}"));
+                    }
+                    i = skip_value(s, i)?;
+                    i = ws(s, i);
+                    if s.get(i) != Some(&b':') {
+                        return Err(format!("missing `:` at byte {i}"));
+                    }
+                    i += 1;
+                }
+                i = skip_value(s, i)?;
+                i = ws(s, i);
+                match s.get(i) {
+                    Some(b',') => i += 1,
+                    Some(c) if *c == close => return Ok(i + 1),
+                    _ => return Err(format!("expected `,` or closer at byte {i}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            i += 1;
+            while i < s.len() {
+                match s[i] {
+                    b'\\' => i += 2,
+                    b'"' => return Ok(i + 1),
+                    c if c < 0x20 => {
+                        return Err(format!("raw control byte 0x{c:02x} in string at {i}"))
+                    }
+                    _ => i += 1,
+                }
+            }
+            Err("unterminated string".to_string())
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            while i < s.len()
+                && (s[i].is_ascii_digit() || matches!(s[i], b'-' | b'+' | b'.' | b'e' | b'E'))
+            {
+                i += 1;
+            }
+            Ok(i)
+        }
+        _ => {
+            for kw in ["true", "false", "null"] {
+                if s[i..].starts_with(kw.as_bytes()) {
+                    return Ok(i + kw.len());
+                }
+            }
+            Err(format!("unrecognized value at byte {i}"))
+        }
+    }
+}
+
+fn assert_well_formed(doc: &str) {
+    let bytes = doc.as_bytes();
+    let end = skip_value(bytes, 0).unwrap_or_else(|e| panic!("malformed JSON: {e}\n{doc}"));
+    assert!(
+        doc[end..].trim().is_empty(),
+        "trailing garbage after the document: {:?}",
+        &doc[end..]
+    );
+}
+
+#[test]
+fn sarif_is_well_formed_json() {
+    assert_well_formed(&sarif(&sample_report()));
+}
+
+#[test]
+fn sarif_pins_the_210_profile() {
+    let doc = sarif(&sample_report());
+    // Document header.
+    assert!(doc.contains("\"$schema\""), "{doc}");
+    assert!(doc.contains("sarif-schema-2.1.0.json"), "{doc}");
+    assert!(doc.contains("\"version\": \"2.1.0\""), "{doc}");
+    // Tool driver with the full rule catalog.
+    assert!(doc.contains("\"runs\""), "{doc}");
+    assert!(doc.contains("\"tool\""), "{doc}");
+    assert!(doc.contains("\"driver\""), "{doc}");
+    assert!(doc.contains("\"name\": \"ytcdn-lint\""), "{doc}");
+    assert!(doc.contains("\"informationUri\""), "{doc}");
+    for r in RULES {
+        assert!(
+            doc.contains(&format!("\"id\": \"{}\"", r.id)),
+            "rule {} missing from driver catalog",
+            r.id
+        );
+    }
+    // Results: one per finding, with severity mapping and locations.
+    assert!(doc.contains("\"ruleId\": \"OVF001\""), "{doc}");
+    assert!(doc.contains("\"level\": \"error\""), "{doc}");
+    assert!(doc.contains("\"level\": \"warning\""), "{doc}");
+    assert!(doc.contains("\"message\": { \"text\""), "{doc}");
+    assert!(doc.contains("\"physicalLocation\""), "{doc}");
+    assert!(
+        doc.contains("\"artifactLocation\": { \"uri\": \"crates/core/src/columnar.rs\" }"),
+        "{doc}"
+    );
+    assert!(doc.contains("\"region\": { \"startLine\": 41 }"), "{doc}");
+}
+
+#[test]
+fn sarif_handles_an_empty_run() {
+    let empty = Report {
+        root: ".".to_string(),
+        files_scanned: 0,
+        findings: Vec::new(),
+        baselined: 0,
+    };
+    let doc = sarif(&empty);
+    assert_well_formed(&doc);
+    assert!(doc.contains("\"results\": []"), "{doc}");
+}

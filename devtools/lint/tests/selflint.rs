@@ -1,0 +1,29 @@
+//! The tree must lint itself clean: zero deny AND zero warn findings over
+//! the whole workspace, with every suppression live (a stale allow is
+//! itself a finding). This is the executable form of the "lint clean"
+//! claim in DESIGN.md — CI runs the binary, but this test keeps the claim
+//! inside `cargo test` too.
+
+use std::path::Path;
+
+use ytcdn_lint::lint_root;
+
+#[test]
+fn workspace_lints_clean() {
+    // devtools/lint/ -> workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let (findings, scanned) = lint_root(&root).expect("workspace must be walkable");
+    assert!(
+        scanned > 50,
+        "workspace walk looks truncated: only {scanned} files"
+    );
+    assert!(
+        findings.is_empty(),
+        "the tree must lint clean (no baseline applies here):\n{}",
+        findings
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

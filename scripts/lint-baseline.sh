@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates devtools/lint/baseline.txt from the current tree.
+#
+# The baseline is the set of *known* lint findings CI tolerates: the
+# `--baseline` flag filters them from counts and the exit code, so the
+# gate fails only on NEW findings. The intended workflow:
+#
+#   1. A rule lands (or graduates to deny) and fires on existing code that
+#      cannot be swept in the same change. Run this script and commit the
+#      regenerated baseline alongside the rule.
+#   2. Each follow-up sweep fixes some findings and re-runs this script —
+#      the baseline only ever SHRINKS. Growing it to dodge a finding on
+#      new code defeats the gate; write the code clean or suppress inline
+#      with a reasoned `// ytcdn-lint: allow(RULE) — why`.
+#   3. When the baseline is header-only (the current state), every rule is
+#      fully enforced and `devtools/lint/tests/selflint.rs` additionally
+#      asserts the tree is clean with no baseline applied at all.
+#
+# Keys are `rule<TAB>file<TAB>message` — line numbers are deliberately
+# excluded so unrelated edits above a known finding do not un-baseline it.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="devtools/lint/baseline.txt"
+cargo run --quiet --release -p ytcdn-lint -- --workspace --format baseline > "$out"
+n="$(grep -cv '^#' "$out" || true)"
+echo "lint-baseline: wrote $out ($n finding(s))" >&2

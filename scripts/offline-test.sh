@@ -88,9 +88,15 @@ cmp "$scratch/watch.txt" "$scratch/watch-from.txt" \
     || { echo "offline-test: watch --from differs from the simulate path" >&2; exit 1; }
 
 # The determinism lint is dependency-free, so both its self-tests (lexer,
-# engine, fixture corpus) and a full run over the real tree are stub-safe.
+# syntax parser, engine, fixture corpus, SARIF shape, tree self-lint) and
+# a full run over the real tree are stub-safe. The real-tree run exercises
+# the CI invocation: baseline filtering plus the SARIF artifact path.
 cargo test --manifest-path "$scratch/Cargo.toml" --offline --release \
     -p ytcdn-lint "$@"
 cargo run --manifest-path "$scratch/Cargo.toml" --offline --release --quiet \
-    -p ytcdn-lint -- --workspace --root "$repo"
+    -p ytcdn-lint -- --workspace --root "$repo" \
+    --baseline "$repo/devtools/lint/baseline.txt" \
+    --sarif-out "$scratch/lint-report.sarif"
+grep -q '"version": "2.1.0"' "$scratch/lint-report.sarif" \
+    || { echo "offline-test: lint --sarif-out wrote no SARIF document" >&2; exit 1; }
 echo "offline-test: OK" >&2
