@@ -3,8 +3,9 @@
 //! ```sh
 //! # everything, at the default 10% workload scale:
 //! cargo run --release -p ytcdn-bench --bin repro
-//! # one experiment:
+//! # one experiment, or a comma-separated list:
 //! cargo run --release -p ytcdn-bench --bin repro -- --exp fig11
+//! cargo run --release -p ytcdn-bench --bin repro -- --exp fig3,table3
 //! # run the experiments on 8 threads (stdout is identical for any --jobs):
 //! cargo run --release -p ytcdn-bench --bin repro -- --jobs 8
 //! # full paper scale with the full 215-landmark CBG (slow):
@@ -64,7 +65,12 @@ fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--exp" => args.exp = Some(it.next().ok_or("--exp needs a value")?),
+            "--exp" => {
+                args.exp = Some(
+                    it.next()
+                        .ok_or("--exp needs a value (one id or a comma-separated list)")?,
+                )
+            }
             "--csv" => {
                 args.csv_dir = Some(std::path::PathBuf::from(
                     it.next().ok_or("--csv needs a directory")?,
@@ -120,7 +126,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: repro [--exp {}] [--scale S] [--seed N] [--jobs N] [--from FILE.ytc] [--full-landmarks] [--csv DIR] [--markdown FILE] [--bench-out FILE] [--plot] [--scorecard] [--windows] [--degenerate {}]",
+                    "usage: repro [--exp ID[,ID…] of {}] [--scale S] [--seed N] [--jobs N] [--from FILE.ytc] [--full-landmarks] [--csv DIR] [--markdown FILE] [--bench-out FILE] [--plot] [--scorecard] [--windows] [--degenerate {}]",
                     ALL_EXPERIMENTS.join("|"),
                     DegenerateShape::ALL.map(DegenerateShape::as_str).join("|")
                 ));
@@ -150,15 +156,15 @@ fn main() -> ExitCode {
         }
     };
     if let Some(exp) = &args.exp {
-        if !ALL_EXPERIMENTS.contains(&exp.as_str())
-            && !EXTENSION_EXPERIMENTS.contains(&exp.as_str())
-        {
-            eprintln!(
-                "unknown experiment {exp:?}; known: {} and extensions {}",
-                ALL_EXPERIMENTS.join(", "),
-                EXTENSION_EXPERIMENTS.join(", ")
-            );
-            return ExitCode::FAILURE;
+        for id in exp.split(',') {
+            if !ALL_EXPERIMENTS.contains(&id) && !EXTENSION_EXPERIMENTS.contains(&id) {
+                eprintln!(
+                    "unknown experiment {id:?}; known: {} and extensions {}",
+                    ALL_EXPERIMENTS.join(", "),
+                    EXTENSION_EXPERIMENTS.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
         }
     }
 
@@ -240,7 +246,7 @@ fn main() -> ExitCode {
     }
 
     let ids: Vec<&str> = match &args.exp {
-        Some(e) => vec![e.as_str()],
+        Some(e) => e.split(',').collect(),
         None => ALL_EXPERIMENTS.to_vec(),
     };
     // Experiments run concurrently; reports come back in input order, so
@@ -356,6 +362,25 @@ fn bench_json(
         .find(|(name, _)| name.as_str() == "index.build")
         .map_or(0.0, |(_, h)| h.sum as f64 / 1000.0);
     let _ = writeln!(out, "  \"index_build_ms\": {index_build_ms:.3},");
+    // The "geo.localize" span is the one shared CBG geolocation pass the
+    // geo index runs (all consumers after it are cache hits).
+    let geo_ms = snapshot
+        .histograms
+        .iter()
+        .find(|(name, _)| name.as_str() == "geo.localize")
+        .map_or(0.0, |(_, h)| h.sum as f64 / 1000.0);
+    let _ = writeln!(out, "  \"geo_ms\": {geo_ms:.3},");
+    let _ = writeln!(out, "  \"geo_blocks\": {},", snapshot.counter("geo.blocks"));
+    let _ = writeln!(
+        out,
+        "  \"geo_cache_hits\": {},",
+        snapshot.counter("geo.cache_hit")
+    );
+    let _ = writeln!(
+        out,
+        "  \"geo_cache_misses\": {},",
+        snapshot.counter("geo.cache_miss")
+    );
     let _ = writeln!(
         out,
         "  \"index_session_cache_hits\": {},",

@@ -495,6 +495,22 @@ impl Topology {
     pub fn server_coord(&self, ip: Ipv4Addr) -> Option<Coord> {
         self.server_endpoint(ip).map(|e| e.coord)
     }
+
+    /// The canonical physical endpoint of a /24 server block: the endpoint
+    /// of its network address.
+    ///
+    /// Server-to-DC mapping is /24-granular (`dc_of_ip` keys on the block),
+    /// so every address in the block shares a data center; geolocating the
+    /// canonical endpoint makes per-block analyses (CBG caching, sharding)
+    /// a pure function of the block, independent of which member addresses
+    /// a capture happened to observe.
+    pub fn block_endpoint(&self, block: Ipv4Block) -> Option<Endpoint> {
+        let dc = self.dc(*self.slash24_to_dc.get(&block)?);
+        Some(Endpoint::new(
+            server_coord(dc.city.coord, block.network()),
+            AccessKind::DataCenter,
+        ))
+    }
 }
 
 /// Deterministic ~0–15 km metro-area offset of a server from its city
@@ -537,6 +553,31 @@ mod tests {
         assert_eq!(internal.len(), 1);
         assert_eq!(internal[0].asn, EU2_HOME_AS);
         assert_eq!(internal[0].city.name, EU2_INTERNAL_CITY);
+    }
+
+    #[test]
+    fn block_endpoint_is_the_network_address_endpoint() {
+        let topo = Topology::standard();
+        let mut checked = 0usize;
+        for dc in topo.dcs() {
+            for &ip in &dc.servers {
+                let block = Ipv4Block::slash24_of(ip);
+                let be = topo.block_endpoint(block).unwrap();
+                let ne = topo.server_endpoint(block.network()).unwrap();
+                assert_eq!(be.coord, ne.coord, "{block:?} of {}", dc.city);
+                // Any member's endpoint stays within the metro-offset
+                // envelope of the canonical one (two ~15 km offsets).
+                let se = topo.server_endpoint(ip).unwrap();
+                assert!(be.coord.distance_km(se.coord) <= 31.0);
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+        assert_eq!(
+            topo.block_endpoint(Ipv4Block::slash24_of(Ipv4Addr::new(10, 0, 0, 1))),
+            None,
+            "an unknown block has no endpoint"
+        );
     }
 
     #[test]

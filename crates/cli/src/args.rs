@@ -17,6 +17,7 @@ USAGE:
                   generated dataset; a .ytc extension implies --format ytc)
   ytcdn analyze   --trace PATH [--scale S] [--seed N]
   ytcdn geolocate --dataset NAME [--landmarks K] [--scale S] [--seed N] [--shards K]
+                  [--jobs K] (CBG worker threads; any K gives byte-identical output)
   ytcdn whatif    --scenario feb2011|fixed-peering|no-votd|eu2-capacity|popularity
                   [--scale S] [--seed N]
   ytcdn watch     --dataset NAME [--scale S] [--seed N] [--shards K]
@@ -109,6 +110,9 @@ pub enum Command {
         landmarks: usize,
         /// Worker threads for the simulation (`None` = available CPUs).
         shards: Option<usize>,
+        /// Worker threads for CBG localization (`None` = available CPUs);
+        /// per-/24 noise streams make any value byte-identical.
+        jobs: Option<usize>,
     },
     /// Evaluate a counterfactual.
     WhatIf {
@@ -219,6 +223,7 @@ struct Flags {
     scenario: Option<String>,
     format: Option<TraceFormat>,
     shards: Option<usize>,
+    jobs: Option<usize>,
     mutate: Vec<String>,
     window: u64,
     threshold: f64,
@@ -238,6 +243,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, ParseError> {
         scenario: None,
         format: None,
         shards: None,
+        jobs: None,
         mutate: Vec::new(),
         window: ytcdn_core::constellation::DEFAULT_WINDOW_HOURS,
         threshold: ytcdn_core::constellation::DEFAULT_THRESHOLD,
@@ -295,6 +301,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, ParseError> {
                     return Err(ParseError::Invalid("shards", v.clone()));
                 }
                 flags.shards = Some(n);
+            }
+            "--jobs" => {
+                let v = value("--jobs value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ParseError::Invalid("jobs", v.clone()))?;
+                if n == 0 {
+                    return Err(ParseError::Invalid("jobs", v.clone()));
+                }
+                flags.jobs = Some(n);
             }
             "--mutate" => flags.mutate.push(value("--mutate value")?.clone()),
             "--window" => {
@@ -387,6 +403,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
             seed: flags.seed,
             landmarks: flags.landmarks,
             shards: flags.shards,
+            jobs: flags.jobs,
         }),
         "whatif" => Ok(Command::WhatIf {
             scenario: flags.scenario.ok_or(ParseError::Missing("--scenario"))?,
@@ -693,6 +710,24 @@ mod tests {
     }
 
     #[test]
+    fn parse_jobs() {
+        let geo = cmd(&["geolocate", "--dataset", "EU2", "--jobs", "4"]);
+        assert!(matches!(geo, Command::Geolocate { jobs: Some(4), .. }));
+        assert!(matches!(
+            parse(&v(&["geolocate", "--dataset", "EU2", "--jobs", "0"])).unwrap_err(),
+            ParseError::Invalid("jobs", _)
+        ));
+        assert!(matches!(
+            parse(&v(&["geolocate", "--dataset", "EU2", "--jobs", "many"])).unwrap_err(),
+            ParseError::Invalid("jobs", _)
+        ));
+        assert_eq!(
+            parse(&v(&["geolocate", "--dataset", "EU2", "--jobs"])).unwrap_err(),
+            ParseError::Missing("--jobs value")
+        );
+    }
+
+    #[test]
     fn parse_geolocate_defaults() {
         let cmd = cmd(&["geolocate", "--dataset", "EU2"]);
         assert_eq!(
@@ -703,6 +738,7 @@ mod tests {
                 seed: 42,
                 landmarks: 50,
                 shards: None,
+                jobs: None,
             }
         );
     }

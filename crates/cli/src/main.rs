@@ -146,7 +146,16 @@ fn run(cmd: Command, ctx: &Ctx) -> ExitCode {
             seed,
             landmarks,
             shards,
-        } => geolocate(dataset, scale, seed, landmarks, resolve_shards(shards), ctx),
+            jobs,
+        } => geolocate(
+            dataset,
+            scale,
+            seed,
+            landmarks,
+            resolve_shards(shards),
+            resolve_shards(jobs),
+            ctx,
+        ),
         Command::WhatIf {
             scenario,
             scale,
@@ -600,6 +609,7 @@ fn geolocate(
     seed: u64,
     landmarks: usize,
     shards: usize,
+    jobs: usize,
     ctx: &Ctx,
 ) -> ExitCode {
     let s = scenario(scale, seed, ctx);
@@ -620,7 +630,8 @@ fn geolocate(
         3,
         seed,
     );
-    let locations = ytcdn_core::geo_analysis::geolocate_servers(s.world(), &ds, &cbg, seed);
+    let locations =
+        ytcdn_core::geo_analysis::geolocate_servers_parallel(s.world(), &ds, &cbg, seed, jobs);
     let counts = ytcdn_core::geo_analysis::continent_counts(&locations);
     println!(
         "servers per continent: N.America={} Europe={} Others={}",

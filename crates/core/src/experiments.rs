@@ -20,7 +20,7 @@ use crate::as_analysis::{as_breakdown, WellKnownAsExt};
 use crate::dcmap::AnalysisContext;
 use crate::degenerate::DegenerateShape;
 use crate::error::{AnalysisError, AnalysisResult};
-use crate::geo_analysis::{continent_counts, geolocate_servers, radius_cdfs, server_rtt_cdf};
+use crate::geo_analysis::{continent_counts, radius_cdfs, server_rtt_cdf};
 use crate::hotspot::{
     preferred_server_load_indexed, server_session_breakdown_indexed,
     top_nonpreferred_videos_indexed, video_timeseries_indexed,
@@ -100,6 +100,7 @@ pub struct ExperimentSuite {
     contexts: Vec<AnalysisContext>,
     indexes: Vec<DatasetIndex>,
     cbg: std::sync::OnceLock<Cbg>,
+    geo: std::sync::OnceLock<crate::index::GeoIndex>,
     telemetry: Telemetry,
 }
 
@@ -200,6 +201,7 @@ impl ExperimentSuite {
             contexts,
             indexes,
             cbg: std::sync::OnceLock::new(),
+            geo: std::sync::OnceLock::new(),
             telemetry,
         })
     }
@@ -249,6 +251,7 @@ impl ExperimentSuite {
             contexts,
             indexes,
             cbg: std::sync::OnceLock::new(),
+            geo: std::sync::OnceLock::new(),
             telemetry,
         }
     }
@@ -298,7 +301,9 @@ impl ExperimentSuite {
         &self.indexes[Self::slot(name)]
     }
 
-    fn cbg(&self) -> &Cbg {
+    /// The suite's calibrated CBG instance (lazily built once; shared by
+    /// every geolocation consumer).
+    pub fn cbg(&self) -> &Cbg {
         self.cbg.get_or_init(|| {
             let landmarks = if self.config.full_landmarks {
                 planetlab_landmarks(self.config.scenario.seed)
@@ -320,6 +325,29 @@ impl ExperimentSuite {
                 self.scenario.world().delay_model(),
                 3,
                 self.config.scenario.seed,
+            )
+        })
+    }
+
+    /// The shared geolocation index ([`crate::index::GeoIndex`]): one CBG
+    /// pass over the union of all datasets' /24 blocks, computed lazily on
+    /// first use and reused by `table3`, `fig3`, the CSV export, and the
+    /// scorecard. `geo.cache_hit` / `geo.cache_miss` count reuses vs the
+    /// single build.
+    pub fn geo_index(&self) -> &crate::index::GeoIndex {
+        if let Some(geo) = self.geo.get() {
+            self.telemetry.counter("geo.cache_hit").inc();
+            return geo;
+        }
+        self.geo.get_or_init(|| {
+            self.telemetry.counter("geo.cache_miss").inc();
+            crate::index::GeoIndex::build(
+                self.scenario.world(),
+                &self.datasets,
+                self.cbg(),
+                self.config.scenario.seed ^ 0xF16,
+                self.jobs,
+                self.telemetry.clone(),
             )
         })
     }
@@ -474,13 +502,7 @@ impl ExperimentSuite {
             "Dataset", "N.America", "Europe", "Others"
         );
         for ds in &self.datasets {
-            let locs = geolocate_servers(
-                self.scenario.world(),
-                ds,
-                self.cbg(),
-                self.config.scenario.seed ^ 0xFACE,
-            );
-            let c = continent_counts(&locs);
+            let c = continent_counts(self.geo_index().dataset(ds.name()));
             let _ = writeln!(
                 out,
                 "{:<11} {:>10} {:>8} {:>8}",
@@ -530,16 +552,7 @@ impl ExperimentSuite {
 
     /// Figure 3: CDF of the CBG confidence-region radius, US vs Europe.
     pub fn fig3(&self) -> String {
-        let mut locs = Vec::new();
-        for ds in &self.datasets {
-            locs.extend(geolocate_servers(
-                self.scenario.world(),
-                ds,
-                self.cbg(),
-                self.config.scenario.seed ^ 0xF16,
-            ));
-        }
-        let (us, eu) = radius_cdfs(&locs);
+        let (us, eu) = radius_cdfs(&self.geo_index().pooled());
         let mut out = String::from(
             "Figure 3 — CBG confidence-region radius (paper: median 41 km; p90 320 km US / 200 km EU)\n",
         );
@@ -1035,18 +1048,10 @@ impl ExperimentSuite {
     }
 
     /// CBG-geolocates the servers of every dataset (pooled, deduplicated by
-    /// /24 per dataset) — shared by Table III, Figure 3, and CSV export.
+    /// /24 per dataset) — shared by Table III, Figure 3, and CSV export,
+    /// all served from the one cached [`crate::index::GeoIndex`] pass.
     pub fn cbg_locations(&self) -> Vec<crate::geo_analysis::ServerLocation> {
-        let mut locs = Vec::new();
-        for ds in &self.datasets {
-            locs.extend(geolocate_servers(
-                self.scenario.world(),
-                ds,
-                self.cbg(),
-                self.config.scenario.seed ^ 0xF16,
-            ));
-        }
-        locs
+        self.geo_index().pooled()
     }
 
     /// Runs the Section VII-C active experiment with this suite's seed.

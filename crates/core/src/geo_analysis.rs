@@ -8,13 +8,14 @@
 
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use serde::{Deserialize, Serialize};
 
 use ytcdn_cdnsim::World;
 use ytcdn_geoloc::{Cbg, CbgResult};
 use ytcdn_geomodel::{CityDb, Continent, Coord, Table3Bucket};
-use ytcdn_netsim::{Ipv4Block, NoiseRng};
+use ytcdn_netsim::{Endpoint, Ipv4Block, NoiseRng};
 use ytcdn_tstat::Dataset;
 
 /// The Figure 2 curve: min-RTT from the vantage point to every distinct
@@ -41,6 +42,10 @@ pub struct ServerLocation {
     pub truth: Coord,
     /// Estimated continent (nearest city to the CBG estimate).
     pub continent: Continent,
+    /// Ground-truth continent (nearest city to `truth`), resolved once at
+    /// geolocate time so downstream groupings never re-run a nearest-city
+    /// query.
+    pub truth_continent: Continent,
     /// Number of servers in this /24 seen in the dataset (the result is
     /// shared by all of them).
     pub servers_in_block: usize,
@@ -53,6 +58,123 @@ impl ServerLocation {
     }
 }
 
+/// One /24 block's CBG outcome — a pure function of `(world, cbg, seed,
+/// block)`, independent of which member addresses a dataset observed and
+/// of the order blocks are processed in. That purity is what lets
+/// [`crate::index::GeoIndex`] localize the union of all datasets' blocks
+/// once and hand each dataset exactly the values a standalone
+/// [`geolocate_servers`] call would compute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockLocation {
+    /// The /24 server block.
+    pub block: Ipv4Block,
+    /// CBG result for the block's canonical endpoint.
+    pub cbg: CbgResult,
+    /// Ground-truth position of the canonical endpoint.
+    pub truth: Coord,
+    /// Estimated continent (nearest city to the CBG estimate).
+    pub continent: Continent,
+    /// Ground-truth continent (nearest city to `truth`).
+    pub truth_continent: Continent,
+}
+
+/// The /24 blocks of a dataset's servers that the world can place, in
+/// block order, each with its canonical endpoint and the member addresses
+/// the dataset observed (ascending).
+pub fn dataset_blocks(
+    world: &World,
+    dataset: &Dataset,
+) -> Vec<(Ipv4Block, Endpoint, Vec<Ipv4Addr>)> {
+    let mut by_block: BTreeMap<Ipv4Block, (Endpoint, Vec<Ipv4Addr>)> = BTreeMap::new();
+    for ip in dataset.server_ips() {
+        let block = Ipv4Block::slash24_of(ip);
+        // Only servers the world knows (i.e. with a pingable endpoint).
+        if let Some(entry) = by_block.get_mut(&block) {
+            entry.1.push(ip);
+        } else if let Some(endpoint) = world.topology().block_endpoint(block) {
+            by_block.insert(block, (endpoint, vec![ip]));
+        }
+    }
+    by_block
+        .into_iter()
+        .map(|(block, (endpoint, ips))| (block, endpoint, ips))
+        .collect()
+}
+
+/// CBG-localizes a set of /24 blocks, optionally in parallel.
+///
+/// Each block draws its measurement noise from its own splittable stream,
+/// [`NoiseRng::for_stream`]`(seed, block_address)` — so the result for a
+/// block depends only on `(cbg, seed, block, endpoint)`, never on how the
+/// work was ordered or divided. Output is byte-identical for every `jobs`
+/// value; `jobs > 1` fans the blocks out over scoped worker threads that
+/// pull indices off a shared atomic counter and return `(index, result)`
+/// pairs for the parent to reassemble (no shared mutable state).
+pub fn localize_blocks(
+    cbg: &Cbg,
+    seed: u64,
+    targets: &[(Ipv4Block, Endpoint)],
+    jobs: usize,
+) -> Vec<BlockLocation> {
+    let cities = CityDb::builtin();
+    let run_one = |&(block, endpoint): &(Ipv4Block, Endpoint)| -> BlockLocation {
+        let tag = u64::from(u32::from(block.network()));
+        let mut rng = NoiseRng::for_stream(seed, tag);
+        let cbg_result = cbg.localize(&endpoint, &mut rng);
+        let (city, _) = cities.nearest(cbg_result.estimate);
+        let (truth_city, _) = cities.nearest(endpoint.coord);
+        BlockLocation {
+            block,
+            cbg: cbg_result,
+            truth: endpoint.coord,
+            continent: city.continent,
+            truth_continent: truth_city.continent,
+        }
+    };
+    let jobs = jobs.clamp(1, targets.len().max(1));
+    if jobs == 1 {
+        return targets.iter().map(run_one).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, BlockLocation)> = Vec::with_capacity(targets.len());
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(target) = targets.get(i) else { break };
+                        mine.push((i, run_one(target)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for w in workers {
+            let mine = w
+                .join()
+                .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+            collected.extend(mine);
+        }
+    });
+    collected.sort_by_key(|&(i, _)| i);
+    collected.into_iter().map(|(_, loc)| loc).collect()
+}
+
+/// Combines a block's shared CBG outcome with one dataset's view of the
+/// block (observed members) into the per-dataset row.
+pub(crate) fn block_to_server_location(loc: &BlockLocation, ips: &[Ipv4Addr]) -> ServerLocation {
+    ServerLocation {
+        ip: ips[0],
+        cbg: loc.cbg,
+        truth: loc.truth,
+        continent: loc.continent,
+        truth_continent: loc.truth_continent,
+        servers_in_block: ips.len(),
+    }
+}
+
 /// Geolocates every /24 of a dataset's servers with CBG (one representative
 /// per /24 — the paper's own aggregation makes block-mates share a data
 /// center anyway).
@@ -62,35 +184,27 @@ pub fn geolocate_servers(
     cbg: &Cbg,
     seed: u64,
 ) -> Vec<ServerLocation> {
-    let cities = CityDb::builtin();
-    // Keep each /24's representative endpoint alongside its members so the
-    // localization pass never has to re-derive (and re-prove) it exists.
-    type BlockEntry = (Vec<Ipv4Addr>, ytcdn_netsim::Endpoint);
-    let mut by_block: BTreeMap<Ipv4Block, BlockEntry> = BTreeMap::new();
-    for ip in dataset.server_ips() {
-        // Only servers the world knows (i.e. with a pingable endpoint).
-        if let Some(endpoint) = world.topology().server_endpoint(ip) {
-            by_block
-                .entry(Ipv4Block::slash24_of(ip))
-                .and_modify(|(ips, _)| ips.push(ip))
-                .or_insert_with(|| (vec![ip], endpoint));
-        }
-    }
-    let mut rng = NoiseRng::seed_from_u64(seed);
-    by_block
-        .into_values()
-        .map(|(ips, target)| {
-            let ip = ips[0];
-            let cbg_result = cbg.localize(&target, &mut rng);
-            let (city, _) = cities.nearest(cbg_result.estimate);
-            ServerLocation {
-                ip,
-                cbg: cbg_result,
-                truth: target.coord,
-                continent: city.continent,
-                servers_in_block: ips.len(),
-            }
-        })
+    geolocate_servers_parallel(world, dataset, cbg, seed, 1)
+}
+
+/// [`geolocate_servers`] across `jobs` worker threads. The per-block noise
+/// streams make the output byte-identical for every `jobs` value (see
+/// [`localize_blocks`]).
+pub fn geolocate_servers_parallel(
+    world: &World,
+    dataset: &Dataset,
+    cbg: &Cbg,
+    seed: u64,
+    jobs: usize,
+) -> Vec<ServerLocation> {
+    let blocks = dataset_blocks(world, dataset);
+    let targets: Vec<(Ipv4Block, Endpoint)> =
+        blocks.iter().map(|&(block, ep, _)| (block, ep)).collect();
+    let locs = localize_blocks(cbg, seed, &targets, jobs);
+    blocks
+        .iter()
+        .zip(&locs)
+        .map(|((_, _, ips), loc)| block_to_server_location(loc, ips))
         .collect()
 }
 
@@ -129,12 +243,10 @@ pub fn continent_counts(locations: &[ServerLocation]) -> ContinentCounts {
 /// The Figure 3 CDFs: CBG confidence-region radii for servers in the US and
 /// in Europe (by ground-truth continent, as the paper groups its curves).
 pub fn radius_cdfs(locations: &[ServerLocation]) -> (crate::stats::Cdf, crate::stats::Cdf) {
-    let cities = CityDb::builtin();
     let mut us = Vec::new();
     let mut eu = Vec::new();
     for loc in locations {
-        let (city, _) = cities.nearest(loc.truth);
-        match city.continent {
+        match loc.truth_continent {
             Continent::NorthAmerica => us.push(loc.cbg.radius_km),
             Continent::Europe => eu.push(loc.cbg.radius_km),
             _ => {}
@@ -194,16 +306,24 @@ mod tests {
         let ds = s.run(DatasetName::Eu1Campus);
         let locs = geolocate_servers(s.world(), &ds, &test_cbg(), 5);
         assert!(!locs.is_empty());
-        let cities = CityDb::builtin();
         let correct = locs
             .iter()
-            .filter(|l| {
-                let truth_bucket = cities.nearest(l.truth).0.continent.table3_bucket();
-                l.continent.table3_bucket() == truth_bucket
-            })
+            .filter(|l| l.continent.table3_bucket() == l.truth_continent.table3_bucket())
             .count();
         let frac = correct as f64 / locs.len() as f64;
         assert!(frac > 0.9, "continent accuracy {frac}");
+    }
+
+    #[test]
+    fn parallel_geolocation_is_byte_identical() {
+        let s = scenario();
+        let cbg = test_cbg();
+        let ds = s.run(DatasetName::Eu1Campus);
+        let sequential = geolocate_servers(s.world(), &ds, &cbg, 5);
+        for jobs in [2, 3, 8] {
+            let parallel = geolocate_servers_parallel(s.world(), &ds, &cbg, 5, jobs);
+            assert_eq!(sequential, parallel, "jobs {jobs}");
+        }
     }
 
     #[test]

@@ -379,6 +379,103 @@ impl DatasetIndex {
     }
 }
 
+/// The shared geolocation index: every /24 server block observed by *any*
+/// dataset, CBG-localized exactly once.
+///
+/// Before this layer, `table3` and `fig3` each re-ran a full
+/// [`crate::geo_analysis::geolocate_servers`] pass over all five datasets
+/// — ten dataset-passes for two reports. Because a block's CBG outcome is
+/// a pure function of `(world, cbg, seed, block)` (its noise comes from a
+/// per-block splittable stream and its target is the block's canonical
+/// endpoint), the index localizes the *union* of blocks once and
+/// reassembles each dataset's view from the shared results —
+/// byte-identical to what a standalone per-dataset pass computes.
+///
+/// Built lazily by [`crate::experiments::ExperimentSuite::geo_index`] under
+/// a `geo.localize` telemetry span, with the union size on the
+/// `geo.blocks` counter.
+#[derive(Debug)]
+pub struct GeoIndex {
+    /// Per dataset, in [`DatasetName::ALL`] order: its servers' locations,
+    /// exactly as `geolocate_servers` would report them.
+    per_dataset: Vec<Vec<crate::geo_analysis::ServerLocation>>,
+}
+
+impl GeoIndex {
+    /// Localizes the union of all datasets' server blocks (in parallel
+    /// across `jobs` threads) and splits the results back per dataset.
+    ///
+    /// `datasets` must be the suite's five datasets in [`DatasetName::ALL`]
+    /// order — the same invariant the experiment suite's own vectors
+    /// uphold.
+    pub fn build(
+        world: &ytcdn_cdnsim::World,
+        datasets: &[Dataset],
+        cbg: &ytcdn_geoloc::Cbg,
+        seed: u64,
+        jobs: usize,
+        telemetry: Telemetry,
+    ) -> Self {
+        use crate::geo_analysis::{dataset_blocks, localize_blocks};
+        debug_assert!(datasets
+            .iter()
+            .zip(DatasetName::ALL)
+            .all(|(ds, name)| ds.name() == name));
+        let _span = telemetry.span("geo.localize");
+        let per_ds_blocks: Vec<_> = datasets
+            .iter()
+            .map(|ds| dataset_blocks(world, ds))
+            .collect();
+        let union: BTreeMap<ytcdn_netsim::Ipv4Block, ytcdn_netsim::Endpoint> = per_ds_blocks
+            .iter()
+            .flatten()
+            .map(|&(block, endpoint, _)| (block, endpoint))
+            .collect();
+        let targets: Vec<_> = union.into_iter().collect();
+        telemetry.counter("geo.blocks").add(targets.len() as u64);
+        let located = localize_blocks(cbg, seed, &targets, jobs);
+        let by_block: BTreeMap<_, _> = located.iter().map(|loc| (loc.block, loc)).collect();
+        let per_dataset = per_ds_blocks
+            .iter()
+            .map(|blocks| {
+                blocks
+                    .iter()
+                    .filter_map(|(block, _, ips)| {
+                        // Every dataset block is in the union by
+                        // construction; filter_map only keeps the path
+                        // panic-free.
+                        by_block
+                            .get(block)
+                            .map(|loc| crate::geo_analysis::block_to_server_location(loc, ips))
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { per_dataset }
+    }
+
+    /// One dataset's server locations — what `geolocate_servers` over that
+    /// dataset (same cbg/seed) returns, served from the shared pass.
+    pub fn dataset(&self, name: DatasetName) -> &[crate::geo_analysis::ServerLocation] {
+        let slot = match name {
+            DatasetName::UsCampus => 0,
+            DatasetName::Eu1Campus => 1,
+            DatasetName::Eu1Adsl => 2,
+            DatasetName::Eu1Ftth => 3,
+            DatasetName::Eu2 => 4,
+        };
+        &self.per_dataset[slot]
+    }
+
+    /// All five datasets' locations concatenated in [`DatasetName::ALL`]
+    /// order — the pooled view `fig3` and the CSV export consume (a block
+    /// seen by several datasets appears once per dataset, mirroring the
+    /// historical pooled pass).
+    pub fn pooled(&self) -> Vec<crate::geo_analysis::ServerLocation> {
+        self.per_dataset.iter().flatten().copied().collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -84,6 +84,6 @@ pub use columnar::{ColumnarDataset, FormatError, FormatResult, YtcFile, YtcHeade
 pub use constellation::{ChangePoint, WatchConfig, WatchReport};
 pub use dcmap::{AnalysisContext, DcInfo, DcMap};
 pub use error::{AnalysisError, AnalysisResult};
-pub use index::DatasetIndex;
+pub use index::{DatasetIndex, GeoIndex};
 pub use session::{group_sessions, Session};
 pub use stats::Cdf;

@@ -134,6 +134,32 @@ pub fn scorecard(suite: &ExperimentSuite) -> Scorecard {
         });
     }
 
+    // --- Figure 3: CBG confidence-region radii, off the shared geo index.
+    // The paper's median is 41 km with 200–320 km 90th percentiles; the
+    // reproduction's reduced landmark set is coarser, so the band asserts
+    // the order of magnitude (same-continent, not same-city precision).
+    let (fig3_us, fig3_eu) = crate::geo_analysis::radius_cdfs(&suite.cbg_locations());
+    for (label, cdf) in [("US", &fig3_us), ("Europe", &fig3_eu)] {
+        let metric = format!("{label} CBG radius median [km]");
+        if cdf.is_empty() {
+            card.skipped.push(Skipped {
+                experiment: "fig3",
+                metric,
+                error: AnalysisError::EmptyDistribution {
+                    what: format!("{label} CBG radii"),
+                },
+            });
+            continue;
+        }
+        card.checks.push(Check {
+            experiment: "fig3",
+            metric,
+            paper: 41.0,
+            measured: cdf.median(),
+            band: (1.0, 1500.0),
+        });
+    }
+
     // --- Figure 7: preferred byte shares.
     let fig7 = [
         (DatasetName::UsCampus, 0.90, (0.85, 0.99)),

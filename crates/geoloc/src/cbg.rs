@@ -42,10 +42,16 @@ pub struct CbgResult {
 #[derive(Debug, Clone)]
 pub struct Cbg {
     landmarks: Vec<Landmark>,
+    /// Landmark endpoints, precomputed once (localize probes every
+    /// landmark per target).
+    endpoints: Vec<Endpoint>,
     /// Bestline intercept per landmark (ms). Slope is the fiber bound.
     intercepts: Vec<f64>,
-    model: DelayModel,
-    probes: u32,
+    /// The probe engine, built once at calibration instead of per
+    /// `localize` call.
+    pinger: Pinger,
+    /// Bestline slope (ms/km), hoisted out of the localize hot loop.
+    slope: f64,
 }
 
 /// Bestline slope: ms of RTT per km of distance at fiber speed.
@@ -84,11 +90,13 @@ impl Cbg {
                     .fold(f64::INFINITY, f64::min)
             })
             .collect();
+        let endpoints = landmarks.iter().map(Landmark::endpoint).collect();
         Self {
             landmarks,
+            endpoints,
             intercepts,
-            model,
-            probes,
+            pinger,
+            slope: m,
         }
     }
 
@@ -108,16 +116,15 @@ impl Cbg {
     /// measurements through the delay model — exactly the information a real
     /// probe would obtain — never read directly by the solver.
     pub fn localize(&self, target: &Endpoint, rng: &mut NoiseRng) -> CbgResult {
-        let pinger = Pinger::new(self.model, self.probes);
-        let m = slope_ms_per_km();
         // Distance upper bound per landmark.
         let mut constraints: Vec<(Coord, f64)> = self
             .landmarks
             .iter()
+            .zip(&self.endpoints)
             .zip(&self.intercepts)
-            .map(|(l, &b)| {
-                let rtt = pinger.ping(&l.endpoint(), target, rng).min_ms;
-                (l.coord, ((rtt - b) / m).max(10.0))
+            .map(|((l, e), &b)| {
+                let rtt = self.pinger.ping(e, target, rng).min_ms;
+                (l.coord, ((rtt - b) / self.slope).max(10.0))
             })
             .collect();
         // Tightest constraints first: they define the region and let
@@ -213,6 +220,23 @@ fn grid_pass(
     step_km: f64,
 ) -> Vec<Coord> {
     let n = (radius_km / step_km).ceil() as i32;
+    let coslat = center.lat.to_radians().cos().max(0.05);
+    // Prune constraints that cannot reject *any* candidate of this pass.
+    // Every candidate sits within `n·step/111` degrees of latitude and
+    // `n·step/(111·coslat)` degrees of longitude of `center` (that is how
+    // the offsets below are generated), and one great-circle degree is
+    // < 111.2 km, so the meridian-then-parallel path bounds a candidate's
+    // geodesic distance from `center` by `reach_km`. A constraint whose
+    // disk covers the whole reach — `d(center, c) + reach <= cr·scale` —
+    // accepts every candidate, so dropping it changes nothing; the slack
+    // absorbs floating-point error. Loose landmarks (most of a worldwide
+    // set, for a well-measured target) vanish from the per-point loop.
+    let reach_km = 111.2 * (n as f64 * step_km / 111.0) * (1.0 + 1.0 / coslat) + 0.5;
+    let active: Vec<(Coord, f64)> = constraints
+        .iter()
+        .filter(|&&(c, cr)| center.distance_km(c) + reach_km > cr * scale)
+        .copied()
+        .collect();
     let mut feasible = Vec::new();
     for iy in -n..=n {
         for ix in -n..=n {
@@ -222,7 +246,7 @@ fn grid_pass(
                 continue;
             }
             let lat = center.lat + dy / 111.0;
-            let lon = center.lon + dx / (111.0 * center.lat.to_radians().cos().max(0.05));
+            let lon = center.lon + dx / (111.0 * coslat);
             if !(-90.0..=90.0).contains(&lat) {
                 continue;
             }
@@ -230,10 +254,7 @@ fn grid_pass(
                 lat,
                 lon: (lon + 540.0).rem_euclid(360.0) - 180.0,
             };
-            if constraints
-                .iter()
-                .all(|&(c, cr)| p.distance_km(c) <= cr * scale)
-            {
+            if active.iter().all(|&(c, cr)| p.distance_km(c) <= cr * scale) {
                 feasible.push(p);
             }
         }
@@ -246,6 +267,7 @@ mod tests {
     use super::*;
     use ytcdn_geomodel::CityDb;
     use ytcdn_geomodel::Continent;
+    use ytcdn_geomodel::WORLD_CITIES;
     use ytcdn_netsim::{landmarks_with_counts, planetlab_landmarks, AccessKind};
 
     fn small_cbg() -> Cbg {
@@ -333,6 +355,76 @@ mod tests {
         let a = cbg.localize(&t, &mut NoiseRng::seed_from_u64(7));
         let b = cbg.localize(&t, &mut NoiseRng::seed_from_u64(7));
         assert_eq!(a, b);
+    }
+
+    /// The pre-pruning `grid_pass`: every constraint checked at every
+    /// candidate. The optimized pass must reproduce its output exactly.
+    fn grid_pass_unpruned(
+        constraints: &[(Coord, f64)],
+        scale: f64,
+        center: Coord,
+        radius_km: f64,
+        step_km: f64,
+    ) -> Vec<Coord> {
+        let n = (radius_km / step_km).ceil() as i32;
+        let coslat = center.lat.to_radians().cos().max(0.05);
+        let mut feasible = Vec::new();
+        for iy in -n..=n {
+            for ix in -n..=n {
+                let dx = ix as f64 * step_km;
+                let dy = iy as f64 * step_km;
+                if dx * dx + dy * dy > radius_km * radius_km {
+                    continue;
+                }
+                let lat = center.lat + dy / 111.0;
+                let lon = center.lon + dx / (111.0 * coslat);
+                if !(-90.0..=90.0).contains(&lat) {
+                    continue;
+                }
+                let p = Coord {
+                    lat,
+                    lon: (lon + 540.0).rem_euclid(360.0) - 180.0,
+                };
+                if constraints
+                    .iter()
+                    .all(|&(c, cr)| p.distance_km(c) <= cr * scale)
+                {
+                    feasible.push(p);
+                }
+            }
+        }
+        feasible
+    }
+
+    #[test]
+    fn constraint_pruning_preserves_feasible_sets() {
+        let db = CityDb::builtin();
+        // Mixed tight and loose constraints around several centers,
+        // including a high-latitude one where the lon/lat distortion the
+        // reach bound must cover is largest.
+        for (center_city, radius, step) in [
+            ("Paris", 400.0, 25.0),
+            ("Chicago", 900.0, 56.0),
+            ("Helsinki", 1500.0, 93.0),
+            ("Singapore", 700.0, 43.0),
+        ] {
+            let center = db.named(center_city).coord;
+            let constraints: Vec<(Coord, f64)> = WORLD_CITIES
+                .iter()
+                .map(|c| {
+                    let d = c.coord.distance_km(center);
+                    // Tight disks near the center, generous ones far away
+                    // (the far ones are the pruning candidates).
+                    (c.coord, d + radius * 0.8)
+                })
+                .collect();
+            for scale in [1.0, 1.05, 2.0] {
+                let pruned = grid_pass(&constraints, scale, center, radius, step);
+                let full = grid_pass_unpruned(&constraints, scale, center, radius, step);
+                assert_eq!(pruned, full, "{center_city} scale {scale}");
+                assert!(!full.is_empty(), "{center_city} scale {scale}");
+            }
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
@@ -233,13 +234,111 @@ impl CityDb {
     ///
     /// Used to label CBG position estimates with a city ("servers are grouped
     /// into the same data center if they are located in the same city").
+    ///
+    /// Answers come from a lat/lon bucket grid whose per-cell candidate
+    /// lists are proved complete by the triangle inequality (see
+    /// [`NearestGrid`]), so the result — including tie-breaking, which
+    /// follows [`WORLD_CITIES`] table order in both paths — is identical to
+    /// a full linear scan, only without touching the whole table per query.
     pub fn nearest(&self, coord: Coord) -> (&'static City, f64) {
-        WORLD_CITIES
+        NearestGrid::builtin().nearest(coord)
+    }
+}
+
+/// Bucket grid over [`WORLD_CITIES`] for exact nearest-city lookup.
+///
+/// The globe is cut into `CELL_DEG`-degree lat/lon cells. Each cell stores,
+/// in table order, every city that could possibly be the nearest to *some*
+/// point of the cell. Completeness argument: let `m` be the center of a
+/// cell, `rho` its circumradius (every point of the cell is within `rho`
+/// of `m`; for a lat/lon-aligned cell the farthest boundary point from the
+/// midpoint is a corner), and `dmin` the distance from `m` to its nearest
+/// city `c0`. For a query `q` in the cell with true nearest city `c*`:
+///
+/// ```text
+/// d(c*, m) <= d(c*, q) + rho        (triangle inequality)
+///          <= d(c0, q) + rho        (c* is nearest to q)
+///          <= dmin + 2 rho          (triangle inequality again)
+/// ```
+///
+/// so keeping every city within `dmin + 2 rho` (+ a float-slack epsilon)
+/// of the center keeps `c*` — and every city tied with it — making the
+/// grid answer, ties included, equal to the linear scan's. The "neighbor
+/// ring" a bucket grid normally probes at query time is thus baked into
+/// the candidate lists at build time.
+#[derive(Debug)]
+struct NearestGrid {
+    /// `GRID_ROWS * GRID_COLS` candidate lists, row-major from the south
+    /// pole / date line corner.
+    cells: Vec<Vec<&'static City>>,
+}
+
+/// Cell edge length in degrees (both axes).
+const CELL_DEG: f64 = 10.0;
+/// Latitude rows covering [-90, 90].
+const GRID_ROWS: usize = 18;
+/// Longitude columns covering [-180, 180].
+const GRID_COLS: usize = 36;
+/// Slack added to the candidate bound to absorb floating-point error in
+/// the distance computations (km) — vastly above any haversine rounding.
+const GRID_SLACK_KM: f64 = 1.0;
+
+impl NearestGrid {
+    /// The process-wide grid over the static city table, built on first use.
+    fn builtin() -> &'static Self {
+        static GRID: OnceLock<NearestGrid> = OnceLock::new();
+        GRID.get_or_init(Self::build)
+    }
+
+    fn build() -> Self {
+        let mut cells = Vec::with_capacity(GRID_ROWS * GRID_COLS);
+        for row in 0..GRID_ROWS {
+            for col in 0..GRID_COLS {
+                let lat0 = -90.0 + row as f64 * CELL_DEG;
+                let lon0 = -180.0 + col as f64 * CELL_DEG;
+                let center = Coord::new_unchecked(lat0 + CELL_DEG / 2.0, lon0 + CELL_DEG / 2.0);
+                let rho = [
+                    (lat0, lon0),
+                    (lat0, lon0 + CELL_DEG),
+                    (lat0 + CELL_DEG, lon0),
+                    (lat0 + CELL_DEG, lon0 + CELL_DEG),
+                ]
+                .into_iter()
+                .map(|(lat, lon)| center.distance_km(Coord::new_unchecked(lat, lon)))
+                .fold(0.0_f64, f64::max);
+                let dmin = WORLD_CITIES
+                    .iter()
+                    .map(|c| c.coord.distance_km(center))
+                    .fold(f64::INFINITY, f64::min);
+                let bound = dmin + 2.0 * rho + GRID_SLACK_KM;
+                cells.push(
+                    WORLD_CITIES
+                        .iter()
+                        .filter(|c| c.coord.distance_km(center) <= bound)
+                        .collect(),
+                );
+            }
+        }
+        Self { cells }
+    }
+
+    /// The cell holding `coord`; boundary values (lat 90, lon 180) clamp
+    /// into the last row/column.
+    fn cell_index(coord: Coord) -> usize {
+        let row = (((coord.lat + 90.0) / CELL_DEG) as usize).min(GRID_ROWS - 1);
+        let col = (((coord.lon + 180.0) / CELL_DEG) as usize).min(GRID_COLS - 1);
+        row * GRID_COLS + col
+    }
+
+    fn nearest(&self, coord: Coord) -> (&'static City, f64) {
+        self.cells[Self::cell_index(coord)]
             .iter()
-            .map(|c| (c, c.coord.distance_km(coord)))
+            .map(|&c| (c, c.coord.distance_km(coord)))
             .min_by(|a, b| a.1.total_cmp(&b.1))
-            // ytcdn-lint: allow(PAN001) — WORLD_CITIES is a static, non-empty table
-            .expect("built-in city table is non-empty")
+            // Every cell keeps at least the city nearest its own center
+            // (dmin <= dmin + 2 rho + slack) and WORLD_CITIES is static.
+            // ytcdn-lint: allow(PAN001) — non-empty by construction, see above
+            .expect("grid cell candidate lists are non-empty by construction")
     }
 }
 
@@ -300,6 +399,64 @@ mod tests {
         let (found, d) = db.nearest(near_chicago);
         assert_eq!(found.name, "Chicago");
         assert!((d - 20.0).abs() < 0.1);
+    }
+
+    /// Reference implementation: the pre-grid full linear scan.
+    fn nearest_linear(coord: Coord) -> (&'static City, f64) {
+        WORLD_CITIES
+            .iter()
+            .map(|c| (c, c.coord.distance_km(coord)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+    }
+
+    #[test]
+    fn grid_matches_linear_scan_at_city_coords() {
+        let db = CityDb::builtin();
+        for c in WORLD_CITIES {
+            let (g, gd) = db.nearest(c.coord);
+            let (l, ld) = nearest_linear(c.coord);
+            assert_eq!(g.name, l.name, "at {}", c.name);
+            assert_eq!(gd, ld);
+        }
+    }
+
+    #[test]
+    fn grid_matches_linear_scan_at_offsets() {
+        let db = CityDb::builtin();
+        // Offsets large enough to cross into neighboring cells from any
+        // city, in several bearings.
+        for c in WORLD_CITIES {
+            for bearing in [0.0, 95.0, 190.0, 285.0] {
+                for km in [13.0, 170.0, 600.0, 1400.0] {
+                    let q = c.coord.offset_km(bearing, km);
+                    let (g, gd) = db.nearest(q);
+                    let (l, ld) = nearest_linear(q);
+                    assert_eq!(g.name, l.name, "from {} bearing {bearing} km {km}", c.name);
+                    assert_eq!(gd, ld);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_matches_linear_scan_on_dense_sweep() {
+        let db = CityDb::builtin();
+        // A 3-degree global sweep, deliberately hitting cell boundaries
+        // (multiples of CELL_DEG), the poles, and the date line.
+        let mut lat = -90.0;
+        while lat <= 90.0 {
+            let mut lon = -180.0;
+            while lon <= 180.0 {
+                let q = Coord::new_unchecked(lat, lon);
+                let (g, gd) = db.nearest(q);
+                let (l, ld) = nearest_linear(q);
+                assert_eq!(g.name, l.name, "at ({lat}, {lon})");
+                assert_eq!(gd, ld);
+                lon += 3.0;
+            }
+            lat += 3.0;
+        }
     }
 
     #[test]

@@ -9,8 +9,12 @@
 # defaults: SCALE=0.05 SEED=42 JOBS=$(nproc). Pass JOBS explicitly to
 # measure a parallel degree other than this host's CPU count (the committed
 # BENCH_analysis.json records jobs_max=4 regardless of the measuring host;
-# host_cpus in the file says what the host actually had). Requires a primed
-# cargo cache or network access (same constraint as scripts/check.sh).
+# host_cpus in the file says what the host actually had, and
+# `oversubscribed` is true when jobs_max exceeds it — parallel numbers from
+# such a run measure scheduling overhead, not speedup). Each configuration
+# runs RUNS_PER_CONFIG (default 3) times; the minimum wall clock is kept,
+# the standard noise-floor discipline for wall-clock benchmarks. Requires a
+# primed cargo cache or network access (same constraint as scripts/check.sh).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,20 +23,48 @@ scale="${1:-0.05}"
 seed="${2:-42}"
 host_cpus="$(nproc 2>/dev/null || echo 4)"
 max="${3:-$host_cpus}"
+runs="${RUNS_PER_CONFIG:-3}"
 out="BENCH_analysis.json"
+
+oversubscribed=false
+if [ "$max" -gt "$host_cpus" ]; then
+    oversubscribed=true
+    echo "bench-analysis.sh: note: jobs_max=$max > host_cpus=$host_cpus;" \
+        "parallel timings are oversubscribed" >&2
+fi
 
 work="$(mktemp -d "${TMPDIR:-/tmp}/ytcdn-bench.XXXXXX")"
 trap 'rm -rf "$work"' EXIT
 
 cargo build --quiet --release -p ytcdn-bench --bin repro
 
-for jobs in 1 "$max"; do
-    echo "==> repro --scale $scale --seed $seed --jobs $jobs" >&2
-    ./target/release/repro \
-        --scale "$scale" --seed "$seed" --jobs "$jobs" \
-        --bench-out "$work/bench-$jobs.json" \
-        > "$work/repro-$jobs.txt" 2>/dev/null
-done
+# Runs one configuration $runs times, keeps the timing file of the run
+# with the minimum total_ms, and byte-compares every run's report against
+# the first — determinism is part of what this benchmark certifies.
+measure() {
+    local jobs="$1" best_ms="" ms
+    for run in $(seq 1 "$runs"); do
+        echo "==> repro --scale $scale --seed $seed --jobs $jobs (run $run/$runs)" >&2
+        ./target/release/repro \
+            --scale "$scale" --seed "$seed" --jobs "$jobs" \
+            --bench-out "$work/bench-$jobs.run.json" \
+            > "$work/repro-$jobs.run.txt" 2>/dev/null
+        if [ "$run" -eq 1 ]; then
+            cp "$work/repro-$jobs.run.txt" "$work/repro-$jobs.txt"
+        else
+            cmp "$work/repro-$jobs.txt" "$work/repro-$jobs.run.txt" \
+                || { echo "bench-analysis.sh: --jobs $jobs run $run differs from run 1" >&2; exit 1; }
+        fi
+        ms="$(awk -F'[:,]' '/"total_ms"/ {gsub(/ /,"",$2); print $2}' "$work/bench-$jobs.run.json")"
+        if [ -z "$best_ms" ] || awk -v a="$ms" -v b="$best_ms" 'BEGIN {exit !(a < b)}'; then
+            best_ms="$ms"
+            cp "$work/bench-$jobs.run.json" "$work/bench-$jobs.json"
+        fi
+    done
+}
+
+measure 1
+measure "$max"
 
 cmp "$work/repro-1.txt" "$work/repro-$max.txt" \
     || { echo "bench-analysis.sh: --jobs $max output differs from sequential" >&2; exit 1; }
@@ -50,6 +82,8 @@ speedup="$(awk -v a="$total_seq" -v b="$total_par" 'BEGIN {printf "%.3f", a / b}
     echo "  \"seed\": $seed,"
     echo "  \"jobs_max\": $max,"
     echo "  \"host_cpus\": $host_cpus,"
+    echo "  \"oversubscribed\": $oversubscribed,"
+    echo "  \"runs_per_config\": $runs,"
     echo "  \"total_ms_sequential\": $total_seq,"
     echo "  \"total_ms_parallel\": $total_par,"
     echo "  \"speedup\": $speedup,"
@@ -63,4 +97,4 @@ speedup="$(awk -v a="$total_seq" -v b="$total_par" 'BEGIN {printf "%.3f", a / b}
     echo "}"
 } > "$out"
 
-echo "bench-analysis.sh: wrote $out (jobs=1 ${total_seq} ms, jobs=$max ${total_par} ms, speedup ${speedup}x)" >&2
+echo "bench-analysis.sh: wrote $out (jobs=1 ${total_seq} ms min-of-$runs, jobs=$max ${total_par} ms, speedup ${speedup}x)" >&2

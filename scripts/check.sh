@@ -73,6 +73,18 @@ done
 cmp "$smoke/repro-1.txt" "$smoke/repro-$max.txt" \
     || { echo "check.sh: repro --jobs $max output differs from sequential" >&2; exit 1; }
 
+# Geolocation pipeline: the CBG pass draws per-/24 noise streams, so the
+# geo-heavy experiments (fig3's pooled radius CDFs, table3's continent
+# table) must also be byte-identical at any worker count.
+echo "==> repro geo byte-compare smoke (fig3,table3 at --jobs 1 vs $max)" >&2
+for jobs in 1 "$max"; do
+    cargo run --quiet --release -p ytcdn-bench --bin repro -- \
+        --scale 0.004 --seed 7 --exp fig3,table3 --jobs "$jobs" \
+        > "$smoke/geo-$jobs.txt" 2>/dev/null
+done
+cmp "$smoke/geo-1.txt" "$smoke/geo-$max.txt" \
+    || { echo "check.sh: geo experiments differ at --jobs $max vs sequential" >&2; exit 1; }
+
 # Columnar .ytc smoke, three legs. (1) Byte stability: the encoded file is
 # identical at --shards 1 and --shards <max> — the .ytc twin of the text
 # differential above, sha256 so the transcript shows the digest. (2) Replay

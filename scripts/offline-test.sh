@@ -58,7 +58,7 @@ cargo test --manifest-path "$scratch/Cargo.toml" --offline --release \
     -p ytcdn-core --test sharding_differential --test golden_tables \
     --test analysis_index_differential --test degenerate_datasets \
     --test change_detection --test columnar_roundtrip \
-    --test columnar_corruption "$@"
+    --test columnar_corruption --test geo_differential "$@"
 
 # Watchtower smoke: a mutated trace must fire the change detector and exit
 # zero. No --telemetry here — the JSONL sink needs the real serde_json,
